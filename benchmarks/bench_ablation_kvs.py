@@ -1,0 +1,51 @@
+"""Ablation — sharding the global tier (§7's autoscaling-storage direction).
+
+The paper's global tier is one Redis deployment; §7 points to Anna/Tuba/
+Pocket-style sharded stores as better alternatives. This ablation runs the
+Fig. 6 SGD workload with the simulated KVS split over 1, 2 and 4 endpoint
+shards: the single endpoint's NIC is the bottleneck during the replication
+phase, so sharding should cut FAASM's training time at high parallelism
+while leaving total transfer volume unchanged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import report
+from repro.apps.sim_models import SGDModelParams, run_sgd_experiment
+from repro.sim import Environment, FaasmSimPlatform, SimCluster
+
+
+def _run(kvs_shards: int, n_workers: int = 30):
+    env = Environment()
+    cluster = SimCluster.build(env, 10, kvs_shards=kvs_shards)
+    platform = FaasmSimPlatform(cluster)
+    params = SGDModelParams(n_epochs=10)
+    result = run_sgd_experiment(platform, params, n_workers)
+    result["kvs_shards"] = kvs_shards
+    return result
+
+
+def test_ablation_kvs_sharding(benchmark):
+    def sweep():
+        return [_run(shards) for shards in (1, 2, 4)]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = [
+        {
+            "kvs_shards": r["kvs_shards"],
+            "faasm_time_s": round(r["duration_s"], 2),
+            "network_gb": round(r["network_gb"], 2),
+        }
+        for r in rows
+    ]
+    report("ablation_kvs", "Ablation: sharded global tier (SGD, P=30)", table)
+
+    by_shards = {r["kvs_shards"]: r for r in rows}
+    # Sharding removes endpoint serialisation: strictly faster, same bytes.
+    assert by_shards[4]["duration_s"] < by_shards[1]["duration_s"]
+    assert by_shards[2]["duration_s"] <= by_shards[1]["duration_s"]
+    assert by_shards[4]["network_gb"] == pytest.approx(
+        by_shards[1]["network_gb"], rel=0.05
+    )

@@ -1,0 +1,111 @@
+"""Ablation — shared memory regions (DESIGN.md §4.1/§4.4).
+
+Two parts:
+
+* **real layer** — N Faaslets accessing one 8 MiB state value through
+  mapped shared regions (zero-copy) vs through private copies
+  (``get_state`` + copy into each Faaslet). Measures per-access time and
+  aggregate memory.
+* **simulated SGD** — the Fig. 6 workload with the local tier disabled
+  (``FaasmSimPlatform(local_tier=False)``): every read ships over the
+  network and lands in private Faaslet memory, i.e. Faasm degenerates to
+  the data-shipping architecture.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import report
+from repro.apps.sim_models import SGDModelParams, run_sgd_experiment
+from repro.faaslet import Faaslet, FunctionDefinition
+from repro.host import StandaloneEnvironment
+from repro.minilang import build
+from repro.sim import Environment, FaasmSimPlatform, SimCluster
+
+VALUE_BYTES = 8 * 1024 * 1024
+N_FAASLETS = 8
+
+SUM_SRC = """
+extern int get_state(int kptr, int klen, int size);
+
+export int main() {
+    int[] key = new int[2];
+    storeb(ptr(key), 118);  // 'v'
+    float[] vals = farr(get_state(ptr(key), 1, %d));
+    float acc = 0.0;
+    for (int i = 0; i < 1024; i = i + 1) { acc = acc + vals[i]; }
+    return (int) acc;
+}
+""" % VALUE_BYTES
+
+
+def test_ablation_sharing_real_layer(benchmark):
+    env = StandaloneEnvironment()
+    env.state.set_state("v", b"\x01" * VALUE_BYTES)
+    definition = FunctionDefinition.build("reader", build(SUM_SRC))
+
+    # Shared-region path: map the same replica into every Faaslet.
+    shared_faaslets = [Faaslet(definition, env) for _ in range(N_FAASLETS)]
+    start = time.perf_counter()
+    for faaslet in shared_faaslets:
+        assert faaslet.call()[0] != -1
+    shared_time = time.perf_counter() - start
+    shared_mem = sum(f.memory_footprint() for f in shared_faaslets)
+    # All Faaslets mapped the same backing buffer.
+    replica = env.state.tier.replica("v")
+    assert replica.region.mapping_count == N_FAASLETS
+
+    # Copy path: each Faaslet gets a private copy of the value written into
+    # its own linear memory (what a platform without shared regions does).
+    copy_faaslets = [Faaslet(definition, env) for _ in range(N_FAASLETS)]
+    value = env.state.tier.read_local("v")
+    start = time.perf_counter()
+    for faaslet in copy_faaslets:
+        base = faaslet.sbrk_pages(VALUE_BYTES)
+        faaslet.instance.memory.write(base, value)
+    copy_time = time.perf_counter() - start
+    copy_mem = sum(f.memory_footprint() for f in copy_faaslets)
+
+    benchmark(lambda: shared_faaslets[0].call())
+
+    rows = [
+        {"variant": "shared regions", "setup_s": round(shared_time, 4),
+         "aggregate_bytes": shared_mem},
+        {"variant": "private copies", "setup_s": round(copy_time, 4),
+         "aggregate_bytes": copy_mem},
+    ]
+    report("ablation_sharing_real", "Ablation: shared regions vs copies", rows)
+    # Copies multiply memory by the Faaslet count; sharing doesn't.
+    assert copy_mem > N_FAASLETS * 0.8 * VALUE_BYTES
+    assert shared_mem < 2 * VALUE_BYTES
+
+
+def test_ablation_local_tier_sgd(benchmark):
+    params = SGDModelParams(n_epochs=5)
+
+    def run(local_tier: bool):
+        env = Environment()
+        cluster = SimCluster.build(env, 10)
+        platform = FaasmSimPlatform(cluster, local_tier=local_tier)
+        return run_sgd_experiment(platform, params, 15)
+
+    def both():
+        return run(True), run(False)
+
+    with_tier, without_tier = benchmark.pedantic(both, rounds=1, iterations=1)
+    rows = [
+        {"variant": "two-tier (local + global)",
+         "time_s": round(with_tier["duration_s"], 1),
+         "network_gb": round(with_tier["network_gb"], 1)},
+        {"variant": "global tier only (ablation)",
+         "time_s": round(without_tier["duration_s"], 1),
+         "network_gb": round(without_tier["network_gb"], 1)},
+    ]
+    report("ablation_local_tier", "Ablation: SGD with/without the local tier", rows)
+    # Without the local tier Faasm re-ships data every epoch: the two-tier
+    # design is responsible for a large share of its Fig. 6 advantage.
+    assert without_tier["network_gb"] > 2 * with_tier["network_gb"]
+    assert without_tier["duration_s"] > with_tier["duration_s"]

@@ -1,0 +1,113 @@
+"""Fig. 7 — machine learning inference serving with cold starts (§6.3).
+
+7a: median latency vs offered throughput for cold-start ratios 0/2/20 %.
+7b: the latency CDF at a fixed moderate rate.
+
+Shape targets: Knative's median collapses (seconds) once cold-start work
+saturates a host's container-creation bottleneck — at ~20 req/s for the
+20 %-cold workload — while FAASM holds a flat ~100–150 ms median past
+200 req/s with *all* cold ratios on one line (cold starts cost <1 ms).
+Knative's 20 %-cold tail exceeds 2 s; FAASM's stays below 200 ms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import report
+from repro.apps.sim_models import InferenceModelParams, run_inference_experiment
+from repro.baseline import KnativeSimPlatform
+from repro.sim import Environment, FaasmSimPlatform, SimCluster
+
+N_HOSTS = 10
+RATES = [5, 10, 20, 50, 100, 150, 200, 250]
+COLD_RATIOS = [0.0, 0.02, 0.20]
+
+
+def _run(platform_cls, rate, cold_ratio, duration=20.0, **kwargs):
+    env = Environment()
+    cluster = SimCluster.build(env, N_HOSTS)
+    platform = platform_cls(cluster, **kwargs)
+    params = InferenceModelParams(duration_s=duration)
+    return run_inference_experiment(platform, params, rate, cold_ratio)
+
+
+def test_fig7a_throughput_vs_latency(benchmark):
+    def sweep():
+        rows = []
+        for rate in RATES:
+            row = {"rate_req_s": rate}
+            for ratio in COLD_RATIOS:
+                knative = _run(KnativeSimPlatform, rate, ratio)
+                row[f"knative_{int(ratio * 100)}cold_ms"] = round(
+                    knative["median_latency_s"] * 1e3, 1
+                )
+            faasm = _run(FaasmSimPlatform, rate, 0.20)
+            row["faasm_20cold_ms"] = round(faasm["median_latency_s"] * 1e3, 1)
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report("fig7a_inference", "Fig. 7a: throughput vs median latency", rows)
+
+    by_rate = {r["rate_req_s"]: r for r in rows}
+    # Knative at 20% cold collapses by ~20 req/s (median in the seconds).
+    assert by_rate[20]["knative_20cold_ms"] > 1000
+    # At low rate, Knative's warm median is lower than FAASM's (the wasm
+    # compute overhead), as in the paper.
+    assert by_rate[5]["knative_0cold_ms"] < by_rate[5]["faasm_20cold_ms"]
+    # FAASM holds a flat low median out to 200+ req/s even with 20% cold.
+    for rate in RATES:
+        assert by_rate[rate]["faasm_20cold_ms"] < 300, (
+            f"FAASM median collapsed at {rate} req/s"
+        )
+    assert by_rate[250]["faasm_20cold_ms"] < 2 * by_rate[5]["faasm_20cold_ms"]
+
+
+def test_fig7a_faasm_cold_ratio_invariant(benchmark):
+    """All FAASM cold ratios lie on one line (cold starts ≈ free)."""
+
+    def run_ratios():
+        medians = {}
+        for ratio in COLD_RATIOS:
+            result = _run(FaasmSimPlatform, 100, ratio)
+            medians[ratio] = result["median_latency_s"]
+        return medians
+
+    medians = benchmark.pedantic(run_ratios, rounds=1, iterations=1)
+    rows = [
+        {"cold_ratio": f"{int(r * 100)}%", "faasm_median_ms": round(m * 1e3, 2)}
+        for r, m in medians.items()
+    ]
+    report("fig7a_faasm_ratios", "Fig. 7a: FAASM is cold-ratio invariant", rows)
+    spread = max(medians.values()) - min(medians.values())
+    assert spread < 0.005, "cold-start ratio should not move FAASM's median"
+
+
+def test_fig7b_latency_cdf(benchmark):
+    def run_cdf():
+        faasm = _run(FaasmSimPlatform, 20, 0.20, duration=30.0)
+        knative = _run(KnativeSimPlatform, 20, 0.20, duration=30.0)
+        return faasm, knative
+
+    faasm, knative = benchmark.pedantic(run_cdf, rounds=1, iterations=1)
+    f_lat = sorted(faasm["latencies"])
+    k_lat = sorted(knative["latencies"])
+
+    def pct(samples, p):
+        return samples[min(len(samples) - 1, int(p * len(samples)))]
+
+    rows = [
+        {
+            "percentile": f"p{int(p * 100)}",
+            "faasm_ms": round(pct(f_lat, p) * 1e3, 1),
+            "knative_ms": round(pct(k_lat, p) * 1e3, 1),
+        }
+        for p in (0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99)
+    ]
+    report("fig7b_cdf", "Fig. 7b: latency distribution (20% cold starts)", rows)
+    # Paper: Knative tail >2 s and >35% of requests over 500 ms; FAASM tail
+    # under ~150-200 ms for all ratios.
+    assert pct(k_lat, 0.99) > 2.0
+    assert pct(k_lat, 0.65) > 0.5
+    assert pct(f_lat, 0.99) < 0.25

@@ -1,0 +1,71 @@
+"""Fig. 8 — distributed matrix multiplication with Python/Numpy (§6.4).
+
+Sweeps the matrix size for the 64-mult + 9-merge divide-and-conquer job on
+both platforms (the paper runs CPython+numpy inside Faaslets vs standard
+Python containers).
+
+Shape targets: durations are nearly identical on the two platforms across
+the sweep (within tens of percent, both ~sub-second at 100² and ~10² s at
+8000²), while FAASM moves ~13 % less data over the network.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import report
+from repro.apps.sim_models import MatmulModelParams, run_matmul_experiment
+from repro.baseline import KnativeSimPlatform
+from repro.sim import Environment, FaasmSimPlatform, SimCluster
+
+SIZES = [100, 1000, 2000, 4000, 8000]
+N_HOSTS = 10
+
+
+def _run(platform_cls, n):
+    env = Environment()
+    cluster = SimCluster.build(env, N_HOSTS)
+    platform = platform_cls(cluster)
+    return run_matmul_experiment(platform, MatmulModelParams(n=n))
+
+
+def test_fig8_matmul(benchmark):
+    def sweep():
+        rows = []
+        for n in SIZES:
+            faasm = _run(FaasmSimPlatform, n)
+            knative = _run(KnativeSimPlatform, n)
+            saving = 1 - faasm["network_gb"] / max(knative["network_gb"], 1e-9)
+            rows.append(
+                {
+                    "matrix_size": n,
+                    "faasm_time_s": round(faasm["duration_s"], 3),
+                    "knative_time_s": round(knative["duration_s"], 3),
+                    "faasm_net_gb": round(faasm["network_gb"], 3),
+                    "knative_net_gb": round(knative["network_gb"], 3),
+                    "faasm_net_saving": f"{saving * 100:.0f}%",
+                    "calls": faasm["calls"],
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report("fig8_matmul", "Fig. 8: distributed matmul — duration and network", rows)
+
+    for row in rows:
+        # 1 root + 8 inner + 64 leaf multiplications + 9 merges (§6.4).
+        assert row["calls"] == 82
+    # (8a) Durations track each other closely at large sizes, where compute
+    # and data movement dominate the fixed per-call overheads.
+    for row in rows:
+        if row["matrix_size"] >= 1000:
+            ratio = row["knative_time_s"] / row["faasm_time_s"]
+            assert 0.75 < ratio < 1.8, (
+                f"duration divergence at n={row['matrix_size']}: {ratio:.2f}"
+            )
+    # (8a) Duration grows superlinearly with size on both platforms.
+    assert rows[-1]["faasm_time_s"] > 20 * rows[1]["faasm_time_s"]
+    # (8b) FAASM consistently moves less data (~13% in the paper).
+    for row in rows[1:]:
+        saving = 1 - row["faasm_net_gb"] / row["knative_net_gb"]
+        assert 0.03 < saving < 0.5, f"net saving out of range: {saving:.2f}"

@@ -1,0 +1,296 @@
+"""Fig. 9b — the Python performance suite under Faaslet isolation.
+
+The paper executes pyperformance workloads on CPython-compiled-to-wasm
+inside a Faaslet versus native CPython. Our substitution (DESIGN.md §1)
+runs the workloads as host Python either directly (native) or as Python
+guests on a real FAASM cluster, where all I/O and state flow through the
+host-interface surface (the "mediated" path).
+
+What this reproduces: the mediated path's overhead over native — dispatch,
+scheduling, state plumbing — which must be small and roughly constant per
+call. What it cannot reproduce: the wasm-compilation slowdown of CPython
+itself (our compute substrate is identical on both sides); the paper's
+measured per-benchmark ratios are included as a reference column.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+
+import pytest
+
+from conftest import report
+from repro.runtime import FaasmCluster
+
+#: Ratios read off the paper's Fig. 9b bars.
+PAPER_RATIOS = {
+    "nbody": 1.2, "float": 1.1, "json-dumps": 1.1, "json-loads": 1.25,
+    "pickle": 1.5, "pidigits": 3.4, "spectral-norm": 1.2, "richards": 1.15,
+    "deltablue": 1.1, "chaos": 1.05,
+}
+
+
+# ----------------------------------------------------------------------
+# Workloads (self-contained, deterministic)
+# ----------------------------------------------------------------------
+
+
+def w_nbody(n=600):
+    bodies = [
+        [float(i % 7) - 3, float(i % 5) - 2, float(i % 3) - 1, 0.0, 0.0, 0.0, 1.0 + i % 3]
+        for i in range(16)
+    ]
+    for _step in range(n):
+        for i in range(len(bodies)):
+            bi = bodies[i]
+            for j in range(i + 1, len(bodies)):
+                bj = bodies[j]
+                dx, dy, dz = bi[0] - bj[0], bi[1] - bj[1], bi[2] - bj[2]
+                d2 = dx * dx + dy * dy + dz * dz + 0.1
+                mag = 0.01 / (d2 * d2**0.5)
+                for k, d in enumerate((dx, dy, dz)):
+                    bi[3 + k] -= d * bj[6] * mag
+                    bj[3 + k] += d * bi[6] * mag
+            bi[0] += bi[3]
+            bi[1] += bi[4]
+            bi[2] += bi[5]
+    return sum(b[0] for b in bodies)
+
+
+def w_float(n=40_000):
+    total = 0.0
+    x = 0.5
+    for i in range(n):
+        x = (x * 3.9) * (1.0 - x)
+        total += x**0.5
+    return total
+
+
+def w_json_dumps(n=300):
+    doc = {"items": [{"id": i, "name": f"item-{i}", "tags": ["a", "b"]} for i in range(100)]}
+    out = 0
+    for _ in range(n):
+        out += len(json.dumps(doc))
+    return out
+
+
+def w_json_loads(n=300):
+    doc = json.dumps({"items": [{"id": i, "vals": list(range(20))} for i in range(50)]})
+    out = 0
+    for _ in range(n):
+        out += len(json.loads(doc)["items"])
+    return out
+
+
+def w_pickle(n=300):
+    doc = {"items": [(i, f"item-{i}", [i] * 10) for i in range(200)]}
+    out = 0
+    for _ in range(n):
+        out += len(pickle.loads(pickle.dumps(doc))["items"])
+    return out
+
+
+def w_pidigits(digits=600):
+    # Spigot algorithm: stresses big-integer arithmetic like the paper's
+    # pidigits (its 3.4x ratio comes from 32-bit wasm bigint limbs).
+    q, r, t, k, n, l = 1, 0, 1, 1, 3, 3
+    out = []
+    while len(out) < digits:
+        if 4 * q + r - t < n * t:
+            out.append(n)
+            q, r, n = 10 * q, 10 * (r - n * t), (10 * (3 * q + r)) // t - 10 * n
+        else:
+            q, r, t, n, l, k = (
+                q * k, (2 * q + r) * l, t * l, (q * (7 * k + 2) + r * l) // (t * l),
+                l + 2, k + 1,
+            )
+    return sum(out)
+
+
+def w_spectral_norm(n=60):
+    def a(i, j):
+        return 1.0 / ((i + j) * (i + j + 1) / 2 + i + 1)
+
+    u = [1.0] * n
+    for _ in range(4):
+        v = [sum(a(i, j) * u[j] for j in range(n)) for i in range(n)]
+        u = [sum(a(j, i) * v[j] for j in range(n)) for i in range(n)]
+    return sum(u)
+
+
+def w_richards(n=8000):
+    # Queue-discipline microkernel (schedule/dispatch flavoured).
+    queue = list(range(64))
+    acc = 0
+    for i in range(n):
+        task = queue.pop(0)
+        acc = (acc + task * 31) % 100003
+        queue.append((task + i) % 64)
+    return acc
+
+
+def w_deltablue(n=4000):
+    # Constraint-propagation flavoured: chained updates over a graph.
+    values = list(range(50))
+    for step in range(n):
+        for i in range(1, len(values)):
+            values[i] = (values[i - 1] + values[i]) % 9973
+    return sum(values)
+
+
+def w_chaos(n=12_000):
+    x, y = 0.1, 0.2
+    acc = 0.0
+    for i in range(n):
+        x, y = y + 0.9 * x, -x + 0.9 * y + 0.1
+        if i % 3 == 0:
+            acc += abs(x)
+    return acc
+
+
+WORKLOADS = {
+    "nbody": w_nbody,
+    "float": w_float,
+    "json-dumps": w_json_dumps,
+    "json-loads": w_json_loads,
+    "pickle": w_pickle,
+    "pidigits": w_pidigits,
+    "spectral-norm": w_spectral_norm,
+    "richards": w_richards,
+    "deltablue": w_deltablue,
+    "chaos": w_chaos,
+}
+
+
+def _time(fn, repeats=3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_fig9b_python_suite(benchmark):
+    cluster = FaasmCluster(n_hosts=1)
+    for name, fn in WORKLOADS.items():
+        cluster.register_python(name, lambda ctx, fn=fn: ctx.write_output(str(fn()).encode()))
+
+    def run_suite():
+        rows = []
+        for name, fn in WORKLOADS.items():
+            native = _time(fn)
+            # Warm the function once (scheduling path), then measure.
+            cluster.invoke(name)
+            mediated = _time(lambda: cluster.invoke(name))
+            rows.append(
+                {
+                    "benchmark": name,
+                    "native_ms": round(native * 1e3, 2),
+                    "faasm_ms": round(mediated * 1e3, 2),
+                    "ratio": round(mediated / native, 2),
+                    "paper_ratio": PAPER_RATIOS[name],
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    report("fig9b_python", "Fig. 9b: Python suite — mediated vs native", rows)
+
+    # The host-interface/runtime mediation must add bounded overhead: every
+    # workload's ratio stays within a small factor of native.
+    for row in rows:
+        assert row["ratio"] < 3.0, f"{row['benchmark']} mediation too costly"
+    # Outputs must match when run both ways.
+    code, output = cluster.invoke("pidigits")
+    assert code == 0
+    assert output == str(w_pidigits()).encode()
+
+
+def _host_bf(code: str, stdin: bytes) -> bytes:
+    """Host-Python Brainfuck interpreter: the 'native CPython' mirror."""
+    jumps = {}
+    stack = []
+    for i, c in enumerate(code):
+        if c == "[":
+            stack.append(i)
+        elif c == "]":
+            j = stack.pop()
+            jumps[i], jumps[j] = j, i
+    tape = [0] * 8192
+    out = bytearray()
+    dp = pc = in_pos = 0
+    while pc < len(code):
+        c = code[pc]
+        if c == ">":
+            dp += 1
+        elif c == "<":
+            dp -= 1
+        elif c == "+":
+            tape[dp] = (tape[dp] + 1) % 256
+        elif c == "-":
+            tape[dp] = (tape[dp] - 1) % 256
+        elif c == ".":
+            out.append(tape[dp])
+        elif c == ",":
+            tape[dp] = stdin[in_pos] if in_pos < len(stdin) else 0
+            in_pos += 1
+        elif c == "[" and tape[dp] == 0:
+            pc = jumps[pc]
+        elif c == "]" and tape[dp] != 0:
+            pc = jumps[pc]
+        pc += 1
+    return bytes(out)
+
+
+def test_fig9b_real_interpreter_in_sandbox(benchmark):
+    """The honest interpreter-workload measurement: a complete guest
+    language runtime (Brainfuck) executes inside the wasm VM, compared with
+    an identical interpreter in host Python. This is the structural
+    analogue of the paper's CPython-in-Faaslet measurement; as with
+    Fig. 9a, absolute ratios reflect our interpreted substrate."""
+    from repro.apps.guest_interpreter import (
+        CAT,
+        HELLO_WORLD,
+        build_interpreter_definition,
+        make_interpreter_proto,
+        run_program,
+    )
+    from repro.host import StandaloneEnvironment
+
+    env = StandaloneEnvironment()
+    proto = make_interpreter_proto(env, build_interpreter_definition())
+    interp = proto.restore(env)
+
+    programs = {
+        "hello-world": (HELLO_WORLD, b""),
+        "cat": (CAT, b"x" * 200 + b"\x00"),
+        "counter": ("+" * 50 + "[->+<]>.", b""),
+    }
+    rows = []
+    for name, (code, stdin) in programs.items():
+        sandboxed_out = run_program(interp, code, stdin)
+        native_out = _host_bf(code, stdin)
+        assert sandboxed_out == native_out, name
+        t_sandbox = _time(lambda: run_program(interp, code, stdin), repeats=2)
+        t_native = _time(lambda: _host_bf(code, stdin), repeats=3)
+        rows.append(
+            {
+                "program": name,
+                "sandboxed_ms": round(t_sandbox * 1e3, 2),
+                "native_ms": round(t_native * 1e3, 3),
+                "ratio": round(t_sandbox / t_native, 1),
+            }
+        )
+    benchmark.pedantic(lambda: run_program(interp, "+.", b""), rounds=5, iterations=1)
+    report(
+        "fig9b_interpreter",
+        "Fig. 9b (real): guest language runtime in the sandbox vs host",
+        rows,
+    )
+    # Identical outputs were asserted above; ratios are reported, and as in
+    # Fig. 9a no program may be pathologically worse than the others.
+    ratios = sorted(r["ratio"] for r in rows)
+    assert ratios[-1] < 20 * ratios[0]

@@ -1,0 +1,112 @@
+"""VM microbenchmarks: interpreter throughput and host-interface costs.
+
+Not a paper figure — reference numbers that contextualise the Fig. 9
+results: how many guest instructions/second the interpreter sustains, what
+one host call costs, and what shared-region mapping costs. These are the
+"substrate constants" EXPERIMENTS.md cites when explaining why absolute
+Fig. 9 ratios differ from the paper's.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import report
+from repro.faaslet import Faaslet, FunctionDefinition
+from repro.host import StandaloneEnvironment
+from repro.minilang import build
+
+SPIN_SRC = """
+export int main() {
+    int acc = 0;
+    for (int i = 0; i < 200000; i += 1) { acc += i; }
+    return acc % 1000;
+}
+"""
+
+HOSTCALL_SRC = """
+extern long gettime();
+export int main() {
+    long t = 0;
+    for (int i = 0; i < 5000; i += 1) { t = gettime(); }
+    return (int) (t % 1000);
+}
+"""
+
+
+def test_interpreter_instruction_throughput(benchmark):
+    env = StandaloneEnvironment()
+    faaslet = Faaslet(FunctionDefinition.build("spin", build(SPIN_SRC)), env)
+
+    def run():
+        return faaslet.invoke_export("main")
+
+    benchmark(run)
+    before = faaslet.instance.instructions_executed
+    start = time.perf_counter()
+    run()
+    elapsed = time.perf_counter() - start
+    instructions = faaslet.instance.instructions_executed - before
+    rate = instructions / elapsed
+    report(
+        "vm_throughput",
+        "VM substrate constants",
+        [
+            {
+                "metric": "interpreter throughput",
+                "value": f"{rate / 1e6:.2f} M instr/s",
+            }
+        ],
+    )
+    assert rate > 200_000, "interpreter should sustain >0.2M instr/s"
+
+
+def test_host_call_cost(benchmark):
+    env = StandaloneEnvironment()
+    faaslet = Faaslet(FunctionDefinition.build("hc", build(HOSTCALL_SRC)), env)
+
+    start = time.perf_counter()
+    faaslet.invoke_export("main")
+    elapsed = time.perf_counter() - start
+    per_call_us = elapsed / 5000 * 1e6
+    benchmark(lambda: faaslet.invoke_export("main"))
+    report(
+        "vm_hostcall",
+        "Host-interface call cost",
+        [{"metric": "gettime() round trip", "value": f"{per_call_us:.2f} us"}],
+    )
+    # Host calls are dynamic-linked thunks, not HTTP: they must be cheap.
+    assert per_call_us < 100
+
+
+def test_shared_region_mapping_cost(benchmark):
+    env = StandaloneEnvironment()
+    env.state.set_state("big", b"\x00" * (8 * 1024 * 1024))
+    definition = FunctionDefinition.build("m", build("export int main() { return 0; }"))
+
+    def map_once():
+        faaslet = Faaslet(definition, env)
+        return faaslet.map_state_region("big", None)
+
+    benchmark(map_once)
+    start = time.perf_counter()
+    for _ in range(50):
+        map_once()
+    per_map_us = (time.perf_counter() - start) / 50 * 1e6
+    report(
+        "vm_mapping",
+        "Shared-region mapping cost (8 MiB value)",
+        [{"metric": "create Faaslet + map region", "value": f"{per_map_us:.0f} us"}],
+    )
+    # Mapping is page-table aliasing, not copying: far below a copy's cost.
+    copy_time = _copy_cost_us(8 * 1024 * 1024)
+    assert per_map_us < copy_time * 5  # generous bound vs memcpy of the value
+
+
+def _copy_cost_us(nbytes: int) -> float:
+    src = bytes(nbytes)
+    start = time.perf_counter()
+    bytearray(src)
+    return (time.perf_counter() - start) * 1e6

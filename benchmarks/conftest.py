@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints a paper-style table (run pytest with ``-s`` to see
+it) and writes the rows as JSON under ``benchmarks/results/`` so
+EXPERIMENTS.md can reference exact numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_results(name: str, rows) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    with open(path, "w") as f:
+        json.dump(rows, f, indent=2, default=str)
+
+
+def print_table(title: str, rows: list[dict], columns: list[str] | None = None) -> None:
+    if not rows:
+        print(f"\n== {title} == (no rows)")
+        return
+    columns = columns or list(rows[0].keys())
+    widths = {
+        c: max(len(c), *(len(_fmt(r.get(c))) for r in rows)) for c in columns
+    }
+    print(f"\n== {title} ==")
+    print("  ".join(c.ljust(widths[c]) for c in columns))
+    print("  ".join("-" * widths[c] for c in columns))
+    for row in rows:
+        print("  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in columns))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def report(name: str, title: str, rows: list[dict], columns=None) -> None:
+    """Print and persist one experiment's results."""
+    print_table(title, rows, columns)
+    save_results(name, rows)

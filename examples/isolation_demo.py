@@ -1,0 +1,108 @@
+"""Isolation demo: the Faaslet security and sharing properties of §3.
+
+Shows, with runnable checks rather than claims:
+
+1. SFI memory safety — out-of-bounds access traps and is contained;
+2. shared memory regions — two Faaslets communicate through a mapped
+   region with zero copies and zero network traffic (Fig. 2);
+3. resource isolation — network policy (no AF_UNIX) and traffic shaping;
+   CPU metering via fuel quanta (a runaway guest is preempted);
+4. snapshot hygiene — resetting from a Proto-Faaslet wipes tenant data
+   between calls (§5.2).
+
+Run:  python examples/isolation_demo.py
+"""
+
+from repro.faaslet import (
+    AF_UNIX,
+    Faaslet,
+    FunctionDefinition,
+    NetworkPolicyError,
+    ProtoFaaslet,
+    SOCK_STREAM,
+)
+from repro.host import StandaloneEnvironment
+from repro.minilang import build
+from repro.wasm import OutOfFuel
+
+
+def check(label: str, ok: bool) -> None:
+    print(f"  [{'ok' if ok else 'FAIL'}] {label}")
+    assert ok
+
+
+def main() -> None:
+    env = StandaloneEnvironment()
+
+    print("1. SFI memory safety")
+    oob = Faaslet(
+        FunctionDefinition.build(
+            "oob",
+            build("export int main() { int[] a = new int[4]; return a[123456789]; }"),
+        ),
+        env,
+    )
+    code, _ = oob.call()
+    check("out-of-bounds access trapped, host unaffected", code != 0)
+
+    print("2. Shared memory regions (zero-copy, zero network)")
+    noop = FunctionDefinition.build("noop", build("export int main() { return 0; }"))
+    env.state.set_state("region", b"\x00" * 128)
+    writer, reader = Faaslet(noop, env), Faaslet(noop, env)
+    base_w = writer.map_state_region("region", 128)
+    base_r = reader.map_state_region("region", 128)
+    writer.instance.memory.write(base_w, b"hello through shared memory")
+    seen = bytes(reader.instance.memory.read(base_r, 27))
+    check("writer's bytes visible to reader instantly", seen == b"hello through shared memory")
+    check("no bytes crossed the network", env.state.tier.client.meter.total_bytes == 0)
+
+    print("3. Resource isolation")
+    try:
+        writer.netns.socket(AF_UNIX, SOCK_STREAM)
+        policy_ok = False
+    except NetworkPolicyError:
+        policy_ok = True
+    check("AF_UNIX socket rejected by network policy", policy_ok)
+
+    spinner = Faaslet(
+        FunctionDefinition.build(
+            "spin", build("export int main() { while (true) { } return 0; }")
+        ),
+        env,
+        fuel=100_000,
+    )
+    try:
+        spinner.instance.invoke("main")
+        preempted = False
+    except OutOfFuel:
+        preempted = True
+    check("runaway guest preempted after its fuel quantum", preempted)
+
+    print("4. Snapshot hygiene across tenants")
+    secret_fn = FunctionDefinition.build(
+        "echo",
+        build(
+            """
+            extern int input_size();
+            extern int read_call_input(int buf, int len);
+            extern void write_call_output(int buf, int len);
+            export int main() {
+                int[] buf = new int[32];
+                read_call_input(ptr(buf), 128);
+                write_call_output(ptr(buf), 128);
+                return 0;
+            }
+            """
+        ),
+    )
+    proto = ProtoFaaslet.capture(secret_fn, env)
+    faaslet = proto.restore(env)
+    faaslet.call(b"TENANT-A-SECRET")
+    faaslet.reset()  # §5.2: restore the snapshot between tenants
+    _, leaked = faaslet.call(b"")
+    check("previous tenant's data wiped by reset", b"SECRET" not in leaked)
+    print("\nAll isolation properties verified.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Monte-Carlo π with every function running inside the sandbox.
+
+The driver and all workers are wasm guests (minilang-compiled): chaining,
+randomness (``getrandom``), state publication and aggregation all happen
+through the Tab. 2 host interface with zero host-side application code.
+
+Run:  python examples/montecarlo_pi.py
+"""
+
+import time
+
+from repro.apps import estimate_pi, setup_montecarlo
+from repro.runtime import FaasmCluster
+
+
+def main() -> None:
+    cluster = FaasmCluster(n_hosts=2, capacity=16)
+    print("Uploading wasm driver + worker (compile -> validate -> snapshot)...")
+    setup_montecarlo(cluster)
+
+    for n_workers in (1, 4, 8):
+        start = time.perf_counter()
+        pi = estimate_pi(cluster, n_workers=n_workers, samples_k=2)
+        elapsed = time.perf_counter() - start
+        total = n_workers * 2000
+        print(f"  workers={n_workers}: pi ~= {pi:.4f} "
+              f"({total} samples, {elapsed:.2f}s)")
+
+    workers = [r for r in cluster.calls.all_records() if r.function == "pi_worker"]
+    print(f"\n{len(workers)} sandboxed worker invocations; partial results "
+          "published under pi/part/* in the global tier:")
+    for key in sorted(cluster.global_state.keys())[:5]:
+        if key.startswith("pi/part/"):
+            print(f"  {key} = {cluster.global_state.get_value(key).decode()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+``pip install -e .`` needs the ``wheel`` package to build editable installs
+under PEP 660; on machines without it (e.g. offline environments), use::
+
+    python setup.py develop --user
+
+which installs the same editable package through setuptools directly.
+"""
+
+from setuptools import setup
+
+setup()

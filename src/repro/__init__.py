@@ -1,0 +1,29 @@
+"""Python reproduction of *Faasm: Lightweight Isolation for Efficient
+Stateful Serverless Computing* (Shillaker & Pietzuch, USENIX ATC 2020).
+
+Subpackages
+-----------
+``repro.wasm``
+    From-scratch WebAssembly-like SFI virtual machine (linear memory,
+    validator, interpreter, text assembler).
+``repro.minilang``
+    A small typed language compiled to ``repro.wasm`` modules (stand-in for
+    the LLVM toolchain).
+``repro.faaslet``
+    The Faaslet isolation abstraction: shared memory regions, snapshots
+    (Proto-Faaslets), cgroup-style CPU accounting, virtual NICs.
+``repro.host``
+    The Faaslet host interface of Tab. 2 (calls, state, POSIX/WASI subset).
+``repro.state``
+    Two-tier state: global KVS + local shared-memory tier, and DDOs.
+``repro.runtime``
+    The FAASM runtime: scheduler, registry, per-host instances, cluster.
+``repro.baseline``
+    Container/Knative-like baseline platform for comparison experiments.
+``repro.sim``
+    Discrete-event cluster simulator used by the paper-scale experiments.
+``repro.apps``
+    The evaluation applications (SGD, inference serving, matmul, no-op).
+"""
+
+__version__ = "0.1.0"

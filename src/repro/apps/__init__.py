@@ -1,0 +1,51 @@
+"""``repro.apps`` — the paper's evaluation applications.
+
+Real-layer applications (run on :class:`~repro.runtime.FaasmCluster` with
+genuine compute): distributed SGD (:mod:`repro.apps.sgd`), inference
+serving (:mod:`repro.apps.inference`), divide-and-conquer matmul
+(:mod:`repro.apps.matmul`) and the Polybench kernel suite
+(:mod:`repro.apps.kernels`).
+
+Simulated workload models for cluster-scale experiments live in
+:mod:`repro.apps.sim_models`; synthetic datasets in :mod:`repro.apps.data`.
+"""
+
+from .data import SparseDataset, generate_images, generate_rcv1_like
+from .mapreduce import (
+    reference_wordcount,
+    run_wordcount,
+    setup_wordcount,
+)
+from .inference import MLPModel, classify, classify_fn, setup_inference
+from .kernels import KERNELS, Kernel, run_kernel_in_faaslet, run_kernel_native
+from .matmul import run_matmul, setup_matmul
+from .montecarlo import estimate_pi, setup_montecarlo
+from .sgd import SGDConfig, divide_problem, run_sgd, setup_sgd
+from .wasm_sgd import make_linear_dataset, run_wasm_sgd, setup_wasm_sgd
+
+__all__ = [
+    "KERNELS",
+    "Kernel",
+    "MLPModel",
+    "SGDConfig",
+    "SparseDataset",
+    "classify",
+    "classify_fn",
+    "divide_problem",
+    "estimate_pi",
+    "generate_images",
+    "generate_rcv1_like",
+    "reference_wordcount",
+    "run_wordcount",
+    "setup_wordcount",
+    "run_kernel_in_faaslet",
+    "run_kernel_native",
+    "run_matmul",
+    "run_sgd",
+    "setup_matmul",
+    "setup_montecarlo",
+    "setup_sgd",
+    "make_linear_dataset",
+    "run_wasm_sgd",
+    "setup_wasm_sgd",
+]

@@ -1,0 +1,155 @@
+"""A dynamic-language runtime running *inside* a Faaslet.
+
+The paper's flagship host-interface demonstration is CPython compiled to
+WebAssembly executing in a Faaslet (§3.1, §6.4). At this reproduction's
+scale the analogue is a complete Brainfuck interpreter written in minilang
+and compiled into the sandbox:
+
+* the **runtime** (tape allocation, jump-table precomputation) initialises
+  inside the Faaslet;
+* **programs** arrive as call input: ``<code> '!' <input bytes>``;
+* program output is written through ``write_call_output``;
+* a Proto-Faaslet captured *after* runtime initialisation skips that work
+  on every cold start — exactly how the paper snapshots an initialised
+  CPython (§6.5).
+
+Brainfuck is tiny but real: Turing-complete, loop-heavy, and entirely
+dependent on the interpreter loop the sandbox executes, so it exercises
+the same "interpreter-in-SFI" path the paper measures.
+"""
+
+from __future__ import annotations
+
+from repro.faaslet import Faaslet, FunctionDefinition, ProtoFaaslet
+from repro.minilang import build
+from repro.minilang.stdlib import with_stdlib
+
+#: Tape cells available to guest programs.
+TAPE_CELLS = 8192
+
+INTERPRETER_SRC = with_stdlib(
+    """
+global int runtime_ready = 0;
+global int tape_addr = 0;
+
+// Runtime initialisation: allocate and zero the tape. Snapshot after this
+// and cold starts skip it (the CPython-initialisation analogue).
+export void init_runtime() {
+    int[] tape = new int[%(cells)d];
+    for (int i = 0; i < %(cells)d; i = i + 1) { tape[i] = 0; }
+    tape_addr = ptr(tape);
+    runtime_ready = 1;
+}
+
+export int main() {
+    if (runtime_ready == 0) { init_runtime(); }
+    int n = input_size();
+    int buf = read_input_buffer();
+
+    // Split "<code>!<input>".
+    int code_len = 0;
+    while (code_len < n && loadb(buf + code_len) != 33) {
+        code_len = code_len + 1;
+    }
+    int in_start = code_len + 1;
+    if (in_start > n) { in_start = n; }
+
+    // Per-program hygiene up front: a previous program may have bailed out
+    // early (error paths), so never trust the warm tape.
+    int[] tape = iarr(tape_addr);
+    for (int t = 0; t < %(cells)d; t = t + 1) { tape[t] = 0; }
+
+    // Precompute the bracket jump table.
+    int[] jumps = new int[code_len + 1];
+    int[] stack = new int[code_len + 1];
+    int sp = 0;
+    for (int i = 0; i < code_len; i = i + 1) {
+        int c = loadb(buf + i);
+        if (c == 91) {            // '['
+            stack[sp] = i;
+            sp = sp + 1;
+        } else if (c == 93) {     // ']'
+            if (sp == 0) { return 2; }  // unbalanced
+            sp = sp - 1;
+            int open = stack[sp];
+            jumps[open] = i;
+            jumps[i] = open;
+        }
+    }
+    if (sp != 0) { return 2; }
+
+    // The interpreter loop.
+    int[] out = new int[1024];
+    int out_len = 0;
+    int dp = 0;
+    int in_pos = in_start;
+    int pc = 0;
+    while (pc < code_len) {
+        int c = loadb(buf + pc);
+        if (c == 62) {            // '>'
+            dp = dp + 1;
+            if (dp >= %(cells)d) { return 3; }   // tape overrun
+        } else if (c == 60) {     // '<'
+            dp = dp - 1;
+            if (dp < 0) { return 3; }
+        } else if (c == 43) {     // '+'
+            tape[dp] = (tape[dp] + 1) %% 256;
+        } else if (c == 45) {     // '-'
+            tape[dp] = (tape[dp] + 255) %% 256;
+        } else if (c == 46) {     // '.'
+            if (out_len < 4096) {
+                storeb(ptr(out) + out_len, tape[dp]);
+                out_len = out_len + 1;
+            }
+        } else if (c == 44) {     // ','
+            if (in_pos < n) {
+                tape[dp] = loadb(buf + in_pos);
+                in_pos = in_pos + 1;
+            } else {
+                tape[dp] = 0;
+            }
+        } else if (c == 91) {     // '['
+            if (tape[dp] == 0) { pc = jumps[pc]; }
+        } else if (c == 93) {     // ']'
+            if (tape[dp] != 0) { pc = jumps[pc]; }
+        }
+        pc = pc + 1;
+    }
+    write_call_output(ptr(out), out_len);
+    return 0;
+}
+"""
+    % {"cells": TAPE_CELLS}
+)
+
+HELLO_WORLD = (
+    "++++++++[>++++[>++>+++>+++>+<<<<-]>+>+>->>+[<]<-]"
+    ">>.>---.+++++++..+++.>>.<-.<.+++.------.--------.>>+.>++."
+)
+
+#: Echoes its input until a NUL.
+CAT = ",[.,]"
+
+#: Adds two single-digit numbers given as input characters, prints a digit.
+ADD_DIGITS = ",>,[<+>-]<------------------------------------------------."
+
+
+def build_interpreter_definition(max_pages: int = 64) -> FunctionDefinition:
+    """Compile the guest interpreter (the untrusted phase of §3.4)."""
+    return FunctionDefinition.build(
+        "bf-interpreter", build(INTERPRETER_SRC), max_pages=max_pages
+    )
+
+
+def make_interpreter_proto(env, definition: FunctionDefinition | None = None) -> ProtoFaaslet:
+    """Initialise the runtime once and snapshot it (§5.2/§6.5)."""
+    definition = definition or build_interpreter_definition()
+    return ProtoFaaslet.capture(definition, env, init="init_runtime")
+
+
+def run_program(faaslet: Faaslet, program: str, stdin: bytes = b"") -> bytes:
+    """Execute one guest program on a (warm) interpreter Faaslet."""
+    code, output = faaslet.call(program.encode() + b"!" + stdin)
+    if code != 0:
+        raise RuntimeError(f"guest program failed with code {code}")
+    return output

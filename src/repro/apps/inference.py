@@ -1,0 +1,88 @@
+"""Machine-learning inference serving (§6.3).
+
+The paper serves MobileNet through TensorFlow Lite compiled to WebAssembly.
+Our stand-in is a small MLP classifier whose weights live in state as an
+:class:`~repro.state.ddo.ImmutableValue`: the first request on a host pulls
+the model once into the local tier (the Proto-Faaslet analogue of a
+pre-initialised model), and every co-located instance shares it. Inputs
+are "images" fetched as raw byte arrays.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runtime import FaasmCluster, PythonCallContext
+
+MODEL_KEY = "inference/model"
+
+
+@dataclass
+class MLPModel:
+    """A two-layer perceptron standing in for MobileNet."""
+
+    w1: np.ndarray
+    b1: np.ndarray
+    w2: np.ndarray
+    b2: np.ndarray
+
+    def to_bytes(self) -> bytes:
+        return pickle.dumps(
+            {"w1": self.w1, "b1": self.b1, "w2": self.w2, "b2": self.b2}
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MLPModel":
+        blob = pickle.loads(data)
+        return cls(blob["w1"], blob["b1"], blob["w2"], blob["b2"])
+
+    @classmethod
+    def random(
+        cls, in_features: int = 256, hidden: int = 128, classes: int = 10, seed: int = 3
+    ) -> "MLPModel":
+        rng = np.random.default_rng(seed)
+        return cls(
+            rng.normal(0, 0.5, (hidden, in_features)),
+            rng.normal(0, 0.1, hidden),
+            rng.normal(0, 0.5, (classes, hidden)),
+            rng.normal(0, 0.1, classes),
+        )
+
+    def classify(self, image: np.ndarray) -> int:
+        hidden = np.maximum(0.0, self.w1 @ image + self.b1)
+        logits = self.w2 @ hidden + self.b2
+        return int(np.argmax(logits))
+
+    @property
+    def in_features(self) -> int:
+        return self.w1.shape[1]
+
+
+def classify_fn(ctx: PythonCallContext) -> None:
+    """The serving function: pull the model (local-tier cached), classify."""
+    model = MLPModel.from_bytes(ctx.immutable_value(MODEL_KEY).get())
+    raw = np.frombuffer(ctx.input(), dtype=np.uint8)
+    image = raw[: model.in_features].astype(np.float64) / 255.0
+    if len(image) < model.in_features:
+        image = np.pad(image, (0, model.in_features - len(image)))
+    label = model.classify(image)
+    ctx.write_output(str(label).encode())
+
+
+def setup_inference(cluster: FaasmCluster, model: MLPModel | None = None) -> MLPModel:
+    """Publish the model to state and register the serving function."""
+    model = model or MLPModel.random()
+    cluster.global_state.set_value(MODEL_KEY, model.to_bytes())
+    cluster.register_python("classify", classify_fn)
+    return model
+
+
+def classify(cluster: FaasmCluster, image: bytes) -> int:
+    """Classify one image through the cluster; returns the label."""
+    code, output = cluster.invoke("classify", image)
+    if code != 0:
+        raise RuntimeError(f"classification failed: {output!r}")
+    return int(output)

@@ -1,0 +1,799 @@
+"""Polybench-style kernels for the Fig. 9a experiment.
+
+Each kernel exists twice, computing the *same* result from the same
+deterministic inputs:
+
+* ``source`` — minilang, compiled to the wasm VM and executed inside a
+  Faaslet (the paper's "Polybench/C compiled directly to WebAssembly");
+* ``native`` — a pure-Python mirror (the "native execution" side).
+
+Because both versions return a checksum over the output arrays, the suite
+doubles as a differential correctness test of the whole compiler + VM
+stack: any codegen or interpreter bug shows up as a checksum mismatch.
+
+Kernels take a single ``n`` problem-size parameter and are scaled well
+below Polybench's native sizes — a Python-hosted interpreter costs ~10³×
+more per instruction than WAVM's native code, which is also why the Fig. 9a
+*ratios* here cannot be ≈1 (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+# ----------------------------------------------------------------------
+# Kernel definitions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Kernel:
+    name: str
+    source: str
+    native: Callable[[int], float]
+    default_n: int = 24
+
+
+def _frac(i: int, j: int, n: int) -> float:
+    return ((i * j + 1) % n) / n
+
+
+# -- 2mm: D = alpha*A*B*C + beta*D --------------------------------------------
+
+_2MM_SRC = """
+export float kernel(int n) {
+    float[] a = new float[n * n];
+    float[] b = new float[n * n];
+    float[] c = new float[n * n];
+    float[] tmp = new float[n * n];
+    float[] d = new float[n * n];
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            a[i * n + j] = (float) ((i * j + 1) % n) / (float) n;
+            b[i * n + j] = (float) ((i * j + 2) % n) / (float) n;
+            c[i * n + j] = (float) ((i * j + 3) % n) / (float) n;
+            d[i * n + j] = (float) ((i * j + 4) % n) / (float) n;
+        }
+    }
+    float alpha = 1.5;
+    float beta = 1.2;
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            float acc = 0.0;
+            for (int k = 0; k < n; k = k + 1) {
+                acc = acc + alpha * a[i * n + k] * b[k * n + j];
+            }
+            tmp[i * n + j] = acc;
+        }
+    }
+    float checksum = 0.0;
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            float acc = d[i * n + j] * beta;
+            for (int k = 0; k < n; k = k + 1) {
+                acc = acc + tmp[i * n + k] * c[k * n + j];
+            }
+            d[i * n + j] = acc;
+            checksum = checksum + acc;
+        }
+    }
+    return checksum;
+}
+"""
+
+
+def _native_2mm(n: int) -> float:
+    a = [[_frac(i, j, n) for j in range(n)] for i in range(n)]
+    b = [[((i * j + 2) % n) / n for j in range(n)] for i in range(n)]
+    c = [[((i * j + 3) % n) / n for j in range(n)] for i in range(n)]
+    d = [[((i * j + 4) % n) / n for j in range(n)] for i in range(n)]
+    alpha, beta = 1.5, 1.2
+    tmp = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(n):
+            acc = 0.0
+            for k in range(n):
+                acc += alpha * a[i][k] * b[k][j]
+            tmp[i][j] = acc
+    checksum = 0.0
+    for i in range(n):
+        for j in range(n):
+            acc = d[i][j] * beta
+            for k in range(n):
+                acc += tmp[i][k] * c[k][j]
+            d[i][j] = acc
+            checksum += acc
+    return checksum
+
+
+# -- 3mm: G = (A*B) * (C*D) ----------------------------------------------------
+
+_3MM_SRC = """
+export float kernel(int n) {
+    float[] a = new float[n * n];
+    float[] b = new float[n * n];
+    float[] c = new float[n * n];
+    float[] d = new float[n * n];
+    float[] e = new float[n * n];
+    float[] f = new float[n * n];
+    float[] g = new float[n * n];
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            a[i * n + j] = (float) ((i * j + 1) % n) / (float) n;
+            b[i * n + j] = (float) ((i * j + 2) % n) / (float) n;
+            c[i * n + j] = (float) ((i * j + 3) % n) / (float) n;
+            d[i * n + j] = (float) ((i * j + 4) % n) / (float) n;
+        }
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            float acc = 0.0;
+            for (int k = 0; k < n; k = k + 1) {
+                acc = acc + a[i * n + k] * b[k * n + j];
+            }
+            e[i * n + j] = acc;
+        }
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            float acc = 0.0;
+            for (int k = 0; k < n; k = k + 1) {
+                acc = acc + c[i * n + k] * d[k * n + j];
+            }
+            f[i * n + j] = acc;
+        }
+    }
+    float checksum = 0.0;
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            float acc = 0.0;
+            for (int k = 0; k < n; k = k + 1) {
+                acc = acc + e[i * n + k] * f[k * n + j];
+            }
+            g[i * n + j] = acc;
+            checksum = checksum + acc;
+        }
+    }
+    return checksum;
+}
+"""
+
+
+def _native_3mm(n: int) -> float:
+    a = [[((i * j + 1) % n) / n for j in range(n)] for i in range(n)]
+    b = [[((i * j + 2) % n) / n for j in range(n)] for i in range(n)]
+    c = [[((i * j + 3) % n) / n for j in range(n)] for i in range(n)]
+    d = [[((i * j + 4) % n) / n for j in range(n)] for i in range(n)]
+
+    def mm(x, y):
+        return [
+            [sum(x[i][k] * y[k][j] for k in range(n)) for j in range(n)]
+            for i in range(n)
+        ]
+
+    e = mm(a, b)
+    f = mm(c, d)
+    g = mm(e, f)
+    return sum(sum(row) for row in g)
+
+
+# -- atax: y = A^T (A x) ---------------------------------------------------------
+
+_ATAX_SRC = """
+export float kernel(int n) {
+    float[] a = new float[n * n];
+    float[] x = new float[n];
+    float[] y = new float[n];
+    float[] tmp = new float[n];
+    for (int i = 0; i < n; i = i + 1) {
+        x[i] = 1.0 + (float) i / (float) n;
+        y[i] = 0.0;
+        for (int j = 0; j < n; j = j + 1) {
+            a[i * n + j] = (float) ((i + j) % n) / (float) n;
+        }
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        float acc = 0.0;
+        for (int j = 0; j < n; j = j + 1) {
+            acc = acc + a[i * n + j] * x[j];
+        }
+        tmp[i] = acc;
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            y[j] = y[j] + a[i * n + j] * tmp[i];
+        }
+    }
+    float checksum = 0.0;
+    for (int i = 0; i < n; i = i + 1) { checksum = checksum + y[i]; }
+    return checksum;
+}
+"""
+
+
+def _native_atax(n: int) -> float:
+    a = [[((i + j) % n) / n for j in range(n)] for i in range(n)]
+    x = [1.0 + i / n for i in range(n)]
+    tmp = [sum(a[i][j] * x[j] for j in range(n)) for i in range(n)]
+    y = [0.0] * n
+    for i in range(n):
+        for j in range(n):
+            y[j] += a[i][j] * tmp[i]
+    return sum(y)
+
+
+# -- bicg: s = A^T r ; q = A p ---------------------------------------------------
+
+_BICG_SRC = """
+export float kernel(int n) {
+    float[] a = new float[n * n];
+    float[] r = new float[n];
+    float[] p = new float[n];
+    float[] s = new float[n];
+    float[] q = new float[n];
+    for (int i = 0; i < n; i = i + 1) {
+        r[i] = (float) (i % 7) / 7.0;
+        p[i] = (float) (i % 11) / 11.0;
+        s[i] = 0.0;
+        q[i] = 0.0;
+        for (int j = 0; j < n; j = j + 1) {
+            a[i * n + j] = (float) ((i * (j + 1)) % n) / (float) n;
+        }
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        float acc = 0.0;
+        for (int j = 0; j < n; j = j + 1) {
+            s[j] = s[j] + r[i] * a[i * n + j];
+            acc = acc + a[i * n + j] * p[j];
+        }
+        q[i] = acc;
+    }
+    float checksum = 0.0;
+    for (int i = 0; i < n; i = i + 1) { checksum = checksum + s[i] + q[i]; }
+    return checksum;
+}
+"""
+
+
+def _native_bicg(n: int) -> float:
+    a = [[((i * (j + 1)) % n) / n for j in range(n)] for i in range(n)]
+    r = [(i % 7) / 7.0 for i in range(n)]
+    p = [(i % 11) / 11.0 for i in range(n)]
+    s = [0.0] * n
+    q = [0.0] * n
+    for i in range(n):
+        acc = 0.0
+        for j in range(n):
+            s[j] += r[i] * a[i][j]
+            acc += a[i][j] * p[j]
+        q[i] = acc
+    return sum(s) + sum(q)
+
+
+# -- mvt: x1 += A y1 ; x2 += A^T y2 ---------------------------------------------
+
+_MVT_SRC = """
+export float kernel(int n) {
+    float[] a = new float[n * n];
+    float[] x1 = new float[n];
+    float[] x2 = new float[n];
+    float[] y1 = new float[n];
+    float[] y2 = new float[n];
+    for (int i = 0; i < n; i = i + 1) {
+        x1[i] = (float) (i % 3) / 3.0;
+        x2[i] = (float) (i % 5) / 5.0;
+        y1[i] = (float) (i % 7) / 7.0;
+        y2[i] = (float) (i % 9) / 9.0;
+        for (int j = 0; j < n; j = j + 1) {
+            a[i * n + j] = (float) ((i * j) % n) / (float) n;
+        }
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            x1[i] = x1[i] + a[i * n + j] * y1[j];
+        }
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            x2[i] = x2[i] + a[j * n + i] * y2[j];
+        }
+    }
+    float checksum = 0.0;
+    for (int i = 0; i < n; i = i + 1) { checksum = checksum + x1[i] + x2[i]; }
+    return checksum;
+}
+"""
+
+
+def _native_mvt(n: int) -> float:
+    a = [[((i * j) % n) / n for j in range(n)] for i in range(n)]
+    x1 = [(i % 3) / 3.0 for i in range(n)]
+    x2 = [(i % 5) / 5.0 for i in range(n)]
+    y1 = [(i % 7) / 7.0 for i in range(n)]
+    y2 = [(i % 9) / 9.0 for i in range(n)]
+    for i in range(n):
+        for j in range(n):
+            x1[i] += a[i][j] * y1[j]
+    for i in range(n):
+        for j in range(n):
+            x2[i] += a[j][i] * y2[j]
+    return sum(x1) + sum(x2)
+
+
+# -- trisolv: forward substitution L x = b ---------------------------------------
+
+_TRISOLV_SRC = """
+export float kernel(int n) {
+    float[] l = new float[n * n];
+    float[] b = new float[n];
+    float[] x = new float[n];
+    for (int i = 0; i < n; i = i + 1) {
+        b[i] = (float) (i % 13) / 13.0 + 1.0;
+        for (int j = 0; j <= i; j = j + 1) {
+            l[i * n + j] = (float) ((i + n - j) % n) / (float) n + 1.0;
+        }
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        float acc = b[i];
+        for (int j = 0; j < i; j = j + 1) {
+            acc = acc - l[i * n + j] * x[j];
+        }
+        x[i] = acc / l[i * n + i];
+    }
+    float checksum = 0.0;
+    for (int i = 0; i < n; i = i + 1) { checksum = checksum + x[i]; }
+    return checksum;
+}
+"""
+
+
+def _native_trisolv(n: int) -> float:
+    l = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1):
+            l[i][j] = ((i + n - j) % n) / n + 1.0
+    b = [(i % 13) / 13.0 + 1.0 for i in range(n)]
+    x = [0.0] * n
+    for i in range(n):
+        acc = b[i]
+        for j in range(i):
+            acc -= l[i][j] * x[j]
+        x[i] = acc / l[i][i]
+    return sum(x)
+
+
+# -- cholesky (on a diagonally dominant SPD matrix) -------------------------------
+
+_CHOLESKY_SRC = """
+export float kernel(int n) {
+    float[] a = new float[n * n];
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            a[i * n + j] = 1.0 / (float) (i + j + 1);
+        }
+        a[i * n + i] = a[i * n + i] + (float) n;
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < i; j = j + 1) {
+            float acc = a[i * n + j];
+            for (int k = 0; k < j; k = k + 1) {
+                acc = acc - a[i * n + k] * a[j * n + k];
+            }
+            a[i * n + j] = acc / a[j * n + j];
+        }
+        float diag = a[i * n + i];
+        for (int k = 0; k < i; k = k + 1) {
+            diag = diag - a[i * n + k] * a[i * n + k];
+        }
+        a[i * n + i] = sqrt(diag);
+    }
+    float checksum = 0.0;
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j <= i; j = j + 1) {
+            checksum = checksum + a[i * n + j];
+        }
+    }
+    return checksum;
+}
+"""
+
+
+def _native_cholesky(n: int) -> float:
+    import math
+
+    a = [[1.0 / (i + j + 1) for j in range(n)] for i in range(n)]
+    for i in range(n):
+        a[i][i] += float(n)
+    for i in range(n):
+        for j in range(i):
+            acc = a[i][j]
+            for k in range(j):
+                acc -= a[i][k] * a[j][k]
+            a[i][j] = acc / a[j][j]
+        diag = a[i][i]
+        for k in range(i):
+            diag -= a[i][k] * a[i][k]
+        a[i][i] = math.sqrt(diag)
+    return sum(a[i][j] for i in range(n) for j in range(i + 1))
+
+
+# -- covariance ------------------------------------------------------------------
+
+_COVARIANCE_SRC = """
+export float kernel(int n) {
+    float[] data = new float[n * n];
+    float[] mean = new float[n];
+    float[] cov = new float[n * n];
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            data[i * n + j] = (float) ((i * j + i) % n) / (float) n;
+        }
+    }
+    for (int j = 0; j < n; j = j + 1) {
+        float acc = 0.0;
+        for (int i = 0; i < n; i = i + 1) { acc = acc + data[i * n + j]; }
+        mean[j] = acc / (float) n;
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            data[i * n + j] = data[i * n + j] - mean[j];
+        }
+    }
+    float checksum = 0.0;
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = i; j < n; j = j + 1) {
+            float acc = 0.0;
+            for (int k = 0; k < n; k = k + 1) {
+                acc = acc + data[k * n + i] * data[k * n + j];
+            }
+            cov[i * n + j] = acc / (float) (n - 1);
+            checksum = checksum + cov[i * n + j];
+        }
+    }
+    return checksum;
+}
+"""
+
+
+def _native_covariance(n: int) -> float:
+    data = [[((i * j + i) % n) / n for j in range(n)] for i in range(n)]
+    mean = [sum(data[i][j] for i in range(n)) / n for j in range(n)]
+    for i in range(n):
+        for j in range(n):
+            data[i][j] -= mean[j]
+    checksum = 0.0
+    for i in range(n):
+        for j in range(i, n):
+            acc = 0.0
+            for k in range(n):
+                acc += data[k][i] * data[k][j]
+            checksum += acc / (n - 1)
+    return checksum
+
+
+# -- jacobi-1d -------------------------------------------------------------------
+
+_JACOBI1D_SRC = """
+export float kernel(int n) {
+    float[] a = new float[n];
+    float[] b = new float[n];
+    for (int i = 0; i < n; i = i + 1) {
+        a[i] = ((float) i + 2.0) / (float) n;
+        b[i] = ((float) i + 3.0) / (float) n;
+    }
+    int steps = 50;
+    for (int t = 0; t < steps; t = t + 1) {
+        for (int i = 1; i < n - 1; i = i + 1) {
+            b[i] = 0.33333 * (a[i - 1] + a[i] + a[i + 1]);
+        }
+        for (int i = 1; i < n - 1; i = i + 1) {
+            a[i] = 0.33333 * (b[i - 1] + b[i] + b[i + 1]);
+        }
+    }
+    float checksum = 0.0;
+    for (int i = 0; i < n; i = i + 1) { checksum = checksum + a[i]; }
+    return checksum;
+}
+"""
+
+
+def _native_jacobi1d(n: int) -> float:
+    a = [(i + 2.0) / n for i in range(n)]
+    b = [(i + 3.0) / n for i in range(n)]
+    for _t in range(50):
+        for i in range(1, n - 1):
+            b[i] = 0.33333 * (a[i - 1] + a[i] + a[i + 1])
+        for i in range(1, n - 1):
+            a[i] = 0.33333 * (b[i - 1] + b[i] + b[i + 1])
+    return sum(a)
+
+
+# -- jacobi-2d -------------------------------------------------------------------
+
+_JACOBI2D_SRC = """
+export float kernel(int n) {
+    float[] a = new float[n * n];
+    float[] b = new float[n * n];
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            a[i * n + j] = (float) i * ((float) j + 2.0) / (float) n;
+            b[i * n + j] = (float) i * ((float) j + 3.0) / (float) n;
+        }
+    }
+    int steps = 10;
+    for (int t = 0; t < steps; t = t + 1) {
+        for (int i = 1; i < n - 1; i = i + 1) {
+            for (int j = 1; j < n - 1; j = j + 1) {
+                b[i * n + j] = 0.2 * (a[i * n + j] + a[i * n + j - 1]
+                    + a[i * n + j + 1] + a[(i + 1) * n + j] + a[(i - 1) * n + j]);
+            }
+        }
+        for (int i = 1; i < n - 1; i = i + 1) {
+            for (int j = 1; j < n - 1; j = j + 1) {
+                a[i * n + j] = 0.2 * (b[i * n + j] + b[i * n + j - 1]
+                    + b[i * n + j + 1] + b[(i + 1) * n + j] + b[(i - 1) * n + j]);
+            }
+        }
+    }
+    float checksum = 0.0;
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) { checksum = checksum + a[i * n + j]; }
+    }
+    return checksum;
+}
+"""
+
+
+def _native_jacobi2d(n: int) -> float:
+    a = [[i * (j + 2.0) / n for j in range(n)] for i in range(n)]
+    b = [[i * (j + 3.0) / n for j in range(n)] for i in range(n)]
+    for _t in range(10):
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                b[i][j] = 0.2 * (a[i][j] + a[i][j - 1] + a[i][j + 1]
+                                 + a[i + 1][j] + a[i - 1][j])
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                a[i][j] = 0.2 * (b[i][j] + b[i][j - 1] + b[i][j + 1]
+                                 + b[i + 1][j] + b[i - 1][j])
+    return sum(sum(row) for row in a)
+
+
+# -- floyd-warshall (integer shortest paths) --------------------------------------
+
+_FLOYD_SRC = """
+export float kernel(int n) {
+    int[] path = new int[n * n];
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            path[i * n + j] = (i * j) % 7 + 1;
+            if ((i + j) % 13 == 0 || j % 7 == 0 || i % 5 == 0) {
+                path[i * n + j] = 999;
+            }
+        }
+        path[i * n + i] = 0;
+    }
+    for (int k = 0; k < n; k = k + 1) {
+        for (int i = 0; i < n; i = i + 1) {
+            for (int j = 0; j < n; j = j + 1) {
+                int through = path[i * n + k] + path[k * n + j];
+                if (through < path[i * n + j]) {
+                    path[i * n + j] = through;
+                }
+            }
+        }
+    }
+    int checksum = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) { checksum = checksum + path[i * n + j]; }
+    }
+    return (float) checksum;
+}
+"""
+
+
+def _native_floyd(n: int) -> float:
+    path = [[(i * j) % 7 + 1 for j in range(n)] for i in range(n)]
+    for i in range(n):
+        for j in range(n):
+            if (i + j) % 13 == 0 or j % 7 == 0 or i % 5 == 0:
+                path[i][j] = 999
+        path[i][i] = 0
+    for k in range(n):
+        for i in range(n):
+            for j in range(n):
+                through = path[i][k] + path[k][j]
+                if through < path[i][j]:
+                    path[i][j] = through
+    return float(sum(sum(row) for row in path))
+
+
+# -- lu decomposition -------------------------------------------------------------
+
+_LU_SRC = """
+export float kernel(int n) {
+    float[] a = new float[n * n];
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            a[i * n + j] = (float) ((i * j + 1) % n) / (float) n;
+        }
+        a[i * n + i] = a[i * n + i] + (float) n;
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < i; j = j + 1) {
+            float acc = a[i * n + j];
+            for (int k = 0; k < j; k = k + 1) {
+                acc = acc - a[i * n + k] * a[k * n + j];
+            }
+            a[i * n + j] = acc / a[j * n + j];
+        }
+        for (int j = i; j < n; j = j + 1) {
+            float acc = a[i * n + j];
+            for (int k = 0; k < i; k = k + 1) {
+                acc = acc - a[i * n + k] * a[k * n + j];
+            }
+            a[i * n + j] = acc;
+        }
+    }
+    float checksum = 0.0;
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) { checksum = checksum + a[i * n + j]; }
+    }
+    return checksum;
+}
+"""
+
+
+def _native_lu(n: int) -> float:
+    a = [[((i * j + 1) % n) / n for j in range(n)] for i in range(n)]
+    for i in range(n):
+        a[i][i] += float(n)
+    for i in range(n):
+        for j in range(i):
+            acc = a[i][j]
+            for k in range(j):
+                acc -= a[i][k] * a[k][j]
+            a[i][j] = acc / a[j][j]
+        for j in range(i, n):
+            acc = a[i][j]
+            for k in range(i):
+                acc -= a[i][k] * a[k][j]
+            a[i][j] = acc
+    return sum(sum(row) for row in a)
+
+
+# -- durbin (Toeplitz system solver) ------------------------------------------------
+
+_DURBIN_SRC = """
+export float kernel(int n) {
+    float[] r = new float[n];
+    float[] y = new float[n];
+    float[] z = new float[n];
+    for (int i = 0; i < n; i = i + 1) {
+        r[i] = 1.0 / (float) (i + 2);
+    }
+    y[0] = -r[0];
+    float beta = 1.0;
+    float alpha = -r[0];
+    for (int k = 1; k < n; k = k + 1) {
+        beta = (1.0 - alpha * alpha) * beta;
+        float acc = 0.0;
+        for (int i = 0; i < k; i = i + 1) {
+            acc = acc + r[k - i - 1] * y[i];
+        }
+        alpha = -(r[k] + acc) / beta;
+        for (int i = 0; i < k; i = i + 1) {
+            z[i] = y[i] + alpha * y[k - i - 1];
+        }
+        for (int i = 0; i < k; i = i + 1) {
+            y[i] = z[i];
+        }
+        y[k] = alpha;
+    }
+    float checksum = 0.0;
+    for (int i = 0; i < n; i = i + 1) { checksum = checksum + y[i]; }
+    return checksum;
+}
+"""
+
+
+def _native_durbin(n: int) -> float:
+    r = [1.0 / (i + 2) for i in range(n)]
+    y = [0.0] * n
+    z = [0.0] * n
+    y[0] = -r[0]
+    beta = 1.0
+    alpha = -r[0]
+    for k in range(1, n):
+        beta = (1.0 - alpha * alpha) * beta
+        acc = 0.0
+        for i in range(k):
+            acc += r[k - i - 1] * y[i]
+        alpha = -(r[k] + acc) / beta
+        for i in range(k):
+            z[i] = y[i] + alpha * y[k - i - 1]
+        for i in range(k):
+            y[i] = z[i]
+        y[k] = alpha
+    return sum(y)
+
+
+# -- gemm-like seidel-2d ------------------------------------------------------------
+
+_SEIDEL_SRC = """
+export float kernel(int n) {
+    float[] a = new float[n * n];
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            a[i * n + j] = ((float) i * ((float) j + 2.0) + 2.0) / (float) n;
+        }
+    }
+    int steps = 10;
+    for (int t = 0; t < steps; t = t + 1) {
+        for (int i = 1; i < n - 1; i = i + 1) {
+            for (int j = 1; j < n - 1; j = j + 1) {
+                a[i * n + j] = (a[(i - 1) * n + j - 1] + a[(i - 1) * n + j]
+                    + a[(i - 1) * n + j + 1] + a[i * n + j - 1] + a[i * n + j]
+                    + a[i * n + j + 1] + a[(i + 1) * n + j - 1]
+                    + a[(i + 1) * n + j] + a[(i + 1) * n + j + 1]) / 9.0;
+            }
+        }
+    }
+    float checksum = 0.0;
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) { checksum = checksum + a[i * n + j]; }
+    }
+    return checksum;
+}
+"""
+
+
+def _native_seidel(n: int) -> float:
+    a = [[(i * (j + 2.0) + 2.0) / n for j in range(n)] for i in range(n)]
+    for _t in range(10):
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                a[i][j] = (a[i - 1][j - 1] + a[i - 1][j] + a[i - 1][j + 1]
+                           + a[i][j - 1] + a[i][j] + a[i][j + 1]
+                           + a[i + 1][j - 1] + a[i + 1][j] + a[i + 1][j + 1]) / 9.0
+    return sum(sum(row) for row in a)
+
+
+KERNELS: dict[str, Kernel] = {
+    k.name: k
+    for k in [
+        Kernel("2mm", _2MM_SRC, _native_2mm, default_n=20),
+        Kernel("3mm", _3MM_SRC, _native_3mm, default_n=18),
+        Kernel("atax", _ATAX_SRC, _native_atax, default_n=48),
+        Kernel("bicg", _BICG_SRC, _native_bicg, default_n=48),
+        Kernel("mvt", _MVT_SRC, _native_mvt, default_n=48),
+        Kernel("trisolv", _TRISOLV_SRC, _native_trisolv, default_n=64),
+        Kernel("cholesky", _CHOLESKY_SRC, _native_cholesky, default_n=24),
+        Kernel("covariance", _COVARIANCE_SRC, _native_covariance, default_n=22),
+        Kernel("jacobi-1d", _JACOBI1D_SRC, _native_jacobi1d, default_n=256),
+        Kernel("jacobi-2d", _JACOBI2D_SRC, _native_jacobi2d, default_n=24),
+        Kernel("floyd-warshall", _FLOYD_SRC, _native_floyd, default_n=22),
+        Kernel("lu", _LU_SRC, _native_lu, default_n=24),
+        Kernel("durbin", _DURBIN_SRC, _native_durbin, default_n=96),
+        Kernel("seidel-2d", _SEIDEL_SRC, _native_seidel, default_n=24),
+    ]
+}
+
+
+def run_kernel_in_faaslet(kernel: Kernel, n: int | None = None) -> float:
+    """Compile the kernel, run it inside a Faaslet, return the checksum."""
+    from repro.faaslet import Faaslet, FunctionDefinition
+    from repro.host import StandaloneEnvironment
+    from repro.minilang import build
+
+    definition = FunctionDefinition.build(
+        kernel.name, build(kernel.source), entry="kernel"
+    )
+    faaslet = Faaslet(definition, StandaloneEnvironment())
+    return faaslet.invoke_export("kernel", n or kernel.default_n)
+
+
+def run_kernel_native(kernel: Kernel, n: int | None = None) -> float:
+    """Run the pure-Python mirror of the kernel."""
+    return kernel.native(n or kernel.default_n)

@@ -1,0 +1,112 @@
+"""Map/reduce-style word count on FAASM (§1's motivating workload class).
+
+The paper motivates serverless big data with map/reduce jobs (PyWren,
+IBM-PyWren, Locus). This application runs the canonical example on the
+FAASM runtime using the primitives the paper provides:
+
+* the corpus is published to state in fixed-size *chunks*
+  (``get_state_offset``-style partial reads, Fig. 4);
+* ``wc_map`` workers each count one chunk and publish partial counts;
+* ``wc_reduce`` merges partials under the global write lock;
+* ``wc_main`` chains the whole job (Listing 1's chain/await pattern).
+"""
+
+from __future__ import annotations
+
+import pickle
+import re
+from collections import Counter
+
+from repro.runtime import FaasmCluster, PythonCallContext
+
+CORPUS_KEY = "wc/corpus"
+PARTIAL_PREFIX = "wc/partial"
+RESULT_KEY = "wc/result"
+
+_WORD = re.compile(rb"[a-zA-Z']+")
+
+
+def wc_map(ctx: PythonCallContext) -> None:
+    """Count words in one corpus chunk (plus spill-over of a split word)."""
+    start, length, total_size = ctx.input_object()
+    # Read one byte of left context (to detect a word split across the
+    # leading edge) and a little right overlap (to complete a trailing
+    # word). Chunked state reads make the over-read cheap (Fig. 4).
+    lead = 1 if start > 0 else 0
+    overlap = min(64, total_size - (start + length))
+    view = ctx.state.get_state_offset(
+        CORPUS_KEY, start - lead, lead + length + overlap
+    )
+    data = bytes(view)
+    region = data[lead : lead + length]
+    # A word continuing across the leading edge was already counted by the
+    # previous chunk's trailing extension: drop its remainder.
+    if lead and data[:1].isalpha() and region[:1].isalpha():
+        first_nonword = _WORD.match(region)
+        region = region[first_nonword.end() :] if first_nonword else region
+    # Complete a trailing word from the overlap.
+    if overlap and region and region[-1:].isalpha():
+        tail = data[lead + length :]
+        extra = _WORD.match(tail)
+        if extra:
+            region += extra.group(0)
+    counts = Counter(w.lower().decode() for w in _WORD.findall(region))
+    key = f"{PARTIAL_PREFIX}/{start}"
+    ctx.state.set_state(key, pickle.dumps(dict(counts)))
+    ctx.state.push_state(key)
+    ctx.write_output_object(key)
+
+
+def wc_reduce(ctx: PythonCallContext) -> None:
+    """Merge partial counts into the result under the global write lock."""
+    partial_keys = ctx.input_object()
+    merged: Counter = Counter()
+    for key in partial_keys:
+        ctx.state.pull_state(key)
+        merged.update(pickle.loads(bytes(ctx.state.get_state(key))))
+    ctx.state.lock_state_global_write(RESULT_KEY)
+    try:
+        ctx.state.set_state(RESULT_KEY, pickle.dumps(dict(merged)))
+        ctx.state.push_state(RESULT_KEY)
+    finally:
+        ctx.state.unlock_state_global_write(RESULT_KEY)
+    ctx.write_output_object(len(merged))
+
+
+def wc_main(ctx: PythonCallContext) -> None:
+    """Drive the job: chain mappers over chunks, then one reducer."""
+    chunk_size = ctx.input_object()
+    total = ctx.state.state_size(CORPUS_KEY)
+    shards = [
+        (start, min(chunk_size, total - start), total)
+        for start in range(0, total, chunk_size)
+    ]
+    map_ids = [ctx.chain_object("wc_map", shard) for shard in shards]
+    if any(code != 0 for code in ctx.await_all(map_ids)):
+        raise RuntimeError("a mapper failed")
+    partial_keys = [ctx.call_output_object(cid) for cid in map_ids]
+    reduce_id = ctx.chain_object("wc_reduce", partial_keys)
+    if ctx.await_call(reduce_id) != 0:
+        raise RuntimeError("the reducer failed")
+    ctx.write_output_object(ctx.call_output_object(reduce_id))
+
+
+def setup_wordcount(cluster: FaasmCluster, corpus: bytes) -> None:
+    """Publish the corpus to state and register the job's functions."""
+    cluster.global_state.set_value(CORPUS_KEY, corpus)
+    cluster.register_python("wc_map", wc_map)
+    cluster.register_python("wc_reduce", wc_reduce)
+    cluster.register_python("wc_main", wc_main)
+
+
+def run_wordcount(cluster: FaasmCluster, chunk_size: int = 4096) -> dict[str, int]:
+    """Run the job; returns the merged word counts from state."""
+    code, output = cluster.invoke("wc_main", pickle.dumps(chunk_size), timeout=120)
+    if code != 0:
+        raise RuntimeError(f"word count failed: {output!r}")
+    return pickle.loads(cluster.global_state.get_value(RESULT_KEY))
+
+
+def reference_wordcount(corpus: bytes) -> dict[str, int]:
+    """Single-process mirror for correctness checks."""
+    return dict(Counter(w.lower().decode() for w in _WORD.findall(corpus)))

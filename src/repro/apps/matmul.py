@@ -1,0 +1,122 @@
+"""Distributed divide-and-conquer matrix multiplication (§6.4, Fig. 8).
+
+The paper's benchmark multiplies two square matrices by recursively
+splitting into submatrix products: with a branching factor of 8 (2×2×2
+index split) and depth 2, each multiplication uses **64 leaf multiplication
+functions and 9 merging functions** — exactly the counts in §6.4.
+
+Matrices and every intermediate result live in state; functions pull only
+the column chunks they need. This exercises the filesystem-free path of
+chaining + chunked state the paper highlights.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+
+from repro.runtime import FaasmCluster, PythonCallContext
+from repro.state.api import StateAPI
+from repro.state.ddo import MatrixReadOnly
+from repro.state.kv import StateClient
+from repro.state.local import LocalTier
+
+A_KEY = "mm/a-transposed"  # stored transposed: row blocks = column chunks
+B_KEY = "mm/b"
+RESULT_PREFIX = "mm/partial"
+
+#: Depth-2, branching-8 recursion: 64 leaf multiplications, 9 merges.
+MAX_DEPTH = 2
+
+
+def _halves(lo: int, hi: int) -> list[tuple[int, int]]:
+    mid = (lo + hi) // 2
+    return [(lo, mid), (mid, hi)]
+
+
+def mm_mult(ctx: PythonCallContext) -> None:
+    """Multiply A[rows, inner] × B[inner, cols] into ``out_key``."""
+    depth, rows, inner, cols, out_key = ctx.input_object()
+    if depth == MAX_DEPTH:
+        _leaf_multiply(ctx, rows, inner, cols, out_key)
+        return
+    # Recurse: 8 sub-products, then one merge.
+    partial_keys = []
+    call_ids = []
+    for i, row_half in enumerate(_halves(*rows)):
+        for k, inner_half in enumerate(_halves(*inner)):
+            for j, col_half in enumerate(_halves(*cols)):
+                key = f"{out_key}/p{i}{k}{j}"
+                partial_keys.append((i, k, j, key, row_half, col_half))
+                call_ids.append(
+                    ctx.chain_object(
+                        "mm_mult",
+                        (depth + 1, row_half, inner_half, col_half, key),
+                    )
+                )
+    codes = ctx.await_all(call_ids)
+    if any(code != 0 for code in codes):
+        raise RuntimeError("sub-multiplication failed")
+    merge_id = ctx.chain_object("mm_merge", (rows, cols, partial_keys, out_key))
+    if ctx.await_call(merge_id) != 0:
+        raise RuntimeError("merge failed")
+
+
+def _leaf_multiply(ctx, rows, inner, cols, out_key) -> None:
+    at = ctx.matrix_read_only(A_KEY)
+    b = ctx.matrix_read_only(B_KEY)
+    # A is stored transposed: its rows are AT's columns.
+    a_block = np.asarray(at.columns(*rows)).T[:, inner[0] : inner[1]]
+    b_block = np.asarray(b.columns(*cols))[inner[0] : inner[1], :]
+    product = a_block @ b_block
+    ctx.state.set_state(out_key, product.astype(np.float64).tobytes())
+    ctx.state.push_state(out_key)
+
+
+def mm_merge(ctx: PythonCallContext) -> None:
+    """Sum the 8 sub-products into the (rows × cols) output block."""
+    rows, cols, partial_keys, out_key = ctx.input_object()
+    n_rows = rows[1] - rows[0]
+    n_cols = cols[1] - cols[0]
+    out = np.zeros((n_rows, n_cols))
+    for i, k, j, key, row_half, col_half in partial_keys:
+        block = np.frombuffer(bytes(ctx.state.get_state(key)), dtype=np.float64)
+        r = row_half[1] - row_half[0]
+        c = col_half[1] - col_half[0]
+        block = block.reshape(r, c)
+        r0 = row_half[0] - rows[0]
+        c0 = col_half[0] - cols[0]
+        out[r0 : r0 + r, c0 : c0 + c] += block
+    ctx.state.set_state(out_key, out.tobytes())
+    ctx.state.push_state(out_key)
+
+
+def mm_main(ctx: PythonCallContext) -> None:
+    """The driver: chain the root multiplication and await it."""
+    n = ctx.input_object()
+    call_id = ctx.chain_object("mm_mult", (0, (0, n), (0, n), (0, n), "mm/result"))
+    code = ctx.await_call(call_id)
+    ctx.write_output_object({"ok": code == 0})
+
+
+def setup_matmul(cluster: FaasmCluster, a: np.ndarray, b: np.ndarray) -> None:
+    """Publish the operands and register the functions."""
+    api = StateAPI(LocalTier("setup", StateClient(cluster.global_state)))
+    MatrixReadOnly.create(api, A_KEY, np.ascontiguousarray(a.T))
+    MatrixReadOnly.create(api, B_KEY, b)
+    cluster.register_python("mm_mult", mm_mult)
+    cluster.register_python("mm_merge", mm_merge)
+    cluster.register_python("mm_main", mm_main)
+
+
+def run_matmul(cluster: FaasmCluster, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Distributed multiply; returns the result gathered from state."""
+    n = a.shape[0]
+    if a.shape != (n, n) or b.shape != (n, n) or n % 4 != 0:
+        raise ValueError("operands must be square with size divisible by 4")
+    code, output = cluster.invoke("mm_main", pickle.dumps(n), timeout=300.0)
+    if code != 0:
+        raise RuntimeError(f"matmul failed: {output!r}")
+    raw = cluster.global_state.get_value("mm/result")
+    return np.frombuffer(raw, dtype=np.float64).reshape(n, n)

@@ -1,0 +1,113 @@
+"""Distributed Monte-Carlo π — every function is sandboxed guest code.
+
+Unlike the SGD/matmul applications (host-Python guests standing in for
+CPython workloads), this job runs *entirely inside the VM*: a wasm driver
+chains wasm workers; workers draw randomness through ``getrandom``, count
+in-circle samples, and publish partials through the state API; the driver
+aggregates partials and emits the estimate. It exercises chaining,
+``getrandom``, string keys, per-key state and cross-Faaslet aggregation
+with no host-side application logic at all.
+"""
+
+from __future__ import annotations
+
+
+from repro.minilang.stdlib import with_stdlib
+from repro.runtime import FaasmCluster
+
+WORKER_SRC = with_stdlib(
+    """
+// Input: 8 ASCII digits: 4-digit worker id, 4-digit sample count (x1000).
+export int main() {
+    int buf = read_input_buffer();
+    int worker_id = atoi(buf, 4);
+    int samples = atoi(buf + 4, 4) * 1000;
+
+    int[] rand = new int[2];
+    int hits = 0;
+    for (int i = 0; i < samples; i = i + 1) {
+        getrandom(ptr(rand), 8);
+        // Two random u16 coordinates in [0, 65536).
+        long x = (long) (loadb(ptr(rand)) + loadb(ptr(rand) + 1) * 256);
+        long y = (long) (loadb(ptr(rand) + 4) + loadb(ptr(rand) + 5) * 256);
+        // Inside the quarter circle of radius 65535? (64-bit: x*x would
+        // overflow i32.)
+        if (x * x + y * y <= (long) 65535 * (long) 65535) { hits = hits + 1; }
+    }
+
+    // Publish "<hits> <samples>" under a per-worker key.
+    int[] key = new int[8];
+    memcpy(ptr(key), "pi/part/", slen("pi/part/"));
+    int key_len = slen("pi/part/") + itoa(worker_id, ptr(key) + slen("pi/part/"));
+    int[] val = new int[8];
+    int val_len = itoa(hits, ptr(val));
+    storeb(ptr(val) + val_len, 32);
+    val_len = val_len + 1;
+    val_len = val_len + itoa(samples, ptr(val) + val_len);
+    set_state(ptr(key), key_len, ptr(val), val_len);
+    push_state(ptr(key), key_len);
+    write_call_output(ptr(key), key_len);
+    return 0;
+}
+"""
+)
+
+DRIVER_SRC = with_stdlib(
+    """
+// Input: 8 ASCII digits: 4-digit worker count, 4-digit samples (x1000).
+export int main() {
+    int buf = read_input_buffer();
+    int n_workers = atoi(buf, 4);
+
+    int[] ids = new int[256];
+    int[] arg = new int[2];
+    for (int w = 0; w < n_workers; w = w + 1) {
+        // Worker arg: zero-padded 4-digit id + the 4-digit sample count.
+        storeb(ptr(arg) + 0, 48 + (w / 1000) % 10);
+        storeb(ptr(arg) + 1, 48 + (w / 100) % 10);
+        storeb(ptr(arg) + 2, 48 + (w / 10) % 10);
+        storeb(ptr(arg) + 3, 48 + w % 10);
+        memcpy(ptr(arg) + 4, buf + 4, 4);
+        ids[w] = chain_call("pi_worker", slen("pi_worker"), ptr(arg), 8);
+    }
+
+    int total_hits = 0;
+    int total_samples = 0;
+    for (int w = 0; w < n_workers; w = w + 1) {
+        if (await_call(ids[w]) != 0) { return 1; }
+        int[] kbuf = new int[8];
+        int klen = get_call_output(ids[w], ptr(kbuf), 32);
+        pull_state(ptr(kbuf), klen);
+        int vsize = state_size(ptr(kbuf), klen);
+        int vaddr = get_state(ptr(kbuf), klen, vsize);
+        // Parse "<hits> <samples>".
+        int space = 0;
+        while (space < vsize && loadb(vaddr + space) != 32) { space = space + 1; }
+        total_hits = total_hits + atoi(vaddr, space);
+        total_samples = total_samples + atoi(vaddr + space + 1, vsize - space - 1);
+    }
+
+    // pi ~= 4 * hits / samples; output scaled by 10^6.
+    long pi_scaled = (long) total_hits * (long) 4000000 / (long) total_samples;
+    output_int((int) pi_scaled);
+    return 0;
+}
+"""
+)
+
+
+def setup_montecarlo(cluster: FaasmCluster) -> None:
+    """Upload the wasm driver and worker functions."""
+    cluster.upload("pi_worker", WORKER_SRC, max_pages=64)
+    cluster.upload("pi_driver", DRIVER_SRC, max_pages=64)
+
+
+def estimate_pi(cluster: FaasmCluster, n_workers: int = 4, samples_k: int = 2) -> float:
+    """Run the job; returns the π estimate (workers × samples_k×1000 draws)."""
+    if not 1 <= n_workers <= 256 or not 1 <= samples_k <= 9999:
+        raise ValueError("n_workers in [1,256], samples_k in [1,9999]")
+    payload = f"{n_workers:04d}{samples_k:04d}".encode()
+    code, output = cluster.invoke("pi_driver", payload, timeout=300)
+    if code != 0:
+        raise RuntimeError(f"pi job failed: code {code}")
+    return int(output) / 1e6

@@ -1,0 +1,148 @@
+"""Distributed SGD with HOGWILD! on the FAASM runtime (§6.2, Listing 1).
+
+This is the real-layer implementation: it runs on a
+:class:`~repro.runtime.FaasmCluster` with genuine numpy compute, DDO state
+access and chained calls. The structure mirrors Listing 1 exactly:
+
+* ``sgd_main`` divides the examples among ``n_workers`` and chains
+  ``weight_update`` calls per epoch, awaiting each batch;
+* ``weight_update`` reads its column range from ``SparseMatrixReadOnly``
+  DDOs (pulling only the needed chunks), updates the shared ``VectorAsync``
+  weights **in place without locks** (HOGWILD tolerates the races), and
+  pushes the vector to the global tier periodically.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runtime import FaasmCluster, PythonCallContext
+from repro.state.ddo import MatrixReadOnly, SparseMatrixReadOnly, VectorAsync
+
+from .data import SparseDataset
+
+FEATURES_KEY = "sgd/features"
+LABELS_KEY = "sgd/labels"
+WEIGHTS_KEY = "sgd/weights"
+
+
+@dataclass
+class SGDConfig:
+    n_workers: int = 4
+    n_epochs: int = 3
+    learning_rate: float = 0.1
+    #: Push the local weight replica to the global tier every N examples.
+    push_interval: int = 256
+
+
+def hinge_gradient_update(
+    columns, labels: np.ndarray, weights: np.ndarray, lr: float, push_every: int, push
+) -> int:
+    """SGD over a column range with hinge loss, HOGWILD-style.
+
+    ``columns`` is a CSC matrix (features × examples); ``weights`` is the
+    live local replica view; ``push`` is invoked every ``push_every``
+    examples, as ``weights.push()`` is in Listing 1 (line 13).
+    """
+    updates = 0
+    for i in range(columns.shape[1]):
+        col = columns.getcol(i)
+        margin = labels[i] * float(col.T.dot(weights)[0])
+        if margin < 1.0:
+            # Sub-gradient step on the support vectors only.
+            weights[col.indices] += lr * labels[i] * col.data
+            updates += 1
+        if push_every and (i + 1) % push_every == 0:
+            push()
+    return updates
+
+
+def weight_update(ctx: PythonCallContext) -> None:
+    """One worker: Listing 1's ``weight_update`` function."""
+    args = ctx.input_object()
+    start, end, lr, push_interval, n_features = args
+    features = ctx.sparse_matrix_read_only(FEATURES_KEY)
+    labels_matrix = ctx.matrix_read_only(LABELS_KEY)
+    weights = ctx.vector_async(WEIGHTS_KEY, n_features)
+
+    columns = features.columns(start, end)
+    labels = np.asarray(labels_matrix.columns(start, end)).ravel()
+    updates = hinge_gradient_update(
+        columns, labels, weights.array, lr, push_interval, weights.push
+    )
+    weights.push()
+    ctx.write_output_object(updates)
+
+
+def sgd_main(ctx: PythonCallContext) -> None:
+    """The driver: Listing 1's ``sgd_main``."""
+    config: SGDConfig
+    config, n_examples, n_features = ctx.input_object()
+    for _epoch in range(config.n_epochs):
+        shards = divide_problem(n_examples, config.n_workers)
+        call_ids = [
+            ctx.chain_object(
+                "weight_update",
+                (start, end, config.learning_rate, config.push_interval, n_features),
+            )
+            for start, end in shards
+        ]
+        codes = ctx.await_all(call_ids)
+        if any(code != 0 for code in codes):
+            ctx.write_output_object({"error": "worker failed"})
+            return
+    ctx.write_output_object({"epochs": config.n_epochs})
+
+
+def divide_problem(n_examples: int, n_workers: int) -> list[tuple[int, int]]:
+    """Split [0, n_examples) into ``n_workers`` contiguous column ranges."""
+    base = n_examples // n_workers
+    extra = n_examples % n_workers
+    shards = []
+    start = 0
+    for w in range(n_workers):
+        size = base + (1 if w < extra else 0)
+        shards.append((start, start + size))
+        start += size
+    return [s for s in shards if s[1] > s[0]]
+
+
+def setup_sgd(cluster: FaasmCluster, dataset: SparseDataset) -> None:
+    """Publish the dataset to the global tier and register the functions."""
+    from repro.state.api import StateAPI
+    from repro.state.kv import StateClient
+    from repro.state.local import LocalTier
+
+    api = StateAPI(LocalTier("setup", StateClient(cluster.global_state)))
+    SparseMatrixReadOnly.create(api, FEATURES_KEY, dataset.features)
+    MatrixReadOnly.create(api, LABELS_KEY, dataset.labels.reshape(1, -1))
+    VectorAsync.create(api, WEIGHTS_KEY, np.zeros(dataset.n_features))
+    cluster.register_python("weight_update", weight_update)
+    cluster.register_python("sgd_main", sgd_main)
+
+
+def run_sgd(
+    cluster: FaasmCluster, dataset: SparseDataset, config: SGDConfig
+) -> dict:
+    """Train; returns summary metrics including final training accuracy."""
+    code, output = cluster.invoke(
+        "sgd_main",
+        pickle.dumps((config, dataset.n_examples, dataset.n_features)),
+        timeout=300.0,
+    )
+    if code != 0:
+        raise RuntimeError(f"sgd_main failed: {output!r}")
+    weights = np.frombuffer(
+        cluster.global_state.get_value(WEIGHTS_KEY), dtype=np.float64
+    )
+    predictions = np.sign(dataset.features.T @ weights)
+    predictions[predictions == 0] = 1.0
+    accuracy = float(np.mean(predictions == dataset.labels))
+    return {
+        "accuracy": accuracy,
+        "network_bytes": cluster.total_network_bytes(),
+        "result": pickle.loads(output),
+    }

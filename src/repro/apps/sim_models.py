@@ -1,0 +1,327 @@
+"""Simulated workload models for the cluster-scale experiments.
+
+Each builder returns platform-independent :class:`SimFunction` workloads
+plus a driver that runs the experiment against any platform model. The
+parameters are the paper's (§6.1–§6.4): RCV1-scale data for SGD,
+MobileNet-scale models for inference, square matrices for matmul.
+
+Key modelling choices (and why they match the paper's mechanics):
+
+* **SGD (Fig. 6)** — each epoch assigns every worker a contiguous, randomly
+  offset column range (Listing 1's ``idx_a:idx_b``). Ranges are fetched at
+  *chunk* granularity, so more workers ⇒ more boundary over-fetch. Workers
+  read the shared weights, compute proportionally to their non-zeros, and
+  emit weight updates every ``push_interval`` examples with ``push=False``:
+  FAASM batches them in the local tier (flushed per host per epoch), the
+  container baseline must ship every one. Containers privately accumulate
+  every chunk they ever read — the memory-pressure mechanism that OOMs
+  Knative beyond ~30 parallel functions.
+* **Inference (Fig. 7)** — open-loop Poisson-ish arrivals at a target rate;
+  a configurable fraction of requests hits a *fresh* function identity
+  (each user's first request cold-starts, §6.3). The model weights are one
+  state value shared per host under FAASM and duplicated per container
+  under Knative; inference compute pays the wasm slowdown under FAASM
+  (the paper's TFLite-to-wasm overhead).
+* **Matmul (Fig. 8)** — depth-2, branch-8 divide and conquer: 64 leaf
+  multiplications + 9 merges, operands and intermediates in state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.workload import (
+    Await,
+    Chain,
+    Compute,
+    LoadExternal,
+    SimFunction,
+    StateRead,
+    StateWrite,
+)
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+
+# ----------------------------------------------------------------------
+# SGD (Fig. 6)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SGDModelParams:
+    """RCV1-scale defaults (§6.2)."""
+
+    n_examples: int = 800_000
+    n_features: int = 47_236
+    #: Bytes per example across the training data as stored in the state
+    #: tier (sparse values + indices + per-example framing).
+    bytes_per_example: int = 4_500
+    n_epochs: int = 20
+    #: Chunk granularity of the training matrix in the state tier.
+    n_chunks: int = 32
+    #: Examples between weight-update pushes.
+    push_interval: int = 1_000
+    #: FLOPs per training example and per-core compute rate (includes the
+    #: interpreter overhead of running the model code under CPython).
+    flops_per_example: float = 50_000.0
+    host_flops: float = 2.0e9
+
+    @property
+    def dataset_bytes(self) -> int:
+        return self.n_examples * self.bytes_per_example
+
+    @property
+    def chunk_bytes(self) -> int:
+        return self.dataset_bytes // self.n_chunks
+
+    @property
+    def weights_bytes(self) -> int:
+        return self.n_features * 8
+
+
+def build_sgd_worker(params: SGDModelParams) -> SimFunction:
+    """The ``weight_update`` worker as a simulated workload."""
+
+    def body(arg):
+        epoch, start_example, n_worker_examples = arg
+        # Chunks covering the worker's contiguous example range.
+        first_chunk = (start_example * params.n_chunks) // params.n_examples
+        last_example = start_example + n_worker_examples - 1
+        last_chunk = (last_example * params.n_chunks) // params.n_examples
+        for chunk in range(first_chunk, last_chunk + 1):
+            yield StateRead(f"train-chunk-{chunk % params.n_chunks}", params.chunk_bytes)
+        yield StateRead("weights", params.weights_bytes)
+        n_pushes = max(1, n_worker_examples // params.push_interval)
+        compute_per_push = (
+            n_worker_examples * params.flops_per_example / params.host_flops / n_pushes
+        )
+        for _ in range(n_pushes):
+            yield Compute(compute_per_push)
+            yield StateWrite("weights", params.weights_bytes, push=False)
+
+    return SimFunction(
+        "weight_update",
+        body,
+        working_set=2 * MB,
+        init_cost_s=1.0,  # CPython + numpy startup inside a fresh container
+        snapshot_init=True,
+    )
+
+
+def sgd_epoch_args(params: SGDModelParams, n_workers: int, epoch: int) -> list[tuple]:
+    """Contiguous ranges with a per-epoch pseudo-random rotation
+    (Listing 1: workers get randomly assigned column subsets)."""
+    offset = (epoch * 2654435761) % params.n_examples
+    per_worker = params.n_examples // n_workers
+    return [
+        (epoch, (offset + w * per_worker) % params.n_examples, per_worker)
+        for w in range(n_workers)
+    ]
+
+
+def run_sgd_experiment(platform, params: SGDModelParams, n_workers: int) -> dict:
+    """Drive the full training job; returns the Fig. 6 row for this point."""
+    worker = build_sgd_worker(params)
+
+    def dispatcher_body(args_list):
+        # Listing 1's sgd_main: chain all workers, then await them — so each
+        # platform pays its own chaining cost (message bus vs HTTP API).
+        handles = []
+        for worker_args in args_list:
+            handle = yield Chain(worker, worker_args)
+            handles.append(handle)
+        yield Await(tuple(handles))
+
+    dispatcher = SimFunction("sgd_main", dispatcher_body, working_set=MB)
+
+    env = platform.env
+    start = env.now
+    failed = False
+    for epoch in range(params.n_epochs):
+        platform.invoke(dispatcher, sgd_epoch_args(params, n_workers, epoch))
+        env.run()
+        if platform.metrics.failures:
+            failed = True
+            break
+        # End of epoch: hosts flush their batched weight updates (FAASM's
+        # per-host batching; a no-op for the container baseline).
+        env.run_process(platform.flush_dirty())
+    duration = env.now - start
+    peak_mem = max(h.mem_peak for h in platform.cluster.hosts)
+    return {
+        "workers": n_workers,
+        "duration_s": duration,
+        "network_gb": platform.cluster.total_transferred_gb(),
+        "billable_gb_s": platform.metrics.billable.gb_seconds,
+        "peak_host_memory_gb": peak_mem / GB,
+        "oom": failed,
+        "cold_starts": platform.metrics.cold_starts,
+    }
+
+
+# ----------------------------------------------------------------------
+# Inference serving (Fig. 7)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class InferenceModelParams:
+    """MobileNet-scale serving (§6.3)."""
+
+    model_bytes: int = 16 * MB
+    image_bytes: int = 150_000
+    #: Native single-image inference latency (MobileNet-class CPU cost).
+    inference_s: float = 0.085
+    duration_s: float = 30.0
+
+    def make_function(self, identity: str) -> SimFunction:
+        params = self
+
+        def body(arg):
+            yield LoadExternal(params.image_bytes)
+            yield StateRead("model", params.model_bytes, once_per_unit=True)
+            yield Compute(params.inference_s)
+
+        return SimFunction(
+            f"classify-{identity}",
+            body,
+            working_set=4 * MB,
+            init_cost_s=2.0,  # loading TFLite + MobileNet in a container
+            snapshot_init=True,
+        )
+
+
+def run_inference_experiment(
+    platform,
+    params: InferenceModelParams,
+    rate_per_s: float,
+    cold_ratio: float,
+) -> dict:
+    """Open-loop load at ``rate_per_s`` with ``cold_ratio`` of requests
+    arriving from fresh users (= fresh function identities, §6.3)."""
+    env = platform.env
+    warm_fn = params.make_function("shared")
+    n_requests = max(1, int(rate_per_s * params.duration_s))
+    interval = 1.0 / rate_per_s
+    cold_period = int(1 / cold_ratio) if cold_ratio > 0 else 0
+    handles = []
+
+    def load_generator(env):
+        for i in range(n_requests):
+            if cold_period and i % cold_period == 0:
+                fn = params.make_function(f"user-{i}")
+            else:
+                fn = warm_fn
+            handles.append(platform.invoke(fn))
+            yield env.timeout(interval)
+
+    env.process(load_generator(env))
+    env.run()
+    latencies = platform.metrics.latency
+    return {
+        "rate": rate_per_s,
+        "cold_ratio": cold_ratio,
+        "requests": latencies.count,
+        "median_latency_s": latencies.median(),
+        "p99_latency_s": latencies.p(99),
+        "latencies": list(latencies.samples),
+    }
+
+
+# ----------------------------------------------------------------------
+# Distributed matmul (Fig. 8)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class MatmulModelParams:
+    n: int = 1000
+    host_flops: float = 4.0e9  # numpy BLAS-ish per-core rate
+
+    @property
+    def leaf_rows(self) -> int:
+        return self.n // 4
+
+    def block_bytes(self, rows: int, cols: int) -> int:
+        return rows * cols * 8
+
+
+def build_matmul_workload(params: MatmulModelParams) -> SimFunction:
+    """Depth-2 branch-8 divide and conquer: 64 leaf mults, 9 merges."""
+    n = params.n
+    q = n // 4  # leaf block edge
+    leaf_flops = 2.0 * q * q * (n // 2)
+    leaf_compute = leaf_flops / params.host_flops
+    leaf_in = params.block_bytes(q, n // 2)
+    leaf_out = params.block_bytes(q, q)
+
+    def leaf_body(arg):
+        key = arg
+        yield StateRead(f"A{key}", leaf_in)
+        yield StateRead(f"B{key}", leaf_in)
+        yield Compute(leaf_compute)
+        # The leaf's output block is (q x q); stored as intermediate state.
+        yield StateWrite(f"R{key}", leaf_out, push=True)
+
+    leaf = SimFunction("mm-leaf", leaf_body, working_set=3 * leaf_in)
+
+    def merge_body(arg):
+        prefix, child_edge = arg
+        child_bytes = params.block_bytes(child_edge, child_edge)
+        for idx in range(8):
+            yield StateRead(f"R{prefix}/{idx}", child_bytes)
+        yield Compute(8 * child_edge * child_edge / params.host_flops)
+        yield StateWrite(
+            f"R{prefix}", params.block_bytes(2 * child_edge, 2 * child_edge),
+            push=True,
+        )
+
+    merge = SimFunction(
+        "mm-merge",
+        merge_body,
+        working_set=2 * leaf_out,
+        # The shared-state scheduler co-locates merges with the partial
+        # results its leaves just produced — this is where FAASM's network
+        # saving on intermediate results comes from (§6.4).
+        locality=lambda arg: [f"R{arg[0]}/{idx}" for idx in range(8)],
+    )
+
+    def mult_body(arg):
+        depth, prefix = arg
+        handles = []
+        for idx in range(8):
+            if depth + 1 == 2:
+                handle = yield Chain(leaf, f"{prefix}/{idx}")
+            else:
+                handle = yield Chain(mult, (depth + 1, f"{prefix}/{idx}"))
+            handles.append(handle)
+        yield Await(tuple(handles))
+        child_edge = q if depth + 1 == 2 else 2 * q
+        merge_handle = yield Chain(merge, (prefix, child_edge))
+        yield Await((merge_handle,))
+
+    mult = SimFunction("mm-mult", mult_body, working_set=1 * MB)
+    return mult
+
+
+def run_matmul_experiment(platform, params: MatmulModelParams, warm: bool = True) -> dict:
+    """Run the job; with ``warm=True`` a throwaway run first populates the
+    platform's warm pools (the paper benchmarks repeated executions, so
+    container cold starts are off the measured path)."""
+    workload = build_matmul_workload(params)
+    if warm:
+        platform.invoke(workload, (0, "w"))
+        platform.env.run()
+    calls_before = platform.metrics.latency.count
+    bytes_before = platform.cluster.network.totals.bytes_total
+    start = platform.env.now
+    platform.invoke(workload, (0, "r"))
+    platform.env.run()
+    return {
+        "n": params.n,
+        "duration_s": platform.env.now - start,
+        "network_gb": (platform.cluster.network.totals.bytes_total - bytes_before) / 1e9,
+        "calls": platform.metrics.latency.count - calls_before,
+    }

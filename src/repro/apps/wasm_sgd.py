@@ -1,0 +1,111 @@
+"""Listing 1 executed *entirely inside the sandbox*: wasm HOGWILD SGD.
+
+``repro.apps.sgd`` reproduces the paper's SGD workload with host-Python
+guests (the CPython substitution). This module goes further: the
+``weight_update`` worker is minilang compiled to the VM, and — exactly as
+§3.3/§4.2 describe — co-located workers map the *same* weights replica
+into their linear memories and race lock-free, HOGWILD-style, on the
+shared region. No host-side application code touches the math.
+
+Linear regression with squared loss keeps the guest arithmetic simple:
+
+    w <- w - lr * (w.x_i - y_i) * x_i
+
+Dataset layout in state (all float64):
+    ``wsgd/X``  — features, row-major (n x d)
+    ``wsgd/y``  — targets (n)
+    ``wsgd/w``  — the shared weight vector (d)
+
+Worker input: ASCII ``<start:5><end:5><n:5><d:5><lr_micros:7><epochs:3>``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.minilang.stdlib import with_stdlib
+from repro.runtime import FaasmCluster
+
+X_KEY = "wsgd/X"
+Y_KEY = "wsgd/y"
+W_KEY = "wsgd/w"
+
+WORKER_SRC = with_stdlib(
+    """
+export int main() {
+    int buf = read_input_buffer();
+    int start = atoi(buf, 5);
+    int end = atoi(buf + 5, 5);
+    int n = atoi(buf + 10, 5);
+    int d = atoi(buf + 15, 5);
+    float lr = (float) atoi(buf + 20, 7) / 1000000.0;
+    int epochs = atoi(buf + 27, 3);
+
+    // Map the dataset and the SHARED weights replica into linear memory.
+    // Co-located workers all map the same backing region for w: their
+    // updates interleave lock-free (HOGWILD tolerates the races).
+    float[] x = farr(get_state("wsgd/X", slen("wsgd/X"), n * d * 8));
+    float[] y = farr(get_state("wsgd/y", slen("wsgd/y"), n * 8));
+    float[] w = farr(get_state("wsgd/w", slen("wsgd/w"), d * 8));
+
+    for (int e = 0; e < epochs; e += 1) {
+        for (int i = start; i < end; i += 1) {
+            float pred = 0.0;
+            int row = i * d;
+            for (int j = 0; j < d; j += 1) {
+                pred += w[j] * x[row + j];
+            }
+            float err = pred - y[i];
+            for (int j = 0; j < d; j += 1) {
+                w[j] -= lr * err * x[row + j];
+            }
+        }
+    }
+    // Publish this host's replica (batched: once per worker, §4.1).
+    push_state("wsgd/w", slen("wsgd/w"));
+    return 0;
+}
+"""
+)
+
+
+def setup_wasm_sgd(cluster: FaasmCluster, features: np.ndarray, targets: np.ndarray) -> None:
+    """Publish the dataset and upload the sandboxed worker."""
+    n, d = features.shape
+    cluster.global_state.set_value(X_KEY, np.ascontiguousarray(features, dtype=np.float64).tobytes())
+    cluster.global_state.set_value(Y_KEY, np.asarray(targets, dtype=np.float64).tobytes())
+    cluster.global_state.set_value(W_KEY, np.zeros(d).tobytes())
+    cluster.upload("wsgd_worker", WORKER_SRC, max_pages=256)
+
+
+def run_wasm_sgd(
+    cluster: FaasmCluster,
+    n: int,
+    d: int,
+    n_workers: int = 4,
+    epochs: int = 3,
+    lr: float = 0.01,
+) -> np.ndarray:
+    """Train with ``n_workers`` concurrent sandboxed workers; returns w."""
+    if not 0 < lr < 1:
+        raise ValueError("lr must be in (0, 1)")
+    per = n // n_workers
+    call_ids = []
+    for w in range(n_workers):
+        start = w * per
+        end = n if w == n_workers - 1 else (w + 1) * per
+        payload = f"{start:05d}{end:05d}{n:05d}{d:05d}{int(lr * 1e6):07d}{epochs:03d}"
+        call_ids.append(cluster.dispatch("wsgd_worker", payload.encode()))
+    for cid in call_ids:
+        if cluster.calls.wait(cid, timeout=600) != 0:
+            raise RuntimeError(f"worker call {cid} failed")
+    return np.frombuffer(cluster.global_state.get_value(W_KEY), dtype=np.float64)
+
+
+def make_linear_dataset(n: int = 200, d: int = 8, noise: float = 0.01, seed: int = 11):
+    """A small synthetic linear-regression problem."""
+    rng = np.random.default_rng(seed)
+    features = rng.normal(0, 1, (n, d)) / np.sqrt(d)
+    true_w = rng.normal(0, 1, d)
+    targets = features @ true_w + rng.normal(0, noise, n)
+    return features, targets, true_w

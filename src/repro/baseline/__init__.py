@@ -1,0 +1,41 @@
+"""``repro.baseline`` — container/Knative baseline models.
+
+The comparison side of every experiment: a calibrated container cost model
+(:mod:`repro.baseline.container`) and a Knative-like platform interpreter
+(:mod:`repro.baseline.knative`) running the same workloads as the FAASM
+model with data-shipping semantics.
+"""
+
+from .container import (
+    CONTAINER_INIT_CPU_CYCLES,
+    CONTAINER_INIT_S,
+    CONTAINER_PSS,
+    CONTAINER_RSS,
+    CONTAINER_SERIAL_SETUP_S,
+    ChurnModel,
+    ContainerModel,
+    KNATIVE_CONTAINER_OVERHEAD,
+    PYTHON_CONTAINER_INIT_S,
+    docker_churn_model,
+    faaslet_churn_model,
+    proto_faaslet_churn_model,
+)
+from .knative import HTTP_CHAIN_LATENCY_S, KnativeSimPlatform, SimContainer
+
+__all__ = [
+    "CONTAINER_INIT_CPU_CYCLES",
+    "CONTAINER_INIT_S",
+    "CONTAINER_PSS",
+    "CONTAINER_RSS",
+    "CONTAINER_SERIAL_SETUP_S",
+    "ChurnModel",
+    "ContainerModel",
+    "HTTP_CHAIN_LATENCY_S",
+    "KNATIVE_CONTAINER_OVERHEAD",
+    "KnativeSimPlatform",
+    "PYTHON_CONTAINER_INIT_S",
+    "SimContainer",
+    "docker_churn_model",
+    "faaslet_churn_model",
+    "proto_faaslet_churn_model",
+]

@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands::
+
+    run <file.ml|file.wat> [--entry NAME] [--input TEXT] [--arg N ...]
+        Compile (minilang) or assemble (WAT), validate, and execute the
+        module inside a Faaslet; prints output/result and exit code.
+
+    disasm <file.ml|file.wat|file.obj>
+        Print the module's text-format disassembly.
+
+    objdump <file.obj>
+        Summarise an object file (sections, functions, metadata).
+
+    kernels [--n SIZE]
+        Run the Polybench suite in the sandbox and vs native, printing the
+        Fig. 9a-style ratio table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _load_module(path: str):
+    from repro.minilang import build as build_minilang
+    from repro.wasm import parse_module, validate_module
+    from repro.wasm.objectfile import read_object
+
+    if path.endswith(".obj"):
+        with open(path, "rb") as f:
+            module, compiled, meta = read_object(f.read())
+        return module, compiled, meta
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    if path.endswith(".wat"):
+        module = parse_module(text)
+        validate_module(module)
+    else:
+        module = build_minilang(text)
+    return module, None, {}
+
+
+def cmd_run(args) -> int:
+    """``repro run``: execute a guest in a Faaslet."""
+    from repro.faaslet import Faaslet, FunctionDefinition
+    from repro.host import StandaloneEnvironment
+    from repro.wasm.codegen import compile_module
+
+    module, compiled, meta = _load_module(args.file)
+    definition = FunctionDefinition(
+        name=args.file,
+        module=module,
+        compiled=compiled if compiled is not None else compile_module(module),
+        entry=args.entry or meta.get("entry", "main"),
+    )
+    faaslet = Faaslet(definition, StandaloneEnvironment())
+    start = time.perf_counter()
+    if args.arg:
+        result = faaslet.invoke_export(definition.entry, *args.arg)
+        elapsed = time.perf_counter() - start
+        print(f"result: {result}")
+        code = 0
+    else:
+        code, output = faaslet.call((args.input or "").encode())
+        elapsed = time.perf_counter() - start
+        if output:
+            sys.stdout.buffer.write(output)
+            if not output.endswith(b"\n"):
+                print()
+        print(f"exit code: {code}")
+    print(
+        f"[{elapsed * 1e3:.2f} ms, "
+        f"{faaslet.instance.instructions_executed:,} guest instructions]",
+        file=sys.stderr,
+    )
+    return code
+
+
+def cmd_disasm(args) -> int:
+    """``repro disasm``: print the module's text form."""
+    from repro.wasm.printer import print_module
+
+    module, _, _ = _load_module(args.file)
+    print(print_module(module))
+    return 0
+
+
+def cmd_objdump(args) -> int:
+    """``repro objdump``: summarise an object file."""
+    module, compiled, meta = _load_module(args.file)
+    if compiled is None:
+        print("not an object file (use disasm for sources)", file=sys.stderr)
+        return 1
+    print(f"object file: {args.file}")
+    print(f"  meta: {meta}")
+    print(f"  imports: {len(module.imports)}")
+    for imp in module.imports:
+        print(f"    {imp.module}.{imp.name} {imp.type}")
+    mem = module.memory.limits if module.memory else None
+    print(f"  memory: {mem.minimum if mem else 0} pages"
+          + (f" (max {mem.maximum})" if mem and mem.maximum else ""))
+    print(f"  globals: {len(module.globals_)}, data segments: {len(module.data)}")
+    print(f"  functions ({len(compiled)}):")
+    for i, fn in enumerate(compiled):
+        exported = next(
+            (e.name for e in module.exports
+             if e.kind == "func" and e.index == len(module.imports) + i),
+            None,
+        )
+        marker = f" [export {exported!r}]" if exported else ""
+        print(f"    {fn.name or i}: {fn.type} "
+              f"{len(fn.code)} instrs, {fn.n_locals} locals{marker}")
+    return 0
+
+
+def cmd_kernels(args) -> int:
+    """``repro kernels``: Polybench suite, sandbox vs native."""
+    from repro.apps.kernels import KERNELS, run_kernel_in_faaslet, run_kernel_native
+
+    print(f"{'kernel':<16}{'sandboxed':>12}{'native':>12}{'ratio':>8}")
+    for name in sorted(KERNELS):
+        kernel = KERNELS[name]
+        n = args.n or kernel.default_n
+        t0 = time.perf_counter()
+        sandboxed = run_kernel_in_faaslet(kernel, n)
+        t_sand = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        native = run_kernel_native(kernel, n)
+        t_nat = time.perf_counter() - t0
+        status = "" if abs(sandboxed - native) < 1e-9 * max(1, abs(native)) else "  MISMATCH"
+        print(f"{name:<16}{t_sand * 1e3:>10.1f}ms{t_nat * 1e3:>10.2f}ms"
+              f"{t_sand / t_nat:>8.1f}{status}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Faasm-reproduction toolchain"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="compile and execute in a Faaslet")
+    p_run.add_argument("file")
+    p_run.add_argument("--entry", help="exported function (default: main)")
+    p_run.add_argument("--input", help="call input passed to the guest")
+    p_run.add_argument("--arg", type=int, action="append",
+                       help="invoke entry with integer args instead of call I/O")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_dis = sub.add_parser("disasm", help="print text-format disassembly")
+    p_dis.add_argument("file")
+    p_dis.set_defaults(fn=cmd_disasm)
+
+    p_obj = sub.add_parser("objdump", help="summarise an object file")
+    p_obj.add_argument("file")
+    p_obj.set_defaults(fn=cmd_objdump)
+
+    p_k = sub.add_parser("kernels", help="run the Polybench suite")
+    p_k.add_argument("--n", type=int, help="problem size override")
+    p_k.set_defaults(fn=cmd_kernels)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""``repro.faaslet`` — the Faaslet isolation abstraction (§3).
+
+Exports the Faaslet itself, function definitions (upload-time artifacts),
+shared memory regions, Proto-Faaslet snapshots, CPU cgroups and network
+namespaces.
+"""
+
+from .cgroup import CGroupMember, CpuCgroup, DEFAULT_PERIOD_FUEL
+from .faaslet import (
+    DEFAULT_MAX_PAGES,
+    ENTRY_EXPORT,
+    Faaslet,
+    FaasletExecutionError,
+    FunctionDefinition,
+)
+from .netns import (
+    AF_INET,
+    AF_INET6,
+    AF_UNIX,
+    SOCK_DGRAM,
+    SOCK_STREAM,
+    NetworkNamespace,
+    NetworkPolicyError,
+    TokenBucket,
+    VirtualInterface,
+)
+from .sharing import SharedRegion
+from .snapshot import ProtoFaaslet, SnapshotError
+
+__all__ = [
+    "AF_INET",
+    "AF_INET6",
+    "AF_UNIX",
+    "CGroupMember",
+    "CpuCgroup",
+    "DEFAULT_MAX_PAGES",
+    "DEFAULT_PERIOD_FUEL",
+    "ENTRY_EXPORT",
+    "Faaslet",
+    "FaasletExecutionError",
+    "FunctionDefinition",
+    "NetworkNamespace",
+    "NetworkPolicyError",
+    "ProtoFaaslet",
+    "SOCK_DGRAM",
+    "SOCK_STREAM",
+    "SharedRegion",
+    "SnapshotError",
+    "TokenBucket",
+    "VirtualInterface",
+]

@@ -1,0 +1,106 @@
+"""CPU isolation: a cgroup/CFS-like fair-share accounting layer (§3.1).
+
+In the paper every Faaslet's thread joins a Linux cgroup with an equal CPU
+share and the kernel's CFS enforces fairness. Our substrate has no kernel,
+but the wasm interpreter meters *fuel* (instructions); this module turns
+fuel into the same two guarantees:
+
+* **accounting** — each member's consumed CPU (instructions) is tracked, so
+  the runtime and the benchmarks can observe per-Faaslet CPU usage;
+* **enforcement** — before each invocation a member is granted a fuel
+  quantum proportional to its share; a function that exceeds its quantum
+  traps with :class:`~repro.wasm.errors.OutOfFuel` and must be rescheduled,
+  so a runaway guest cannot monopolise the executor — the CFS-analogue of
+  involuntary preemption at quantum granularity.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+#: Default fuel quantum granted per scheduling period to a share-1 member.
+DEFAULT_PERIOD_FUEL = 2_000_000
+
+
+@dataclass
+class CGroupMember:
+    """Accounting record for one Faaslet inside a cgroup."""
+
+    name: str
+    shares: int = 1
+    cpu_used: int = 0
+    quantum_grants: int = 0
+    throttled: int = 0
+
+
+class CpuCgroup:
+    """A CPU cgroup: fair fuel quanta for its members.
+
+    The quantum for a member is ``period_fuel * shares / total_shares`` —
+    the same proportional-share arithmetic as ``cpu.shares``.
+    """
+
+    def __init__(self, name: str, period_fuel: int = DEFAULT_PERIOD_FUEL):
+        self.name = name
+        self.period_fuel = period_fuel
+        self._members: dict[str, CGroupMember] = {}
+        self._mutex = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def add_member(self, name: str, shares: int = 1) -> CGroupMember:
+        if shares <= 0:
+            raise ValueError("shares must be positive")
+        with self._mutex:
+            if name in self._members:
+                raise ValueError(f"member {name!r} already in cgroup {self.name!r}")
+            member = CGroupMember(name, shares)
+            self._members[name] = member
+            return member
+
+    def remove_member(self, name: str) -> None:
+        with self._mutex:
+            self._members.pop(name, None)
+
+    def member(self, name: str) -> CGroupMember:
+        with self._mutex:
+            return self._members[name]
+
+    @property
+    def total_shares(self) -> int:
+        with self._mutex:
+            return sum(m.shares for m in self._members.values())
+
+    # ------------------------------------------------------------------
+    def quantum_for(self, name: str) -> int:
+        """Fuel quantum for one scheduling period of ``name``."""
+        with self._mutex:
+            member = self._members[name]
+            total = sum(m.shares for m in self._members.values())
+            member.quantum_grants += 1
+            return max(1, self.period_fuel * member.shares // total)
+
+    def charge(self, name: str, fuel_used: int) -> None:
+        """Record CPU consumed by a member (after an invocation)."""
+        with self._mutex:
+            self._members[name].cpu_used += fuel_used
+
+    def record_throttle(self, name: str) -> None:
+        with self._mutex:
+            self._members[name].throttled += 1
+
+    # ------------------------------------------------------------------
+    def usage(self) -> dict[str, int]:
+        with self._mutex:
+            return {n: m.cpu_used for n, m in self._members.items()}
+
+    def fairness_ratio(self) -> float:
+        """max/min of share-normalised CPU usage across members (1.0 is
+        perfectly fair); members with no usage are ignored."""
+        with self._mutex:
+            rates = [
+                m.cpu_used / m.shares for m in self._members.values() if m.cpu_used
+            ]
+        if len(rates) < 2:
+            return 1.0
+        return max(rates) / min(rates)

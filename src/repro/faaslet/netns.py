@@ -1,0 +1,205 @@
+"""Network isolation: namespaces, virtual interfaces and traffic shaping.
+
+Each Faaslet gets its own network namespace holding one virtual interface
+(§3.1). The interface enforces:
+
+* **policy** — iptables-like rules; by default only client-side IPv4/IPv6
+  TCP/UDP egress is allowed (matching the host interface's socket subset,
+  Tab. 2 — e.g. ``AF_UNIX`` is rejected);
+* **rate limits** — token-bucket shaping on ingress and egress (the paper's
+  ``tc`` rules), with an injectable clock so both real executions and the
+  discrete-event simulator can use the same shaper.
+
+All traffic is accounted, feeding the network-transfer numbers of the
+experiments.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+
+class NetworkPolicyError(PermissionError):
+    """The virtual interface's rules forbid the requested operation."""
+
+
+#: Address families mirroring the POSIX constants used by guests.
+AF_INET = 2
+AF_INET6 = 10
+AF_UNIX = 1
+
+SOCK_STREAM = 1
+SOCK_DGRAM = 2
+
+_ALLOWED_FAMILIES = {AF_INET, AF_INET6}
+_ALLOWED_TYPES = {SOCK_STREAM, SOCK_DGRAM}
+
+
+class TokenBucket:
+    """A token-bucket rate limiter with an explicit clock.
+
+    ``consume`` returns the delay (seconds) the caller must wait before the
+    transmission conceptually completes; it never blocks by itself, so the
+    caller decides whether to sleep (real mode) or advance simulated time.
+    """
+
+    def __init__(self, rate_bytes_per_sec: float, burst_bytes: float):
+        if rate_bytes_per_sec <= 0 or burst_bytes <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate_bytes_per_sec)
+        self.burst = float(burst_bytes)
+        self._tokens = float(burst_bytes)
+        self._last = 0.0
+
+    def consume(self, nbytes: int, now: float) -> float:
+        """Consume ``nbytes``; returns the required delay in seconds."""
+        if now > self._last:
+            self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+            self._last = now
+        self._tokens -= nbytes
+        if self._tokens >= 0:
+            return 0.0
+        return -self._tokens / self.rate
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+
+@dataclass
+class InterfaceStats:
+    tx_bytes: int = 0
+    rx_bytes: int = 0
+    tx_packets: int = 0
+    rx_packets: int = 0
+    dropped: int = 0
+
+
+class VirtualInterface:
+    """One Faaslet's virtual NIC with shaping and accounting."""
+
+    def __init__(
+        self,
+        name: str,
+        egress_rate: float = 125_000_000.0,  # 1 Gbps in bytes/sec
+        ingress_rate: float = 125_000_000.0,
+        burst: float = 1 << 20,
+        clock=time.monotonic,
+    ):
+        self.name = name
+        self.clock = clock
+        self.egress = TokenBucket(egress_rate, burst)
+        self.ingress = TokenBucket(ingress_rate, burst)
+        self.stats = InterfaceStats()
+
+    def transmit(self, nbytes: int) -> float:
+        """Account an egress transmission; returns the shaping delay."""
+        delay = self.egress.consume(nbytes, self.clock())
+        self.stats.tx_bytes += nbytes
+        self.stats.tx_packets += 1
+        return delay
+
+    def receive(self, nbytes: int) -> float:
+        """Account an ingress transmission; returns the shaping delay."""
+        delay = self.ingress.consume(nbytes, self.clock())
+        self.stats.rx_bytes += nbytes
+        self.stats.rx_packets += 1
+        return delay
+
+
+@dataclass
+class _Socket:
+    family: int
+    type: int
+    connected: tuple[str, int] | None = None
+    closed: bool = False
+
+
+class NetworkNamespace:
+    """A Faaslet's private network namespace (§3.1).
+
+    Owns the virtual interface and implements the client-side socket model
+    of the host interface: ``socket``/``connect``/``bind``/``send``/``recv``
+    against an *endpoint registry* — a mapping of ``(host, port)`` to a
+    Python callable ``handler(request: bytes) -> bytes`` standing in for
+    remote services (the external data stores and HTTP endpoints the paper
+    mentions). Server-side listening is not part of the interface.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        interface: VirtualInterface | None = None,
+        endpoints: dict[tuple[str, int], "callable"] | None = None,
+    ):
+        self.name = name
+        self.interface = interface or VirtualInterface(f"veth-{name}")
+        self.endpoints = endpoints if endpoints is not None else {}
+        self._sockets: dict[int, _Socket] = {}
+        self._responses: dict[int, bytearray] = {}
+        self._next_fd = 3
+
+    # ------------------------------------------------------------------
+    def socket(self, family: int, sock_type: int) -> int:
+        if family not in _ALLOWED_FAMILIES:
+            raise NetworkPolicyError(
+                f"address family {family} not permitted (client IPv4/IPv6 only)"
+            )
+        if sock_type not in _ALLOWED_TYPES:
+            raise NetworkPolicyError(f"socket type {sock_type} not permitted")
+        fd = self._next_fd
+        self._next_fd += 1
+        self._sockets[fd] = _Socket(family, sock_type)
+        self._responses[fd] = bytearray()
+        return fd
+
+    def connect(self, fd: int, host: str, port: int) -> None:
+        sock = self._get(fd)
+        if (host, port) not in self.endpoints:
+            raise ConnectionRefusedError(f"no endpoint at {host}:{port}")
+        sock.connected = (host, port)
+
+    def bind(self, fd: int, host: str, port: int) -> None:
+        # Client-side bind is a no-op beyond validation (Tab. 2: client only).
+        self._get(fd)
+
+    def send(self, fd: int, data: bytes) -> tuple[int, float]:
+        """Send to the connected endpoint; returns (bytes sent, shape delay).
+
+        The endpoint's response is buffered for subsequent ``recv`` calls.
+        """
+        sock = self._get(fd)
+        if sock.connected is None:
+            raise OSError(f"socket {fd} is not connected")
+        delay = self.interface.transmit(len(data))
+        handler = self.endpoints[sock.connected]
+        response = handler(bytes(data))
+        if response:
+            self._responses[fd].extend(response)
+        return len(data), delay
+
+    def recv(self, fd: int, max_bytes: int) -> tuple[bytes, float]:
+        """Receive buffered response bytes; returns (data, shape delay)."""
+        self._get(fd)
+        buffer = self._responses[fd]
+        data = bytes(buffer[:max_bytes])
+        del buffer[:max_bytes]
+        delay = self.interface.receive(len(data)) if data else 0.0
+        return data, delay
+
+    def close(self, fd: int) -> None:
+        sock = self._sockets.pop(fd, None)
+        if sock:
+            sock.closed = True
+        self._responses.pop(fd, None)
+
+    def close_all(self) -> None:
+        for fd in list(self._sockets):
+            self.close(fd)
+
+    def _get(self, fd: int) -> _Socket:
+        sock = self._sockets.get(fd)
+        if sock is None:
+            raise OSError(f"bad socket descriptor {fd}")
+        return sock

@@ -1,0 +1,97 @@
+"""Shared memory regions (§3.3, Fig. 2).
+
+A :class:`SharedRegion` is a page-aligned buffer of "common process memory".
+Mapping it into a Faaslet extends that Faaslet's linear byte array and remaps
+the new pages onto the region's backing buffer, so every mapper sees the same
+bytes with zero copies — the Python analogue of ``mmap(MAP_SHARED)`` +
+``mremap`` in the paper.
+
+The local state tier (§4.2) stores its replicas exclusively in shared
+regions, which is how co-located Faaslets share state values in memory.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.wasm.memory import LinearMemory
+from repro.wasm.types import PAGE_SIZE
+
+
+def _round_up_pages(nbytes: int) -> int:
+    return max(1, -(-nbytes // PAGE_SIZE))
+
+
+class SharedRegion:
+    """A page-aligned shared buffer mappable into many Faaslets' memories."""
+
+    def __init__(self, name: str, size: int):
+        if size <= 0:
+            raise ValueError("shared region size must be positive")
+        self.name = name
+        #: Usable size requested by the creator (backing is page-aligned).
+        self.size = size
+        self.n_pages = _round_up_pages(size)
+        self.backing = bytearray(self.n_pages * PAGE_SIZE)
+        self._lock = threading.Lock()
+        #: Number of linear memories this region is currently mapped into.
+        self.mapping_count = 0
+
+    # ------------------------------------------------------------------
+    def map_into(self, memory: LinearMemory) -> int:
+        """Map this region into ``memory``; returns the guest base address.
+
+        The guest sees the region as ordinary linear memory starting at the
+        returned offset; loads and stores are bounds-checked as usual.
+        """
+        with self._lock:
+            base = memory.map_shared_pages(self.backing)
+            self.mapping_count += 1
+            return base
+
+    # ------------------------------------------------------------------
+    # Host-side access (used by the state tier).
+    # ------------------------------------------------------------------
+    def read(self, offset: int = 0, length: int | None = None) -> bytes:
+        length = self.size - offset if length is None else length
+        self._check(offset, length)
+        return bytes(self.backing[offset : offset + length])
+
+    def write(self, data: bytes | bytearray | memoryview, offset: int = 0) -> None:
+        self._check(offset, len(data))
+        self.backing[offset : offset + len(data)] = data
+
+    def view(self, offset: int = 0, length: int | None = None) -> memoryview:
+        """A zero-copy writable view (host-side fast path for numpy DDOs)."""
+        length = self.size - offset if length is None else length
+        self._check(offset, length)
+        return memoryview(self.backing)[offset : offset + length]
+
+    def _check(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise IndexError(
+                f"region {self.name!r}: access [{offset}, {offset + length}) "
+                f"outside size {self.size}"
+            )
+
+    def resize(self, new_size: int) -> None:
+        """Grow the region (e.g. after a state value grows via append).
+
+        Growth beyond the current page allocation reallocates the backing,
+        which is only legal while the region is unmapped: remapping mapped
+        guests would change their view identity.
+        """
+        if new_size <= self.size:
+            self.size = max(self.size, new_size)
+            return
+        needed_pages = _round_up_pages(new_size)
+        if needed_pages > self.n_pages:
+            if self.mapping_count:
+                raise RuntimeError(
+                    f"cannot reallocate mapped region {self.name!r}"
+                )
+            fresh = bytearray(needed_pages * PAGE_SIZE)
+            fresh[: len(self.backing)] = self.backing
+            self.backing = fresh
+            self.n_pages = needed_pages
+        self.size = new_size

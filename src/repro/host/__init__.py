@@ -1,0 +1,41 @@
+"""``repro.host`` — the Faaslet host interface (Tab. 2) and its backing
+virtualisation: the WASI-capability filesystem and the environment contract
+binding Faaslets to an embedding runtime."""
+
+from .environment import ChainError, FaasletEnvironment, StandaloneEnvironment
+from .filesystem import (
+    O_APPEND,
+    O_CREAT,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+    SEEK_CUR,
+    SEEK_END,
+    SEEK_SET,
+    FileStat,
+    FilesystemError,
+    GlobalObjectStore,
+    VirtualFilesystem,
+)
+from .interface import build_host_imports
+
+__all__ = [
+    "ChainError",
+    "FaasletEnvironment",
+    "FileStat",
+    "FilesystemError",
+    "GlobalObjectStore",
+    "O_APPEND",
+    "O_CREAT",
+    "O_RDONLY",
+    "O_RDWR",
+    "O_TRUNC",
+    "O_WRONLY",
+    "SEEK_CUR",
+    "SEEK_END",
+    "SEEK_SET",
+    "StandaloneEnvironment",
+    "VirtualFilesystem",
+    "build_host_imports",
+]

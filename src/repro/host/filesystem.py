@@ -1,0 +1,219 @@
+"""Read-global write-local virtual filesystem with capability handles (§3.1).
+
+Faaslets see a filesystem assembled from two layers:
+
+* a **global object store** of read-only files shared by every host (the
+  paper backs this with S3/the platform object store) — used for library
+  code, datasets and dynamically loaded modules;
+* a **local write layer** private to the Faaslet's user — writes (e.g.
+  CPython's cached bytecode) land here and shadow the global layer.
+
+Access follows the WASI capability model: the only way to reach a file is
+through an unforgeable descriptor returned by ``open``; there is no
+ambient root to escape to, so no chroot or layered filesystem is needed —
+which is precisely why Faaslet cold starts avoid that cost (§3.1).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+O_RDONLY = 0x0
+O_WRONLY = 0x1
+O_RDWR = 0x2
+O_CREAT = 0x40
+O_TRUNC = 0x200
+O_APPEND = 0x400
+
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+
+
+class FilesystemError(OSError):
+    """A filesystem operation failed (bad path, bad descriptor, policy)."""
+
+
+def _normalise(path: str) -> str:
+    """Normalise a path, rejecting escapes above the virtual root."""
+    parts: list[str] = []
+    for part in path.split("/"):
+        if part in ("", "."):
+            continue
+        if part == "..":
+            if not parts:
+                raise FilesystemError(f"path {path!r} escapes the filesystem root")
+            parts.pop()
+        else:
+            parts.append(part)
+    return "/".join(parts)
+
+
+class GlobalObjectStore:
+    """The shared, read-only file layer (one per cluster)."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, bytes] = {}
+        self._mutex = threading.Lock()
+
+    def upload(self, path: str, data: bytes) -> None:
+        """Publish a file to every host (the paper's upload service writes
+        object files here)."""
+        with self._mutex:
+            self._files[_normalise(path)] = bytes(data)
+
+    def get(self, path: str) -> bytes | None:
+        with self._mutex:
+            return self._files.get(_normalise(path))
+
+    def exists(self, path: str) -> bool:
+        with self._mutex:
+            return _normalise(path) in self._files
+
+    def list(self, prefix: str = "") -> list[str]:
+        prefix = _normalise(prefix)
+        with self._mutex:
+            return sorted(
+                p for p in self._files if not prefix or p.startswith(prefix)
+            )
+
+
+@dataclass
+class _OpenFile:
+    path: str
+    flags: int
+    buffer: bytearray
+    position: int = 0
+    #: Whether the buffer is the private local copy (writable).
+    local: bool = False
+
+
+@dataclass
+class FileStat:
+    size: int
+    local: bool
+
+
+class VirtualFilesystem:
+    """One user's capability-scoped view: global layer + private writes."""
+
+    def __init__(self, store: GlobalObjectStore, user: str = "default"):
+        self.store = store
+        self.user = user
+        self._local: dict[str, bytearray] = {}
+        self._fds: dict[int, _OpenFile] = {}
+        self._next_fd = 3
+
+    # ------------------------------------------------------------------
+    def open(self, path: str, flags: int = O_RDONLY) -> int:
+        path = _normalise(path)
+        writable = flags & (O_WRONLY | O_RDWR | O_APPEND)
+        local = self._local.get(path)
+        if local is not None:
+            buffer = local if writable else bytearray(local)
+            is_local = bool(writable)
+        else:
+            global_data = self.store.get(path)
+            if global_data is None:
+                if not flags & O_CREAT:
+                    raise FilesystemError(f"no such file: {path!r}")
+                buffer = self._local.setdefault(path, bytearray())
+                is_local = True
+            elif writable:
+                # Copy-up: writes shadow the global layer locally.
+                buffer = self._local.setdefault(path, bytearray(global_data))
+                is_local = True
+            else:
+                buffer = bytearray(global_data)
+                is_local = False
+        if flags & O_TRUNC and writable:
+            del buffer[:]
+        fd = self._next_fd
+        self._next_fd += 1
+        handle = _OpenFile(path, flags, buffer, local=is_local)
+        if flags & O_APPEND:
+            handle.position = len(buffer)
+        self._fds[fd] = handle
+        return fd
+
+    def close(self, fd: int) -> None:
+        if fd not in self._fds:
+            raise FilesystemError(f"bad file descriptor {fd}")
+        del self._fds[fd]
+
+    def dup(self, fd: int) -> int:
+        handle = self._handle(fd)
+        new_fd = self._next_fd
+        self._next_fd += 1
+        self._fds[new_fd] = _OpenFile(
+            handle.path, handle.flags, handle.buffer, handle.position, handle.local
+        )
+        return new_fd
+
+    def read(self, fd: int, nbytes: int) -> bytes:
+        handle = self._handle(fd)
+        if handle.flags & O_WRONLY:
+            raise FilesystemError(f"descriptor {fd} is write-only")
+        data = bytes(handle.buffer[handle.position : handle.position + nbytes])
+        handle.position += len(data)
+        return data
+
+    def write(self, fd: int, data: bytes) -> int:
+        handle = self._handle(fd)
+        if not handle.flags & (O_WRONLY | O_RDWR | O_APPEND):
+            raise FilesystemError(f"descriptor {fd} is read-only")
+        end = handle.position + len(data)
+        if end > len(handle.buffer):
+            handle.buffer.extend(b"\x00" * (end - len(handle.buffer)))
+        handle.buffer[handle.position : end] = data
+        handle.position = end
+        return len(data)
+
+    def seek(self, fd: int, offset: int, whence: int = SEEK_SET) -> int:
+        handle = self._handle(fd)
+        if whence == SEEK_SET:
+            pos = offset
+        elif whence == SEEK_CUR:
+            pos = handle.position + offset
+        elif whence == SEEK_END:
+            pos = len(handle.buffer) + offset
+        else:
+            raise FilesystemError(f"bad whence {whence}")
+        if pos < 0:
+            raise FilesystemError("seek before start of file")
+        handle.position = pos
+        return pos
+
+    # ------------------------------------------------------------------
+    def stat(self, path: str) -> FileStat:
+        path = _normalise(path)
+        local = self._local.get(path)
+        if local is not None:
+            return FileStat(len(local), True)
+        data = self.store.get(path)
+        if data is None:
+            raise FilesystemError(f"no such file: {path!r}")
+        return FileStat(len(data), False)
+
+    def exists(self, path: str) -> bool:
+        path = _normalise(path)
+        return path in self._local or self.store.exists(path)
+
+    def read_file(self, path: str) -> bytes:
+        """Whole-file convenience used by dynamic linking."""
+        fd = self.open(path, O_RDONLY)
+        try:
+            return self.read(fd, len(self._handle(fd).buffer))
+        finally:
+            self.close(fd)
+
+    def local_bytes(self) -> int:
+        """Size of the private write layer (memory accounting)."""
+        return sum(len(b) for b in self._local.values())
+
+    def _handle(self, fd: int) -> _OpenFile:
+        handle = self._fds.get(fd)
+        if handle is None:
+            raise FilesystemError(f"bad file descriptor {fd}")
+        return handle

@@ -1,0 +1,54 @@
+"""``repro.minilang`` — a small typed language compiled to the wasm VM.
+
+Minilang is this repository's stand-in for the paper's LLVM toolchain
+(§3.4 phase 1). Guest functions — including the Polybench kernels of
+Fig. 9a and the guest halves of several examples — are written in a C-like
+language and compiled to ``repro.wasm`` modules, which then pass through the
+same trusted validation and code-generation pipeline as hand-written
+modules.
+
+Typical use::
+
+    from repro.minilang import build
+
+    module = build('''
+        export int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+    ''')
+"""
+
+from repro.wasm import validate_module
+from repro.wasm.module import Module
+
+from .codegen import compile_program, compile_source, wasm_type
+from .errors import LexError, MinilangError, SyntaxErrorML, TypeErrorML
+from .lexer import Token, tokenize
+from .parser import parse
+
+
+def build(source: str, name: str | None = None) -> Module:
+    """Compile and validate minilang source, returning a ready module.
+
+    This runs the full untrusted-compile → trusted-validate pipeline; the
+    returned module is safe to instantiate.
+    """
+    module = compile_source(source, name)
+    validate_module(module)
+    return module
+
+
+__all__ = [
+    "LexError",
+    "MinilangError",
+    "SyntaxErrorML",
+    "Token",
+    "TypeErrorML",
+    "build",
+    "compile_program",
+    "compile_source",
+    "parse",
+    "tokenize",
+    "wasm_type",
+]

@@ -1,0 +1,218 @@
+"""Abstract syntax tree for minilang."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# ----------------------------------------------------------------------
+# Types
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Type:
+    """A minilang type: ``int`` (i32), ``long`` (i64), ``float`` (f64),
+    ``void``, or an array of a scalar element type."""
+
+    name: str  # "int", "long", "float", "void"
+    is_array: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.name}[]" if self.is_array else self.name
+
+    @property
+    def element(self) -> "Type":
+        if not self.is_array:
+            raise ValueError(f"{self} is not an array type")
+        return Type(self.name)
+
+    @property
+    def element_size(self) -> int:
+        return {"int": 4, "long": 8, "float": 8}[self.name]
+
+
+INT = Type("int")
+LONG = Type("long")
+FLOAT = Type("float")
+VOID = Type("void")
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class StrLit(Expr):
+    """A string literal: evaluates to the i32 address of its NUL-terminated
+    bytes, interned in a data segment."""
+
+    value: bytes = b""
+
+
+@dataclass
+class Var(Expr):
+    name: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""  # "-", "!"
+    operand: Expr | None = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    lhs: Expr | None = None
+    rhs: Expr | None = None
+
+
+@dataclass
+class Cast(Expr):
+    target: Type = INT
+    operand: Expr | None = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    array: Expr | None = None
+    index: Expr | None = None
+
+
+@dataclass
+class NewArray(Expr):
+    element: Type = INT
+    length: Expr | None = None
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class VarDecl(Stmt):
+    type: Type = INT
+    name: str = ""
+    init: Expr | None = None
+
+
+@dataclass
+class Assign(Stmt):
+    target: Expr | None = None  # Var or Index
+    value: Expr | None = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr | None = None
+    then_body: list[Stmt] = field(default_factory=list)
+    else_body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr | None = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None = None
+    cond: Expr | None = None
+    step: Stmt | None = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+# ----------------------------------------------------------------------
+# Top level
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    type: Type
+    name: str
+
+
+@dataclass
+class FuncDef:
+    name: str
+    return_type: Type
+    params: list[Param]
+    body: list[Stmt]
+    exported: bool = False
+    line: int = 0
+
+
+@dataclass
+class ExternDecl:
+    """A host-interface import: ``extern int foo(int, int);``
+    imported from the ``env`` module."""
+
+    name: str
+    return_type: Type
+    param_types: list[Type]
+    line: int = 0
+
+
+@dataclass
+class GlobalDecl:
+    type: Type
+    name: str
+    init: int | float = 0
+    line: int = 0
+
+
+@dataclass
+class Program:
+    externs: list[ExternDecl] = field(default_factory=list)
+    globals: list[GlobalDecl] = field(default_factory=list)
+    funcs: list[FuncDef] = field(default_factory=list)

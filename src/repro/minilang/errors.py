@@ -1,0 +1,25 @@
+"""Errors raised by the minilang toolchain."""
+
+from __future__ import annotations
+
+
+class MinilangError(Exception):
+    """Base class for minilang toolchain errors."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class LexError(MinilangError):
+    """The source text contained an invalid token."""
+
+
+class SyntaxErrorML(MinilangError):
+    """The token stream did not match the grammar."""
+
+
+class TypeErrorML(MinilangError):
+    """A semantic/type error (undeclared name, type mismatch, bad call)."""

@@ -1,0 +1,124 @@
+"""Lexer for minilang, the small typed language compiled to the wasm VM.
+
+Minilang plays the role of the paper's C/C++ front end (§3.4 phase 1): the
+Polybench kernels of Fig. 9a and the guest sides of several examples are
+written in it and compiled, validated and executed inside Faaslets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import LexError
+
+KEYWORDS = {
+    "int", "long", "float", "void",
+    "if", "else", "while", "for", "return", "break", "continue",
+    "new", "export", "extern", "global", "true", "false",
+}
+
+#: Multi-character operators, longest first.
+_OPERATORS = [
+    "&&", "||", "==", "!=", "<=", ">=",
+    "+=", "-=", "*=", "/=", "%=",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!",
+    "(", ")", "{", "}", "[", "]", ",", ";",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "int", "float", "string", "ident", "keyword", "op", "eof"
+    value: str | int | float | bytes
+    line: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert minilang source text into a token list (ending with eof)."""
+    tokens: list[Token] = []
+    i, n, line = 0, len(source), 1
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            line += 1
+            i += 1
+        elif c in " \t\r":
+            i += 1
+        elif source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end == -1 else end
+        elif source.startswith("/*", i):
+            end = source.find("*/", i)
+            if end == -1:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+        elif c.isdigit() or (c == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and (source[j] in "0123456789abcdefABCDEF_"):
+                    j += 1
+                tokens.append(Token("int", int(source[i:j].replace("_", ""), 16), line))
+                i = j
+                continue
+            while j < n and (source[j].isdigit() or source[j] == "_"):
+                j += 1
+            if j < n and source[j] == ".":
+                is_float = True
+                j += 1
+                while j < n and (source[j].isdigit() or source[j] == "_"):
+                    j += 1
+            if j < n and source[j] in "eE":
+                is_float = True
+                j += 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            text = source[i:j].replace("_", "")
+            if is_float:
+                tokens.append(Token("float", float(text), line))
+            else:
+                tokens.append(Token("int", int(text), line))
+            i = j
+        elif c == '"':
+            j = i + 1
+            out = bytearray()
+            while j < n and source[j] != '"':
+                if source[j] == "\\":
+                    esc = source[j + 1] if j + 1 < n else ""
+                    mapped = {"n": b"\n", "t": b"\t", "0": b"\x00",
+                              '"': b'"', "\\": b"\\"}.get(esc)
+                    if mapped is None:
+                        raise LexError(f"bad escape \\{esc}", line)
+                    out += mapped
+                    j += 2
+                else:
+                    if source[j] == "\n":
+                        raise LexError("unterminated string literal", line)
+                    out += source[j].encode("utf-8")
+                    j += 1
+            if j >= n:
+                raise LexError("unterminated string literal", line)
+            tokens.append(Token("string", bytes(out), line))
+            i = j + 1
+        elif c.isalpha() or c == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line))
+            i = j
+        else:
+            for op in _OPERATORS:
+                if source.startswith(op, i):
+                    tokens.append(Token("op", op, line))
+                    i += len(op)
+                    break
+            else:
+                raise LexError(f"unexpected character {c!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens

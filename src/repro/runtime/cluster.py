@@ -1,0 +1,158 @@
+"""The FAASM cluster front door (§5, Fig. 5).
+
+A :class:`FaasmCluster` bundles the shared substrate — global state tier,
+object store, function registry, call registry, warm sets — with a set of
+per-host runtime instances. Incoming calls are spread round-robin over the
+local schedulers, which place them using the shared-state warm sets; each
+accepted call runs on a daemon thread (the stand-in for the paper's
+Faaslet-pool threads), and chained calls re-enter through the same path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import threading
+
+from repro.host.filesystem import GlobalObjectStore
+from repro.state.kv import GlobalStateStore
+
+from .bus import ExecuteCall, MessageBus, Shutdown
+from .calls import CallRecord, CallRegistry
+from .instance import DEFAULT_CAPACITY, FaasmRuntimeInstance
+from .registry import FunctionRegistry
+from .scheduler import WarmSetRegistry
+
+logger = logging.getLogger(__name__)
+
+
+class FaasmCluster:
+    """A multi-host FAASM deployment in one process.
+
+    "Hosts" are separate runtime instances with their own local state tiers
+    and Faaslet pools sharing one global tier — the same topology as the
+    paper's Kubernetes deployment, minus physical machines.
+    """
+
+    def __init__(
+        self,
+        n_hosts: int = 2,
+        capacity: int = DEFAULT_CAPACITY,
+        reset_between_calls: bool = False,
+    ):
+        self.global_state = GlobalStateStore()
+        self.object_store = GlobalObjectStore()
+        self.registry = FunctionRegistry(self.object_store)
+        self.calls = CallRegistry()
+        self.warm_sets = WarmSetRegistry(self.global_state)
+        #: Shared endpoint registry for Faaslet virtual NICs.
+        self.endpoints: dict = {}
+        self.bus = MessageBus()
+        self.instances = [
+            FaasmRuntimeInstance(
+                f"host-{i}", self, capacity=capacity,
+                reset_between_calls=reset_between_calls,
+            )
+            for i in range(n_hosts)
+        ]
+        self._rr = itertools.count()
+        self._dispatched: list[CallRecord] = []
+        self._dispatched_lock = threading.Lock()
+        for instance in self.instances:
+            self.bus.register(instance.host)
+            instance.start_dispatcher()
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+    def upload(self, name: str, source, **kwargs):
+        """Upload a wasm guest function (see :meth:`FunctionRegistry.upload`)."""
+        return self.registry.upload(name, source, **kwargs)
+
+    def register_python(self, name: str, fn, **kwargs):
+        return self.registry.register_python(name, fn, **kwargs)
+
+    def pre_warm(self, function: str, per_host: int = 1) -> int:
+        """Provision warm Faaslets for ``function`` on every host (scale-up
+        ahead of anticipated traffic); returns the total added."""
+        return sum(i.pre_warm(function, per_host) for i in self.instances)
+
+    # ------------------------------------------------------------------
+    # Invocation
+    # ------------------------------------------------------------------
+    def dispatch(self, function: str, input_data: bytes = b"", origin: str | None = None) -> int:
+        """Asynchronously invoke ``function``; returns the call id.
+
+        External calls (``origin=None``) are assigned round-robin to a local
+        scheduler, as Knative's default endpoint spreads requests; chained
+        calls enter at their originating host's scheduler.
+        """
+        if not self.registry.exists(function):
+            raise KeyError(f"unknown function {function!r}")
+        record = self.calls.create(function, input_data)
+        if origin is None:
+            instance = self.instances[next(self._rr) % len(self.instances)]
+        else:
+            instance = self.instance_for(origin)
+        decision = instance.scheduler.schedule(function)
+        # Deliver over the message bus: locally, or to the warm host the
+        # scheduler shared the work with (Fig. 5's sharing queue).
+        self.bus.send(
+            decision.host,
+            ExecuteCall(
+                record.call_id,
+                function,
+                origin=instance.host,
+                shared=decision.reason == "shared",
+            ),
+        )
+        with self._dispatched_lock:
+            self._dispatched.append(record)
+        return record.call_id
+
+    def invoke(self, function: str, input_data: bytes = b"", timeout: float = 60.0) -> tuple[int, bytes]:
+        """Synchronously invoke ``function``; returns (exit code, output)."""
+        call_id = self.dispatch(function, input_data)
+        code = self.calls.wait(call_id, timeout)
+        return code, self.calls.output(call_id)
+
+    # ------------------------------------------------------------------
+    # Host lookup / capacity
+    # ------------------------------------------------------------------
+    def instance_for(self, host: str) -> FaasmRuntimeInstance:
+        for instance in self.instances:
+            if instance.host == host:
+                return instance
+        raise KeyError(f"unknown host {host!r}")
+
+    def peer_capacity(self, host: str) -> int:
+        return self.instance_for(host).free_capacity()
+
+    # ------------------------------------------------------------------
+    # Cluster-wide accounting
+    # ------------------------------------------------------------------
+    def total_network_bytes(self) -> int:
+        """Bytes exchanged with the global tier across all hosts."""
+        return sum(i.state_client.meter.total_bytes for i in self.instances)
+
+    def total_memory_footprint(self) -> int:
+        return sum(i.memory_footprint() for i in self.instances)
+
+    def total_cold_starts(self) -> int:
+        return sum(i.metrics.cold_starts for i in self.instances)
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Wait for all dispatched calls to finish (tests/benchmarks)."""
+        with self._dispatched_lock:
+            records = list(self._dispatched)
+        for record in records:
+            record.done.wait(timeout)
+        with self._dispatched_lock:
+            self._dispatched = [r for r in self._dispatched if not r.done.is_set()]
+
+    def shutdown(self) -> None:
+        """Stop every host's dispatcher (idempotent)."""
+        for instance in self.instances:
+            self.bus.send(instance.host, Shutdown())
+        for instance in self.instances:
+            instance.join_dispatcher()

@@ -1,0 +1,289 @@
+"""A FAASM runtime instance: one per host (§5, Fig. 5).
+
+Each instance owns a pool of Faaslets (warm ones are reused across calls),
+a local scheduler, the host's local state tier and a metered connection to
+the global tier. Calls arrive from the cluster front door or from other
+instances (work sharing); chained calls made by executing functions re-enter
+the cluster through the instance's environment.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.faaslet import CpuCgroup, Faaslet, FunctionDefinition, NetworkNamespace
+from repro.host.environment import FaasletEnvironment
+from repro.host.filesystem import VirtualFilesystem
+from repro.state.api import StateAPI
+from repro.state.kv import StateClient, TransferMeter
+from repro.state.local import LocalTier
+
+from .calls import CallRecord
+from .pyguest import PythonCallContext
+from .registry import PythonFunctionDefinition
+from .scheduler import LocalScheduler
+
+logger = logging.getLogger(__name__)
+
+#: Default number of concurrent calls a host accepts (capacity for the
+#: scheduler's shared-state decisions).
+DEFAULT_CAPACITY = 8
+
+
+class RuntimeEnvironment(FaasletEnvironment):
+    """The environment wiring Faaslets on one host into the cluster."""
+
+    def __init__(self, instance: "FaasmRuntimeInstance"):
+        self.instance = instance
+        self.state = instance.state_api
+        self.filesystem = instance.filesystem
+        self.netns = instance.netns_template
+
+    def chain_call(self, name: str, input_data: bytes) -> int:
+        return self.instance.cluster.dispatch(name, input_data, origin=self.instance.host)
+
+    def await_call(self, call_id: int) -> int:
+        return self.instance.cluster.calls.wait(call_id)
+
+    def get_call_output(self, call_id: int) -> bytes:
+        return self.instance.cluster.calls.output(call_id)
+
+
+@dataclass
+class InstanceMetrics:
+    calls_executed: int = 0
+    cold_starts: int = 0
+    warm_hits: int = 0
+    init_time_total: float = 0.0
+
+    @property
+    def cold_ratio(self) -> float:
+        if not self.calls_executed:
+            return 0.0
+        return self.cold_starts / self.calls_executed
+
+
+class FaasmRuntimeInstance:
+    """One host's runtime: Faaslet pool + local scheduler + state tiers."""
+
+    def __init__(
+        self,
+        host: str,
+        cluster,
+        capacity: int = DEFAULT_CAPACITY,
+        reset_between_calls: bool = False,
+    ):
+        self.host = host
+        self.cluster = cluster
+        self.capacity = capacity
+        self.reset_between_calls = reset_between_calls
+
+        meter = TransferMeter()
+        self.state_client = StateClient(cluster.global_state, meter)
+        self.local_tier = LocalTier(host, self.state_client)
+        self.state_api = StateAPI(self.local_tier)
+        self.filesystem = VirtualFilesystem(cluster.object_store, user=host)
+        self.netns_template = NetworkNamespace(f"host-{host}", endpoints=cluster.endpoints)
+        self.env = RuntimeEnvironment(self)
+        self.cgroup = CpuCgroup(f"cg-{host}")
+
+        self.scheduler = LocalScheduler(
+            host,
+            cluster.warm_sets,
+            capacity_fn=self.free_capacity,
+            peer_capacity_fn=cluster.peer_capacity,
+        )
+
+        self._warm: dict[str, list[Faaslet]] = {}
+        self._mutex = threading.Lock()
+        self._executing = 0
+        self.metrics = InstanceMetrics()
+        self._dispatcher: threading.Thread | None = None
+        #: Calls received over the bus that were shared from another host.
+        self.shared_received = 0
+
+    # ------------------------------------------------------------------
+    # Message-bus dispatcher (Fig. 5)
+    # ------------------------------------------------------------------
+    def start_dispatcher(self) -> None:
+        """Start the thread that drains this host's bus queue."""
+        if self._dispatcher is not None:
+            return
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, daemon=True, name=f"bus-{self.host}"
+        )
+        self._dispatcher.start()
+
+    def _dispatch_loop(self) -> None:
+        from .bus import ExecuteCall, Shutdown
+
+        while True:
+            message = self.cluster.bus.receive(self.host)
+            if message is None or isinstance(message, Shutdown):
+                return
+            if isinstance(message, ExecuteCall):
+                if message.shared:
+                    self.shared_received += 1
+                record = self.cluster.calls.get(message.call_id)
+                # One thread per in-flight call: functions may block in
+                # await_call, so calls must not share the dispatcher thread.
+                threading.Thread(
+                    target=self._execute_safely,
+                    args=(record,),
+                    daemon=True,
+                    name=f"call-{record.call_id}-{record.function}",
+                ).start()
+
+    def _execute_safely(self, record) -> None:
+        try:
+            self.execute(record)
+        except Exception as exc:  # never kill the host on a bad call
+            logger.exception("call %s crashed the executor", record.call_id)
+            if not record.done.is_set():
+                self.cluster.calls.fail(record.call_id, str(exc))
+
+    def join_dispatcher(self, timeout: float = 5.0) -> None:
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout)
+            self._dispatcher = None
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    def free_capacity(self) -> int:
+        with self._mutex:
+            return max(0, self.capacity - self._executing)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, record: CallRecord) -> None:
+        """Execute a call on this host (runs on the caller's thread)."""
+        definition = self.cluster.registry.get(record.function)
+        with self._mutex:
+            self._executing += 1
+        try:
+            if isinstance(definition, PythonFunctionDefinition):
+                self._execute_python(record, definition)
+            else:
+                self._execute_wasm(record, definition)
+        finally:
+            with self._mutex:
+                self._executing -= 1
+
+    def _execute_python(self, record: CallRecord, definition) -> None:
+        self.cluster.calls.mark_running(record.call_id, self.host, cold_start=False)
+        self.metrics.calls_executed += 1
+        ctx = PythonCallContext(self.env, record.input_data)
+        try:
+            result = definition.fn(ctx)
+            code = int(result) if isinstance(result, int) else 0
+            self.cluster.calls.complete(record.call_id, code, ctx.output)
+        except Exception as exc:  # guest failure must not kill the host
+            logger.exception("python guest %s failed", record.function)
+            self.cluster.calls.complete(record.call_id, 1, str(exc).encode())
+
+    def _execute_wasm(self, record: CallRecord, definition: FunctionDefinition) -> None:
+        faaslet, cold = self._acquire_faaslet(definition)
+        self.cluster.calls.mark_running(record.call_id, self.host, cold_start=cold)
+        self.metrics.calls_executed += 1
+        try:
+            code, output = faaslet.call(record.input_data)
+            self.cluster.calls.complete(record.call_id, code, output)
+        finally:
+            self._release_faaslet(definition.name, faaslet)
+
+    def _acquire_faaslet(self, definition: FunctionDefinition) -> tuple[Faaslet, bool]:
+        with self._mutex:
+            pool = self._warm.get(definition.name)
+            if pool:
+                self.metrics.warm_hits += 1
+                return pool.pop(), False
+        # Cold start: restore from the Proto-Faaslet when one exists.
+        start = time.perf_counter()
+        proto = self.cluster.registry.proto(definition.name)
+        if proto is not None:
+            faaslet = proto.restore(self.env)
+        else:
+            faaslet = Faaslet(definition, self.env)
+        self.metrics.cold_starts += 1
+        self.metrics.init_time_total += time.perf_counter() - start
+        self.cgroup.add_member(faaslet.name)
+        return faaslet, True
+
+    def _release_faaslet(self, function: str, faaslet: Faaslet) -> None:
+        self.cgroup.charge(faaslet.name, faaslet.instance.instructions_executed)
+        if self.reset_between_calls and faaslet.proto is not None:
+            faaslet.reset()
+        with self._mutex:
+            self._warm.setdefault(function, []).append(faaslet)
+
+    # ------------------------------------------------------------------
+    # Pre-warming (scale-up ahead of traffic)
+    # ------------------------------------------------------------------
+    def pre_warm(self, function: str, count: int = 1) -> int:
+        """Provision ``count`` warm Faaslets for ``function`` before any
+        traffic arrives, registering this host in the shared warm set.
+        Returns the number actually added."""
+        definition = self.cluster.registry.get(function)
+        if isinstance(definition, PythonFunctionDefinition):
+            return 0  # Python guests have no per-instance isolation unit
+        proto = self.cluster.registry.proto(function)
+        added = 0
+        for _ in range(count):
+            # Always create fresh instances (acquire would just recycle the
+            # pool's existing idle Faaslet).
+            if proto is not None:
+                faaslet = proto.restore(self.env)
+            else:
+                faaslet = Faaslet(definition, self.env)
+            self.cgroup.add_member(faaslet.name)
+            with self._mutex:
+                self._warm.setdefault(function, []).append(faaslet)
+            added += 1
+        if added:
+            self.cluster.warm_sets.add(function, self.host)
+        return added
+
+    # ------------------------------------------------------------------
+    # Pool reclamation (scale-to-zero)
+    # ------------------------------------------------------------------
+    def reclaim_idle(self, keep_per_function: int = 0) -> int:
+        """Tear down idle warm Faaslets beyond ``keep_per_function``.
+
+        The autoscaler's scale-down path: reclaimed Faaslets release their
+        memory and cgroup membership, and a function whose local pool drops
+        to zero is withdrawn from the shared warm set so other schedulers
+        stop sharing work here (§5.1). Returns the number reclaimed.
+        """
+        reclaimed = 0
+        with self._mutex:
+            for function, pool in list(self._warm.items()):
+                while len(pool) > keep_per_function:
+                    faaslet = pool.pop()
+                    self.cgroup.remove_member(faaslet.name)
+                    reclaimed += 1
+                if not pool:
+                    del self._warm[function]
+                    self.cluster.warm_sets.remove(function, self.host)
+        return reclaimed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def warm_functions(self) -> list[str]:
+        with self._mutex:
+            return sorted(name for name, pool in self._warm.items() if pool)
+
+    def warm_count(self, function: str) -> int:
+        with self._mutex:
+            return len(self._warm.get(function, []))
+
+    def memory_footprint(self) -> int:
+        """Private Faaslet memory + local-tier shared memory on this host."""
+        with self._mutex:
+            faaslets = [f for pool in self._warm.values() for f in pool]
+        return sum(f.memory_footprint() for f in faaslets) + self.local_tier.memory_bytes()

@@ -1,0 +1,113 @@
+"""Host-native Python guests: the CPython-workload execution path.
+
+The paper runs dynamic-language workloads by compiling CPython itself to
+WebAssembly and executing it inside a Faaslet (§6.4). Reproducing that here
+would mean interpreting CPython bytecode inside a Python-hosted wasm
+interpreter — computationally impossible — so Python functions run as host
+code, but *every* effect they have on the world flows through the same
+surfaces a wasm guest uses: input/output byte arrays, ``chain``/``await``,
+and the two-tier state API. That keeps the systems behaviour (state
+movement, chaining, scheduling) identical while substituting the compute
+substrate; DESIGN.md §1 records the substitution.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.state.api import StateAPI
+from repro.state.ddo import (
+    DistributedCounter,
+    DistributedDict,
+    DistributedList,
+    ImmutableValue,
+    MatrixReadOnly,
+    SparseMatrixReadOnly,
+    VectorAsync,
+)
+
+
+class PythonCallContext:
+    """The capabilities a Python guest sees — mirroring Tab. 2."""
+
+    def __init__(self, env, input_data: bytes):
+        self._env = env
+        self._input = bytes(input_data)
+        self._output = bytearray()
+
+    # -- call I/O -----------------------------------------------------------
+    def input(self) -> bytes:
+        """Tab. 2 ``read_call_input``."""
+        return self._input
+
+    def input_object(self):
+        """Convenience: unpickle the input payload."""
+        return pickle.loads(self._input) if self._input else None
+
+    def write_output(self, data: bytes) -> None:
+        """Tab. 2 ``write_call_output``."""
+        self._output += data
+
+    def write_output_object(self, obj) -> None:
+        self._output += pickle.dumps(obj)
+
+    @property
+    def output(self) -> bytes:
+        return bytes(self._output)
+
+    # -- chaining -------------------------------------------------------------
+    def chain(self, name: str, payload: bytes = b"") -> int:
+        """Tab. 2 ``chain_call``."""
+        return self._env.chain_call(name, payload)
+
+    def chain_object(self, name: str, obj) -> int:
+        return self.chain(name, pickle.dumps(obj))
+
+    def await_call(self, call_id: int) -> int:
+        return self._env.await_call(call_id)
+
+    def await_all(self, call_ids) -> list[int]:
+        """The two-loop chain/await pattern of Listing 1, packaged."""
+        return [self._env.await_call(cid) for cid in call_ids]
+
+    def call_output(self, call_id: int) -> bytes:
+        return self._env.get_call_output(call_id)
+
+    def call_output_object(self, call_id: int):
+        data = self._env.get_call_output(call_id)
+        return pickle.loads(data) if data else None
+
+    # -- state ------------------------------------------------------------------
+    @property
+    def state(self) -> StateAPI:
+        return self._env.state
+
+    # DDO constructors bound to this host's state API.
+    def vector_async(self, key: str, length: int) -> VectorAsync:
+        return VectorAsync(self.state, key, length)
+
+    def matrix_read_only(self, key: str) -> MatrixReadOnly:
+        return MatrixReadOnly(self.state, key)
+
+    def sparse_matrix_read_only(self, key: str) -> SparseMatrixReadOnly:
+        return SparseMatrixReadOnly(self.state, key)
+
+    def distributed_dict(self, key: str) -> DistributedDict:
+        return DistributedDict(self.state, key)
+
+    def distributed_counter(self, key: str) -> DistributedCounter:
+        return DistributedCounter(self.state, key)
+
+    def distributed_list(self, key: str) -> DistributedList:
+        return DistributedList(self.state, key)
+
+    def immutable_value(self, key: str) -> ImmutableValue:
+        return ImmutableValue(self.state, key)
+
+    # -- misc ------------------------------------------------------------------
+    def time_ns(self) -> int:
+        return self._env.current_time_ns()
+
+    @property
+    def host(self) -> str:
+        return self._env.state.tier.host

@@ -1,0 +1,92 @@
+"""Distributed shared-state scheduling (§5.1).
+
+FAASM's local schedulers cooperate through the global state tier, in the
+style of Omega: the set of warm hosts for each function lives under a state
+key, and every scheduler may read and atomically update it while making a
+placement decision. An incoming call is executed locally when the receiving
+host is warm and has capacity, shared with another warm host when one
+exists, and otherwise cold-started locally (registering this host as warm).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.state.kv import GlobalStateStore
+
+_WARM_PREFIX = "faasm/sched/warm/"
+
+
+@dataclass
+class SchedulingDecision:
+    host: str
+    reason: str  # "warm-local", "shared", "cold-local"
+
+    @property
+    def is_cold(self) -> bool:
+        return self.reason == "cold-local"
+
+
+class WarmSetRegistry:
+    """The per-function warm-host sets, held in the global state tier."""
+
+    def __init__(self, store: GlobalStateStore):
+        self.store = store
+
+    def _key(self, function: str) -> str:
+        return _WARM_PREFIX + function
+
+    def warm_hosts(self, function: str) -> set[str]:
+        if not self.store.exists(self._key(function)):
+            return set()
+        return set(json.loads(self.store.get_value(self._key(function)).decode()))
+
+    def add(self, function: str, host: str) -> None:
+        def update(old: bytes | None) -> bytes:
+            hosts = set(json.loads(old.decode())) if old else set()
+            hosts.add(host)
+            return json.dumps(sorted(hosts)).encode()
+
+        self.store.atomic_update(self._key(function), update)
+
+    def remove(self, function: str, host: str) -> None:
+        def update(old: bytes | None) -> bytes:
+            hosts = set(json.loads(old.decode())) if old else set()
+            hosts.discard(host)
+            return json.dumps(sorted(hosts)).encode()
+
+        self.store.atomic_update(self._key(function), update)
+
+
+class LocalScheduler:
+    """One host's scheduler; consults and updates the shared warm sets."""
+
+    def __init__(self, host: str, warm_sets: WarmSetRegistry, capacity_fn, peer_capacity_fn):
+        """``capacity_fn() -> int`` reports this host's free slots;
+        ``peer_capacity_fn(host) -> int`` reports a peer's."""
+        self.host = host
+        self.warm_sets = warm_sets
+        self._capacity = capacity_fn
+        self._peer_capacity = peer_capacity_fn
+        #: Decision counters for tests/benchmarks.
+        self.decisions: dict[str, int] = {"warm-local": 0, "shared": 0, "cold-local": 0}
+
+    def schedule(self, function: str) -> SchedulingDecision:
+        warm = self.warm_sets.warm_hosts(function)
+        if self.host in warm and self._capacity() > 0:
+            decision = SchedulingDecision(self.host, "warm-local")
+        else:
+            shared_to = None
+            for peer in sorted(warm):
+                if peer != self.host and self._peer_capacity(peer) > 0:
+                    shared_to = peer
+                    break
+            if shared_to is not None:
+                decision = SchedulingDecision(shared_to, "shared")
+            else:
+                # Cold start locally and advertise this host as warm.
+                self.warm_sets.add(function, self.host)
+                decision = SchedulingDecision(self.host, "cold-local")
+        self.decisions[decision.reason] += 1
+        return decision

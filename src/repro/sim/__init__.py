@@ -1,0 +1,83 @@
+"""``repro.sim`` — discrete-event cluster simulation.
+
+The engine (:mod:`repro.sim.engine`) is a generic simpy-style event loop;
+:mod:`repro.sim.cluster` models hosts, NICs and the shared network;
+:mod:`repro.sim.workload` defines platform-independent workloads; and
+:mod:`repro.sim.faasm_platform` (with :mod:`repro.baseline.knative`)
+interpret those workloads under FAASM/container semantics for the
+paper-scale experiments.
+"""
+
+from .cluster import (
+    DEFAULT_BANDWIDTH,
+    DEFAULT_HOST_RAM,
+    DEFAULT_NET_LATENCY,
+    OutOfMemory,
+    SimCluster,
+    SimHost,
+    SimNetwork,
+)
+from .engine import (
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    Resource,
+    SimulationError,
+    Store,
+    Timeout,
+    all_of,
+)
+from .faasm_platform import FaasmSimPlatform
+from .metrics import (
+    BillableMemory,
+    ExperimentMetrics,
+    LatencyRecorder,
+    TransferTotals,
+    percentile,
+)
+from .platform import SimCall, SimPlatform
+from .workload import (
+    Await,
+    CallHandle,
+    Chain,
+    Compute,
+    LoadExternal,
+    SimFunction,
+    StateRead,
+    StateWrite,
+)
+
+__all__ = [
+    "Await",
+    "BillableMemory",
+    "CallHandle",
+    "Chain",
+    "Compute",
+    "DEFAULT_BANDWIDTH",
+    "DEFAULT_HOST_RAM",
+    "DEFAULT_NET_LATENCY",
+    "Environment",
+    "Event",
+    "ExperimentMetrics",
+    "FaasmSimPlatform",
+    "Interrupt",
+    "LatencyRecorder",
+    "LoadExternal",
+    "OutOfMemory",
+    "Process",
+    "Resource",
+    "SimCall",
+    "SimCluster",
+    "SimFunction",
+    "SimHost",
+    "SimNetwork",
+    "SimPlatform",
+    "SimulationError",
+    "StateRead",
+    "StateWrite",
+    "Store",
+    "Timeout",
+    "TransferTotals",
+    "percentile",
+]

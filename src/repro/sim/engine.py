@@ -1,0 +1,289 @@
+"""A minimal discrete-event simulation engine (processes as generators).
+
+The cluster-scale experiments (Figs. 6–8, 10) need a 20-host deployment
+with realistic queueing, bandwidth sharing and memory pressure — far beyond
+what can execute in real time on one machine. This engine provides the
+simpy-style core they run on: an event queue, generator-based processes,
+timeouts, and capacity resources.
+
+Usage::
+
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(1.5)
+        return "done"
+
+    proc = env.process(worker(env))
+    env.run()
+    assert env.now == 1.5 and proc.value == "done"
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+
+
+class SimulationError(RuntimeError):
+    """Generic failure inside the simulation."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted."""
+
+    def __init__(self, cause=None):
+        self.cause = cause
+        super().__init__(cause)
+
+
+PENDING = "pending"
+TRIGGERED = "triggered"
+PROCESSED = "processed"
+
+
+class Event:
+    """A one-shot event; processes wait on it by yielding it."""
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list = []
+        self.state = PENDING
+        self.value = None
+        self._exception: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    def succeed(self, value=None) -> "Event":
+        if self.state != PENDING:
+            raise SimulationError("event already triggered")
+        self.value = value
+        self.state = TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self.state != PENDING:
+            raise SimulationError("event already triggered")
+        self._exception = exception
+        self.state = TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    @property
+    def triggered(self) -> bool:
+        return self.state != PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        return self.triggered and self._exception is None
+
+    # ------------------------------------------------------------------
+    def subscribe(self, callback) -> None:
+        """Attach a callback, firing immediately if already processed."""
+        if self.state == PROCESSED:
+            immediate = Event(self.env)
+            immediate.callbacks.append(lambda _ev: callback(self))
+            immediate.succeed()
+        else:
+            self.callbacks.append(callback)
+
+    def _fire(self) -> None:
+        self.state = PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that fires after a simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value=None):
+        if delay < 0:
+            raise ValueError("negative timeout")
+        super().__init__(env)
+        self.value = value
+        self.state = TRIGGERED
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator; itself an event that fires on completion."""
+
+    def __init__(self, env: "Environment", generator):
+        super().__init__(env)
+        self._generator = generator
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    def _resume(self, event: Event) -> None:
+        try:
+            if event._exception is not None:
+                target = self._generator.throw(event._exception)
+            else:
+                target = self._generator.send(
+                    event.value if event is not self else None
+                )
+        except StopIteration as stop:
+            if self.state == PENDING:
+                self.value = stop.value
+                self.state = TRIGGERED
+                self.env._schedule(self)
+            return
+        except Interrupt:
+            if self.state == PENDING:
+                self.state = TRIGGERED
+                self.env._schedule(self)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {target!r}, expected an Event"
+            )
+        target.subscribe(self._resume)
+
+    def interrupt(self, cause=None) -> None:
+        """Throw :class:`Interrupt` into the process at the next step."""
+        event = Event(self.env)
+        event.callbacks.append(self._resume)
+        event.fail(Interrupt(cause))
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list = []
+        self._seq = count()
+
+    # ------------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), event))
+
+    def timeout(self, delay: float, value=None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def process(self, generator) -> Process:
+        return Process(self, generator)
+
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None) -> None:
+        """Run until the queue drains or simulated time reaches ``until``."""
+        while self._heap:
+            at, _, event = self._heap[0]
+            if until is not None and at > until:
+                self.now = until
+                return
+            heapq.heappop(self._heap)
+            self.now = at
+            event._fire()
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def run_process(self, generator):
+        """Convenience: run a process to completion and return its value."""
+        proc = self.process(generator)
+        self.run()
+        if not proc.processed and proc.state != TRIGGERED:
+            raise SimulationError("process did not complete (deadlock?)")
+        if proc._exception is not None:
+            raise proc._exception
+        return proc.value
+
+
+def all_of(env: Environment, events: list[Event]) -> Event:
+    """An event that fires when every event in ``events`` has fired,
+    yielding the list of their values."""
+    result = env.event()
+    remaining = len(events)
+    if remaining == 0:
+        result.succeed([])
+        return result
+    values: list = [None] * len(events)
+
+    def make_cb(i):
+        def cb(ev):
+            nonlocal remaining
+            if ev._exception is not None:
+                if result.state == PENDING:
+                    result.fail(ev._exception)
+                return
+            values[i] = ev.value
+            remaining -= 1
+            if remaining == 0 and result.state == PENDING:
+                result.succeed(values)
+
+        return cb
+
+    for i, event in enumerate(events):
+        event.subscribe(make_cb(i))
+    return result
+
+
+class Resource:
+    """A capacity-limited resource with FIFO queueing."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: list[Event] = []
+
+    def request(self) -> Event:
+        """An event firing when a slot is acquired; pair with release()."""
+        event = self.env.event()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._waiters:
+            self._waiters.pop(0).succeed()
+        else:
+            self.in_use = max(0, self.in_use - 1)
+
+    def acquire(self):
+        """Generator helper: ``yield from resource.acquire()``."""
+        yield self.request()
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+
+class Store:
+    """An unbounded FIFO item store (message-queue building block)."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._items: list = []
+        self._getters: list[Event] = []
+
+    def put(self, item) -> None:
+        if self._getters:
+            self._getters.pop(0).succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        event = self.env.event()
+        if self._items:
+            event.succeed(self._items.pop(0))
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._items)

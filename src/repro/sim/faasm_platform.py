@@ -1,0 +1,259 @@
+"""The FAASM platform model for cluster-scale simulated experiments.
+
+Encodes the architectural properties measured in §6, with parameters
+calibrated from the paper's own microbenchmarks (Tab. 3):
+
+* isolation units are Faaslets: ~270 kB memory overhead (§6.2), cold
+  starts of ~5 ms, or ~0.5 ms when restored from a Proto-Faaslet;
+* the **local state tier** is shared per host: the first read of a state
+  chunk on a host pulls it from the KVS and materialises one replica; every
+  co-located reader afterwards hits shared memory at zero network and zero
+  additional memory cost (§4.2);
+* writes with ``push=False`` stay local (batching, as ``VectorAsync``
+  does); pushes ship one copy per host;
+* chaining rides the message bus: sub-millisecond, no HTTP stack;
+* guest compute pays a WebAssembly slowdown factor (Fig. 9: most kernels
+  near 1×, so the default is a mild 1.1×).
+
+Nothing in this module hard-codes an experimental *result*: training times,
+transfer volumes and billable memory all emerge from these mechanisms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cluster import SimCluster, SimHost
+from .engine import Event
+from .platform import SimCall, SimPlatform
+from .workload import Chain, LoadExternal, StateRead, StateWrite
+
+#: Tab. 3: Faaslet RSS for a no-op function.
+FAASLET_OVERHEAD = 270 * 1024
+#: Tab. 3 / Fig. 10: cold start without and with a Proto-Faaslet.
+COLD_START_S = 0.0052
+PROTO_RESTORE_S = 0.0005
+#: Message-bus chaining latency (§3.1: direct inter-Faaslet communication,
+#: including the shared-state scheduling decision).
+CHAIN_LATENCY_S = 0.001
+#: Default wasm compute slowdown (Fig. 9a: most Polybench kernels ≈ 1×).
+WASM_SLOWDOWN = 1.1
+
+
+@dataclass
+class SimFaaslet:
+    """The model-side record of one Faaslet."""
+
+    host: SimHost
+    function: str
+    memory: int
+    busy: bool = False
+
+
+class FaasmSimPlatform(SimPlatform):
+    """Simulated FAASM deployment (one Faaslet pool per host)."""
+
+    def __init__(
+        self,
+        cluster: SimCluster,
+        use_protos: bool = True,
+        wasm_slowdown: float = WASM_SLOWDOWN,
+        local_tier: bool = True,
+        chain_local_capacity: int = 4,
+    ):
+        super().__init__(cluster)
+        self.use_protos = use_protos
+        self.wasm_slowdown = wasm_slowdown
+        #: Ablation switch: disable the shared local tier (every read ships).
+        self.local_tier = local_tier
+        #: §5.1: a chained call executes on its caller's host while fewer
+        #: than this many Faaslets are busy there (the host's core count);
+        #: beyond that, work is shared with other hosts.
+        self.chain_local_capacity = chain_local_capacity
+        #: Warm Faaslets per function name.
+        self._warm: dict[str, list[SimFaaslet]] = {}
+        #: (host, key) -> replica size currently in that host's local tier.
+        self._replicas: dict[tuple[str, str], int] = {}
+        #: Pending batched writes per (host, key) — flushed on push.
+        self._dirty: dict[tuple[str, str], int] = {}
+
+    def compute_slowdown(self) -> float:
+        return self.wasm_slowdown
+
+    # ------------------------------------------------------------------
+    # Faaslet lifecycle
+    # ------------------------------------------------------------------
+    def _acquire_unit(self, call: SimCall):
+        preferred = self._preferred_host(call)
+        if preferred is None and call.origin is not None:
+            if self._busy_on(call.origin) < self.chain_local_capacity:
+                preferred = call.origin
+        pool = self._warm.get(call.function.name, [])
+        idle_units = [f for f in pool if not f.busy]
+        if idle_units:
+            # Prefer a warm Faaslet co-located with the call's state (§5.1).
+            idle = next(
+                (f for f in idle_units if preferred and f.host is preferred),
+                idle_units[0],
+            )
+            self.metrics.warm_starts += 1
+            idle.busy = True
+            call.unit = idle
+            call.host = idle.host
+            self.track_peak(call, idle.memory)
+            return
+            yield  # pragma: no cover
+        # Cold start, co-located with required state when possible.
+        host = preferred or self.least_loaded_host()
+        memory = FAASLET_OVERHEAD + call.function.working_set
+        host.allocate(memory)
+        faaslet = SimFaaslet(host, call.function.name, memory, busy=True)
+        self._warm.setdefault(call.function.name, []).append(faaslet)
+        call.unit = faaslet
+        call.host = host
+        self.metrics.cold_starts += 1
+        if self.use_protos and call.function.snapshot_init:
+            # Restore from snapshot: initialisation happened at upload time.
+            yield self.env.timeout(PROTO_RESTORE_S)
+        else:
+            yield self.env.timeout(COLD_START_S)
+            if call.function.init_cost_s:
+                yield self.env.timeout(call.function.init_cost_s)
+        self.track_peak(call, memory)
+
+    def _release_unit(self, call: SimCall):
+        if call.unit is not None:
+            call.unit.busy = False
+        return
+        yield  # pragma: no cover
+
+    def _busy_on(self, host: SimHost) -> int:
+        return sum(
+            1
+            for pool in self._warm.values()
+            for faaslet in pool
+            if faaslet.busy and faaslet.host is host
+        )
+
+    def _preferred_host(self, call: SimCall) -> SimHost | None:
+        """The host holding the most replicas of the call's declared state
+        keys — the shared-state scheduler's data-locality goal (§5.1)."""
+        if call.function.locality is None:
+            return None
+        keys = call.function.locality(call.arg)
+        if not keys:
+            return None
+        best, best_score = None, 0
+        for host in self.cluster.hosts:
+            score = sum(
+                1
+                for key in keys
+                if isinstance(self._replicas.get((host.name, key)), int)
+            )
+            if score > best_score:
+                best, best_score = host, score
+        return best
+
+    # ------------------------------------------------------------------
+    # Two-tier state semantics
+    # ------------------------------------------------------------------
+    def _do_state_read(self, call: SimCall, op: StateRead):
+        host = call.host
+        replica_key = (host.name, op.key)
+        if not self.local_tier:
+            # Ablation: value is copied privately into the Faaslet.
+            yield from self.cluster.from_kvs(host, op.nbytes, key=op.key)
+            call.unit.memory += op.nbytes
+            host.allocate(op.nbytes)
+            self.track_peak(call, call.unit.memory)
+            return
+        entry = self._replicas.get(replica_key)
+        if entry is not None:
+            if isinstance(entry, int):
+                # Local-tier hit: shared memory, no network, no new copy.
+                self.track_peak(call, call.unit.memory)
+                return
+            # A co-located Faaslet is pulling this value right now; wait on
+            # the replica write lock rather than pulling a duplicate (§4.2).
+            yield entry
+            self.track_peak(call, call.unit.memory)
+            return
+        pending = self.env.event()
+        self._replicas[replica_key] = pending
+        yield from self.cluster.from_kvs(host, op.nbytes, key=op.key)
+        host.allocate(op.nbytes)
+        self._replicas[replica_key] = op.nbytes
+        pending.succeed()
+        self.track_peak(call, call.unit.memory + op.nbytes)
+
+    def _do_state_write(self, call: SimCall, op: StateWrite):
+        host = call.host
+        replica_key = (host.name, op.key)
+        if self.local_tier:
+            entry = self._replicas.get(replica_key)
+            if isinstance(entry, Event):
+                yield entry
+                entry = self._replicas.get(replica_key)
+            if not isinstance(entry, int):
+                host.allocate(op.nbytes)
+                self._replicas[replica_key] = op.nbytes
+            self.track_peak(call, call.unit.memory + op.nbytes)
+            if op.push:
+                # Batched per-host push: one transfer regardless of how many
+                # local writers contributed (§6.2).
+                yield from self.cluster.to_kvs(host, op.nbytes, key=op.key)
+            else:
+                self._dirty[replica_key] = op.nbytes
+                return
+        else:
+            yield from self.cluster.to_kvs(host, op.nbytes, key=op.key)
+
+    def flush_dirty(self):
+        """Process generator: push all batched writes (end of an epoch).
+        Hosts flush concurrently — each push is an independent transfer."""
+        from .engine import all_of
+
+        dirty, self._dirty = self._dirty, {}
+        pushes = []
+        for (host_name, key), nbytes in dirty.items():
+            host = next(h for h in self.cluster.hosts if h.name == host_name)
+            pushes.append(self.env.process(self.cluster.to_kvs(host, nbytes, key=key)))
+        if pushes:
+            yield all_of(self.env, pushes)
+
+    # ------------------------------------------------------------------
+    def _do_load_external(self, call: SimCall, op: LoadExternal):
+        yield from self.cluster.network.transfer(None, call.host, op.nbytes)
+
+    def _do_chain(self, call: SimCall, op: Chain):
+        # Message-bus chaining; the callee carries its caller's host so the
+        # scheduler can execute it locally when capacity allows (§5.1).
+        yield self.env.timeout(CHAIN_LATENCY_S)
+        return self.invoke(op.function, op.arg, origin=call.host)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def host_replica_bytes(self, host: SimHost) -> int:
+        return sum(
+            size
+            for (h, _k), size in self._replicas.items()
+            if h == host.name and isinstance(size, int)
+        )
+
+    def reclaim_idle(self) -> None:
+        """Tear down idle Faaslets and local replicas (between sweeps)."""
+        for pool in self._warm.values():
+            for faaslet in pool:
+                if not faaslet.busy:
+                    faaslet.host.free(faaslet.memory)
+        self._warm = {
+            name: [f for f in pool if f.busy] for name, pool in self._warm.items()
+        }
+        for (host_name, _key), size in self._replicas.items():
+            if not isinstance(size, int):
+                continue
+            host = next(h for h in self.cluster.hosts if h.name == host_name)
+            host.free(size)
+        self._replicas.clear()
+        self._dirty.clear()

@@ -1,0 +1,105 @@
+"""Platform-independent workload descriptions for simulated experiments.
+
+The paper stresses that "all experiments are implemented using the same
+code for both FAASM and Knative" (§6.1). We mirror that: a workload is a
+:class:`SimFunction` whose body is a generator yielding abstract operations
+(compute, state reads/writes, chained calls); each platform model
+interprets those operations with its own cost semantics — shared local
+tier vs per-container duplication, message-bus chaining vs HTTP, snapshot
+restores vs container boots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Pure computation for ``seconds`` of simulated CPU time."""
+
+    seconds: float
+
+
+@dataclass(frozen=True)
+class StateRead:
+    """Read ``nbytes`` of the state value ``key``.
+
+    ``key`` identifies the value or chunk (chunked reads use distinct keys,
+    e.g. ``"mat:0"``). Platforms decide whether this is a network pull or a
+    local-tier hit. ``once_per_unit`` marks reads an isolation unit caches
+    for its lifetime (e.g. a served model loaded at startup): containers
+    re-fetch it only on cold start rather than on every invocation.
+    """
+
+    key: str
+    nbytes: int
+    once_per_unit: bool = False
+
+
+@dataclass(frozen=True)
+class StateWrite:
+    """Write ``nbytes`` to ``key``. With ``push=False`` the write stays in
+    the local tier where one exists (Faasm); platforms without a local tier
+    must ship it regardless."""
+
+    key: str
+    nbytes: int
+    push: bool = True
+
+
+@dataclass(frozen=True)
+class LoadExternal:
+    """Fetch ``nbytes`` from an external service (e.g. the image file
+    server of §6.3) — network traffic that is not state."""
+
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class Chain:
+    """Invoke another function asynchronously; the op evaluates to a call
+    handle to pass to :class:`Await`."""
+
+    function: "SimFunction"
+    arg: object = None
+
+
+@dataclass(frozen=True)
+class Await:
+    """Wait for every handle in ``handles`` to complete (the chain/await
+    loop pattern of Listing 1)."""
+
+    handles: tuple
+
+
+@dataclass
+class SimFunction:
+    """A deployable function for the simulated platforms.
+
+    ``body(arg)`` is a generator yielding the ops above. ``working_set``
+    is the function's private (non-state) memory in bytes. ``init_cost``
+    models initialisation work beyond the isolation mechanism itself (e.g.
+    loading a language runtime or an ML model), which Proto-Faaslets can
+    snapshot away but containers pay on every cold start.
+    """
+
+    name: str
+    body: Callable
+    working_set: int = 1 * 1024 * 1024
+    init_cost_s: float = 0.0
+    #: Whether a Proto-Faaslet snapshot captures init (Faasm skips init_cost).
+    snapshot_init: bool = True
+    #: Optional ``locality(arg) -> list[str]`` naming the state keys the
+    #: call will touch; locality-aware platforms (FAASM's shared-state
+    #: scheduler, §5.1) place the call where those replicas already live.
+    locality: Callable | None = None
+
+
+@dataclass
+class CallHandle:
+    """Returned by Chain; resolved by the platform."""
+
+    process: object
+    function: str

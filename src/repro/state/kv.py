@@ -1,0 +1,190 @@
+"""The global state tier: a Redis-like in-memory key-value store (§4.2).
+
+The authoritative copy of every state value lives here; hosts pull replicas
+into their local tier and push updates back. The store supports the byte-
+oriented operations the state API needs (whole values, ranges, appends) plus
+per-key distributed read/write locks.
+
+Every byte moved through a :class:`StateClient` is charged to that client's
+:class:`TransferMeter`, which is how the experiments of Figs. 6b and 8b
+account network traffic: in the paper's deployment the global tier is a
+remote Redis, so every pull/push is a network transfer.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from .rwlock import RWLock
+
+
+class StateKeyError(KeyError):
+    """The requested state key does not exist in the global tier."""
+
+
+@dataclass
+class TransferMeter:
+    """Counts bytes exchanged with the global tier (per host)."""
+
+    sent_bytes: int = 0
+    received_bytes: int = 0
+    operations: int = 0
+
+    def record_sent(self, nbytes: int) -> None:
+        self.sent_bytes += nbytes
+        self.operations += 1
+
+    def record_received(self, nbytes: int) -> None:
+        self.received_bytes += nbytes
+        self.operations += 1
+
+    @property
+    def total_bytes(self) -> int:
+        return self.sent_bytes + self.received_bytes
+
+    def reset(self) -> None:
+        self.sent_bytes = 0
+        self.received_bytes = 0
+        self.operations = 0
+
+
+class GlobalStateStore:
+    """Thread-safe authoritative store for all state keys in a cluster."""
+
+    def __init__(self) -> None:
+        self._values: dict[str, bytearray] = {}
+        self._locks: dict[str, RWLock] = {}
+        self._mutex = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Value operations
+    # ------------------------------------------------------------------
+    def set_value(self, key: str, value: bytes | bytearray | memoryview) -> None:
+        with self._mutex:
+            self._values[key] = bytearray(value)
+
+    def get_value(self, key: str) -> bytes:
+        with self._mutex:
+            value = self._values.get(key)
+            if value is None:
+                raise StateKeyError(key)
+            return bytes(value)
+
+    def get_range(self, key: str, offset: int, length: int) -> bytes:
+        with self._mutex:
+            value = self._values.get(key)
+            if value is None:
+                raise StateKeyError(key)
+            if offset < 0 or offset + length > len(value):
+                raise IndexError(
+                    f"range [{offset}, {offset + length}) outside value of "
+                    f"size {len(value)} for key {key!r}"
+                )
+            return bytes(value[offset : offset + length])
+
+    def set_range(self, key: str, offset: int, data: bytes) -> None:
+        with self._mutex:
+            value = self._values.get(key)
+            if value is None:
+                raise StateKeyError(key)
+            end = offset + len(data)
+            if end > len(value):
+                value.extend(b"\x00" * (end - len(value)))
+            value[offset:end] = data
+
+    def append(self, key: str, data: bytes) -> None:
+        with self._mutex:
+            self._values.setdefault(key, bytearray()).extend(data)
+
+    def delete(self, key: str) -> None:
+        with self._mutex:
+            self._values.pop(key, None)
+            self._locks.pop(key, None)
+
+    def exists(self, key: str) -> bool:
+        with self._mutex:
+            return key in self._values
+
+    def size(self, key: str) -> int:
+        with self._mutex:
+            value = self._values.get(key)
+            if value is None:
+                raise StateKeyError(key)
+            return len(value)
+
+    def keys(self) -> list[str]:
+        with self._mutex:
+            return sorted(self._values)
+
+    def total_bytes(self) -> int:
+        with self._mutex:
+            return sum(len(v) for v in self._values.values())
+
+    # ------------------------------------------------------------------
+    # Distributed locks
+    # ------------------------------------------------------------------
+    def lock_for(self, key: str) -> RWLock:
+        with self._mutex:
+            lock = self._locks.get(key)
+            if lock is None:
+                lock = self._locks[key] = RWLock()
+            return lock
+
+    # ------------------------------------------------------------------
+    # Atomic helpers used by the scheduler's shared-state decisions (§5.1).
+    # ------------------------------------------------------------------
+    def atomic_update(self, key: str, fn) -> bytes:
+        """Atomically apply ``fn(old_value | None) -> bytes`` to a key."""
+        with self._mutex:
+            old = self._values.get(key)
+            new = fn(bytes(old) if old is not None else None)
+            self._values[key] = bytearray(new)
+            return new
+
+
+class StateClient:
+    """A host's metered connection to the global tier.
+
+    All local-tier pull/push traffic flows through one of these, so the
+    per-host :class:`TransferMeter` reflects exactly the bytes that would
+    cross the network to Redis in the paper's deployment.
+    """
+
+    def __init__(self, store: GlobalStateStore, meter: TransferMeter | None = None):
+        self.store = store
+        self.meter = meter or TransferMeter()
+
+    def pull(self, key: str) -> bytes:
+        value = self.store.get_value(key)
+        self.meter.record_received(len(value))
+        return value
+
+    def pull_range(self, key: str, offset: int, length: int) -> bytes:
+        value = self.store.get_range(key, offset, length)
+        self.meter.record_received(len(value))
+        return value
+
+    def push(self, key: str, value: bytes) -> None:
+        self.meter.record_sent(len(value))
+        self.store.set_value(key, value)
+
+    def push_range(self, key: str, offset: int, data: bytes) -> None:
+        self.meter.record_sent(len(data))
+        self.store.set_range(key, offset, data)
+
+    def append(self, key: str, data: bytes) -> None:
+        self.meter.record_sent(len(data))
+        self.store.append(key, data)
+
+    def size(self, key: str) -> int:
+        return self.store.size(key)
+
+    def exists(self, key: str) -> bool:
+        return self.store.exists(key)
+
+    def delete(self, key: str) -> None:
+        self.store.delete(key)
+
+    def lock_for(self, key: str) -> RWLock:
+        return self.store.lock_for(key)

@@ -1,0 +1,227 @@
+"""The local state tier: per-host replicas in Faaslet shared memory (§4.2).
+
+Each host runs one :class:`LocalTier`. A replica of a state value is a
+:class:`~repro.faaslet.sharing.SharedRegion` that co-located Faaslets map
+directly into their linear memories — there is no separate storage service
+(unlike SAND or Cloudburst, as the paper notes). Chunked values (Fig. 4,
+value ``C``) track which byte ranges have been pulled so only the required
+subsets are replicated.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.faaslet.sharing import SharedRegion
+
+from .kv import StateClient, StateKeyError
+from .rwlock import RWLock
+
+
+class _IntervalSet:
+    """A merged set of [start, end) byte intervals."""
+
+    def __init__(self) -> None:
+        self._spans: list[tuple[int, int]] = []
+
+    def add(self, start: int, end: int) -> None:
+        if end <= start:
+            return
+        spans = self._spans
+        merged: list[tuple[int, int]] = []
+        placed = False
+        for s, e in spans:
+            if e < start or s > end:
+                merged.append((s, e))
+            else:
+                start, end = min(s, start), max(e, end)
+        for i, (s, e) in enumerate(merged):
+            if start < s:
+                merged.insert(i, (start, end))
+                placed = True
+                break
+        if not placed:
+            merged.append((start, end))
+        self._spans = merged
+
+    def covers(self, start: int, end: int) -> bool:
+        if end <= start:
+            return True
+        return any(s <= start and end <= e for s, e in self._spans)
+
+    def missing(self, start: int, end: int) -> list[tuple[int, int]]:
+        """Sub-ranges of [start, end) not yet present."""
+        gaps: list[tuple[int, int]] = []
+        cursor = start
+        for s, e in self._spans:
+            if e <= cursor:
+                continue
+            if s >= end:
+                break
+            if s > cursor:
+                gaps.append((cursor, min(s, end)))
+            cursor = max(cursor, e)
+            if cursor >= end:
+                break
+        if cursor < end:
+            gaps.append((cursor, end))
+        return gaps
+
+    def clear(self) -> None:
+        self._spans = []
+
+    @property
+    def spans(self) -> list[tuple[int, int]]:
+        return list(self._spans)
+
+
+@dataclass
+class Replica:
+    """A local-tier replica of one state value.
+
+    ``value_size`` is the value's logical length; the backing region may be
+    larger (page-aligned, or left over from a previously larger value).
+    """
+
+    key: str
+    region: SharedRegion
+    lock: RWLock = field(default_factory=RWLock)
+    present: _IntervalSet = field(default_factory=_IntervalSet)
+    value_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.value_size == 0:
+            self.value_size = self.region.size
+
+    @property
+    def size(self) -> int:
+        return self.value_size
+
+
+class LocalTier:
+    """Shared in-memory state replicas for one host."""
+
+    def __init__(self, host: str, client: StateClient):
+        self.host = host
+        self.client = client
+        self._replicas: dict[str, Replica] = {}
+        self._mutex = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Replica management
+    # ------------------------------------------------------------------
+    def replica(self, key: str, size: int | None = None) -> Replica:
+        """Get or create the replica for ``key`` (sized from the global tier
+        when ``size`` is not given)."""
+        with self._mutex:
+            rep = self._replicas.get(key)
+            if rep is not None:
+                if size is not None and size > rep.value_size:
+                    if size > rep.region.size:
+                        rep.region.resize(size)
+                    rep.value_size = size
+                return rep
+            if size is None:
+                size = self.client.size(key)  # raises StateKeyError if absent
+            region = SharedRegion(f"{self.host}/{key}", size)
+            rep = self._replicas[key] = Replica(key, region, value_size=size)
+            return rep
+
+    def has_replica(self, key: str) -> bool:
+        with self._mutex:
+            return key in self._replicas
+
+    def drop(self, key: str) -> None:
+        with self._mutex:
+            self._replicas.pop(key, None)
+
+    def keys(self) -> list[str]:
+        with self._mutex:
+            return sorted(self._replicas)
+
+    def memory_bytes(self) -> int:
+        """Bytes of local-tier shared memory on this host (for billable
+        memory accounting in Fig. 6c)."""
+        with self._mutex:
+            return sum(r.region.n_pages * 64 * 1024 for r in self._replicas.values())
+
+    # ------------------------------------------------------------------
+    # Pull / push (local <-> global movement, §4.1)
+    # ------------------------------------------------------------------
+    def pull(self, key: str, force: bool = False) -> Replica:
+        """Ensure the full value is present locally; fetch it if not."""
+        rep = self.replica(key)
+        with rep.lock.write_locked():
+            if force or not rep.present.covers(0, rep.size):
+                value = self.client.pull(key)
+                if len(value) > rep.region.size:
+                    rep.region.resize(len(value))
+                rep.region.write(value, 0)
+                rep.value_size = len(value)
+                rep.present.clear()
+                rep.present.add(0, len(value))
+        return rep
+
+    def pull_chunk(self, key: str, offset: int, length: int, force: bool = False) -> Replica:
+        """Ensure ``[offset, offset+length)`` is present locally (state
+        chunks, Fig. 4)."""
+        rep = self.replica(key)
+        with rep.lock.write_locked():
+            if force:
+                gaps = [(offset, offset + length)]
+            else:
+                gaps = rep.present.missing(offset, offset + length)
+            for start, end in gaps:
+                data = self.client.pull_range(key, start, end - start)
+                rep.region.write(data, start)
+                rep.present.add(start, end)
+        return rep
+
+    def push(self, key: str) -> None:
+        """Write the full local replica to the global tier."""
+        rep = self.replica(key)
+        with rep.lock.read_locked():
+            self.client.push(key, rep.region.read(0, rep.size))
+            rep.present.add(0, rep.size)
+
+    def push_chunk(self, key: str, offset: int, length: int) -> None:
+        rep = self.replica(key)
+        with rep.lock.read_locked():
+            self.client.push_range(key, offset, rep.region.read(offset, length))
+
+    # ------------------------------------------------------------------
+    # Local reads/writes (no global traffic)
+    # ------------------------------------------------------------------
+    def read_local(self, key: str, offset: int = 0, length: int | None = None) -> bytes:
+        rep = self.replica(key)
+        with rep.lock.read_locked():
+            return rep.region.read(offset, length)
+
+    def write_local(self, key: str, data: bytes, offset: int = 0, size: int | None = None) -> Replica:
+        """Write to the local replica only; creates it if needed.
+
+        With an explicit ``size`` the value's logical length becomes exactly
+        ``size`` (a full replacement may *shrink* the value); without one the
+        value grows as needed.
+        """
+        rep = self.replica(key, size=size if size is not None else offset + len(data))
+        with rep.lock.write_locked():
+            if offset + len(data) > rep.region.size:
+                rep.region.resize(offset + len(data))
+            if offset > rep.value_size:
+                # Writing past the logical end: the gap reads as zeros.
+                rep.region.write(b"\x00" * (offset - rep.value_size), rep.value_size)
+                rep.present.add(rep.value_size, offset)
+            rep.region.write(data, offset)
+            if size is not None:
+                new_size = max(size, offset + len(data))
+            else:
+                new_size = max(rep.value_size, offset + len(data))
+            if new_size < rep.value_size:
+                # Shrinking truncates: stale tail bytes must never resurface
+                # if the value later regrows.
+                rep.region.write(b"\x00" * (rep.value_size - new_size), new_size)
+            rep.value_size = new_size
+            rep.present.add(offset, offset + len(data))
+        return rep

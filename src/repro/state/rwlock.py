@@ -1,0 +1,89 @@
+"""A reentrancy-free reader–writer lock.
+
+Used for both local-tier replica locks and global-tier per-key locks
+(Tab. 2: ``lock_state_read/write`` and ``lock_state_global_read/write``).
+Writer-preferring: once a writer is waiting, new readers queue behind it,
+bounding writer starvation under read-heavy workloads like shared matrices.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class RWLock:
+    """A writer-preferring reader–writer lock."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    # -- write side --------------------------------------------------------
+    def acquire_write(self, timeout: float | None = None) -> bool:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                ok = self._cond.wait_for(
+                    lambda: not self._writer and self._readers == 0, timeout
+                )
+                if not ok:
+                    return False
+                self._writer = True
+                return True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            if not self._writer:
+                raise RuntimeError("release_write without a held write lock")
+            self._writer = False
+            self._cond.notify_all()
+
+    # -- read side ----------------------------------------------------------
+    def acquire_read(self, timeout: float | None = None) -> bool:
+        with self._cond:
+            ok = self._cond.wait_for(
+                lambda: not self._writer and self._writers_waiting == 0, timeout
+            )
+            if not ok:
+                return False
+            self._readers += 1
+            return True
+
+    def release_read(self) -> None:
+        with self._cond:
+            if self._readers <= 0:
+                raise RuntimeError("release_read without a held read lock")
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- context managers --------------------------------------------------
+    @contextmanager
+    def read_locked(self):
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # -- introspection (tests) ----------------------------------------------
+    @property
+    def readers(self) -> int:
+        return self._readers
+
+    @property
+    def write_held(self) -> bool:
+        return self._writer

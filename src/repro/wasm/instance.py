@@ -1,0 +1,483 @@
+"""Module instantiation and the flat-code interpreter.
+
+An :class:`Instance` is the executable form of a module: flat-compiled
+functions, a linear memory, globals, a function table and resolved host
+imports. The interpreter enforces, at runtime, the SFI guarantees the paper
+relies on (§2.2): bounds-checked memory, checked indirect calls, bounded
+call depth and — for CPU accounting by the cgroup layer — fuel metering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .codegen import CompiledFunction, compile_module
+from .errors import (
+    CallStackExhausted,
+    IndirectCallTypeMismatch,
+    LinkError,
+    OutOfBoundsTableAccess,
+    OutOfFuel,
+    Trap,
+    UndefinedElement,
+    UnreachableExecuted,
+)
+from .instructions import LOAD_OPS, STORE_OPS
+from .memory import LinearMemory
+from .module import Module
+from .ops import BINOPS, UNOPS
+from .types import FuncType, ValType
+from .validation import validate_module
+from .values import MASK32, MASK64, to_f32, to_signed32, to_signed64
+
+#: Default guest call-depth limit (Python recursion bounds this from above).
+DEFAULT_CALL_DEPTH = 220
+
+
+@dataclass
+class HostFunc:
+    """A host function importable by guest modules.
+
+    ``fn`` receives canonical values (unsigned ints / floats); when
+    ``pass_instance`` is true it receives the calling :class:`Instance` as
+    its first argument, which is how the Faaslet host interface reaches the
+    caller's linear memory.
+    """
+
+    module: str
+    name: str
+    type: FuncType
+    fn: Callable
+    pass_instance: bool = False
+
+
+def _canon(value, valtype: ValType):
+    if valtype is ValType.I32:
+        return int(value) & MASK32
+    if valtype is ValType.I64:
+        return int(value) & MASK64
+    if valtype is ValType.F32:
+        return to_f32(float(value))
+    return float(value)
+
+
+def _external(value, valtype: ValType):
+    """Convert a canonical value to the friendliest external representation
+    (signed ints for i32/i64)."""
+    if valtype is ValType.I32:
+        return to_signed32(value)
+    if valtype is ValType.I64:
+        return to_signed64(value)
+    return value
+
+
+@dataclass
+class GlobalInstance:
+    valtype: ValType
+    mutable: bool
+    value: int | float
+
+
+class Instance:
+    """An instantiated module ready to execute."""
+
+    def __init__(
+        self,
+        module: Module,
+        imports: dict[tuple[str, str], HostFunc] | None = None,
+        *,
+        memory: LinearMemory | None = None,
+        fuel: int | None = None,
+        call_depth_limit: int = DEFAULT_CALL_DEPTH,
+        validated: bool = False,
+        apply_data: bool = True,
+        run_start: bool = True,
+        precompiled: list[CompiledFunction] | None = None,
+    ):
+        if not validated:
+            validate_module(module)
+        self.module = module
+        self.call_depth_limit = call_depth_limit
+        self._fuel = fuel
+        #: Total instructions executed; the cgroup layer reads this as the
+        #: Faaslet's consumed "CPU cycles".
+        self.instructions_executed = 0
+
+        imports = imports or {}
+        self.funcs: list[HostFunc | CompiledFunction] = []
+        for imp in module.imports:
+            key = (imp.module, imp.name)
+            if key not in imports:
+                raise LinkError(f"missing import {imp.module}.{imp.name}")
+            host = imports[key]
+            if host.type != imp.type:
+                raise LinkError(
+                    f"import {imp.module}.{imp.name} type mismatch: "
+                    f"module wants {imp.type}, host provides {host.type}"
+                )
+            self.funcs.append(host)
+        self.funcs.extend(
+            precompiled if precompiled is not None else compile_module(module)
+        )
+
+        if memory is not None:
+            self.memory: LinearMemory | None = memory
+        elif module.memory is not None:
+            self.memory = LinearMemory(module.memory)
+        else:
+            self.memory = None
+
+        self.globals: list[GlobalInstance] = [
+            GlobalInstance(g.type.valtype, g.type.mutable, _canon(g.init, g.type.valtype))
+            for g in module.globals_
+        ]
+
+        self.table: list[int | None] | None = None
+        if module.table is not None:
+            self.table = [None] * module.table.limits.minimum
+
+        if apply_data:
+            for seg in module.data:
+                if self.memory is None:
+                    raise LinkError("data segment without memory")
+                if seg.offset + len(seg.data) > self.memory.size_bytes:
+                    raise LinkError("data segment does not fit in memory")
+                self.memory.write(seg.offset, seg.data)
+
+        for seg in module.elements:
+            assert self.table is not None
+            end = seg.offset + len(seg.func_indices)
+            if end > len(self.table):
+                if module.table.limits.contains(end):
+                    self.table.extend([None] * (end - len(self.table)))
+                else:
+                    raise LinkError("element segment does not fit in table")
+            for i, fidx in enumerate(seg.func_indices):
+                self.table[seg.offset + i] = fidx
+
+        self._exports = module.export_map()
+        if run_start and module.start is not None:
+            self.call_index(module.start)
+
+    @classmethod
+    def from_parts(
+        cls,
+        module: Module,
+        funcs: list,
+        memory: LinearMemory | None,
+        globals_: list["GlobalInstance"],
+        table: list | None,
+        *,
+        fuel: int | None = None,
+        call_depth_limit: int = DEFAULT_CALL_DEPTH,
+    ) -> "Instance":
+        """Assemble an instance from pre-built parts without validation,
+        code generation, data-segment copies or running the start function.
+
+        This is the Proto-Faaslet restore fast path (§5.2): the caller
+        supplies an already-compiled function list (codegen happened once at
+        upload time), a copy-on-write memory and snapshotted globals/table.
+        """
+        inst = cls.__new__(cls)
+        inst.module = module
+        inst.call_depth_limit = call_depth_limit
+        inst._fuel = fuel
+        inst.instructions_executed = 0
+        inst.funcs = funcs
+        inst.memory = memory
+        inst.globals = globals_
+        inst.table = table
+        inst._exports = module.export_map()
+        return inst
+
+    # ------------------------------------------------------------------
+    # Fuel (CPU metering)
+    # ------------------------------------------------------------------
+    @property
+    def fuel(self) -> int | None:
+        return self._fuel
+
+    def add_fuel(self, amount: int) -> None:
+        self._fuel = amount if self._fuel is None else self._fuel + amount
+
+    def set_fuel(self, amount: int | None) -> None:
+        self._fuel = amount
+
+    # ------------------------------------------------------------------
+    # Public call API
+    # ------------------------------------------------------------------
+    def invoke(self, name: str, *args):
+        """Call an exported function. Integer results are returned signed."""
+        export = self._exports.get(name)
+        if export is None or export.kind != "func":
+            raise KeyError(f"no exported function named {name!r}")
+        return self.call_index(export.index, *args)
+
+    def call_index(self, index: int, *args):
+        ftype = self.module.func_type(index)
+        if len(args) != len(ftype.params):
+            raise TypeError(
+                f"function expects {len(ftype.params)} args, got {len(args)}"
+            )
+        canon_args = [_canon(a, t) for a, t in zip(args, ftype.params)]
+        results = self._call(index, canon_args, 0)
+        out = [_external(r, t) for r, t in zip(results, ftype.results)]
+        if not out:
+            return None
+        if len(out) == 1:
+            return out[0]
+        return tuple(out)
+
+    def add_table_entry(self, entry) -> int:
+        """Append a table entry (a local function index or an ``("ext",
+        instance, index)`` reference) and return its table index. Used by
+        the host interface's dynamic-linking implementation."""
+        if self.table is None:
+            self.table = []
+        self.table.append(entry)
+        return len(self.table) - 1
+
+    def get_global(self, name: str):
+        export = self._exports.get(name)
+        if export is None or export.kind != "global":
+            raise KeyError(f"no exported global named {name!r}")
+        g = self.globals[export.index]
+        return _external(g.value, g.valtype)
+
+    def set_global(self, name: str, value) -> None:
+        export = self._exports.get(name)
+        if export is None or export.kind != "global":
+            raise KeyError(f"no exported global named {name!r}")
+        g = self.globals[export.index]
+        if not g.mutable:
+            raise ValueError(f"global {name!r} is immutable")
+        g.value = _canon(value, g.valtype)
+
+    # ------------------------------------------------------------------
+    # Interpreter core
+    # ------------------------------------------------------------------
+    def _call(self, index: int, args: list, depth: int) -> list:
+        fn = self.funcs[index]
+        if isinstance(fn, HostFunc):
+            if fn.pass_instance:
+                result = fn.fn(self, *args)
+            else:
+                result = fn.fn(*args)
+            if result is None:
+                results = []
+            elif isinstance(result, tuple):
+                results = list(result)
+            else:
+                results = [result]
+            if len(results) != len(fn.type.results):
+                raise Trap(
+                    f"host function {fn.module}.{fn.name} returned "
+                    f"{len(results)} values, expected {len(fn.type.results)}"
+                )
+            return [_canon(r, t) for r, t in zip(results, fn.type.results)]
+        return self._exec(fn, args, depth)
+
+    def _exec(self, fn: CompiledFunction, args: list, depth: int) -> list:
+        if depth >= self.call_depth_limit:
+            raise CallStackExhausted(
+                f"call depth exceeded {self.call_depth_limit}"
+            )
+        locals_ = args + [
+            0.0 if t in (ValType.F32, ValType.F64) else 0 for t in fn.local_types
+        ]
+        stack: list = []
+        labels: list[tuple[int, int, int]] = []
+        code = fn.code
+        mem = self.memory
+        globals_ = self.globals
+        binops = BINOPS
+        unops = UNOPS
+        pc = 0
+        executed = 0
+        fuel = self._fuel
+        metered = fuel is not None
+
+        while True:
+            ins = code[pc]
+            op = ins[0]
+            executed += 1
+            if metered:
+                fuel -= 1
+                if fuel < 0:
+                    self._fuel = 0
+                    self.instructions_executed += executed
+                    raise OutOfFuel("instance ran out of fuel")
+
+            if op == "local.get":
+                stack.append(locals_[ins[1]])
+            elif op == "local.set":
+                locals_[ins[1]] = stack.pop()
+            elif op == "local.tee":
+                locals_[ins[1]] = stack[-1]
+            elif op in binops:
+                rhs = stack.pop()
+                stack[-1] = binops[op](stack[-1], rhs)
+            elif (
+                op == "i32.const"
+                or op == "i64.const"
+                or op == "f32.const"
+                or op == "f64.const"
+            ):
+                stack.append(ins[1])
+            elif op in unops:
+                stack[-1] = unops[op](stack[-1])
+            elif op in LOAD_OPS:
+                ty, size, signed = LOAD_OPS[op]
+                addr = stack.pop() + ins[1]
+                if ty is ValType.F32 or ty is ValType.F64:
+                    stack.append(mem.load_float(addr, size))
+                else:
+                    value = mem.load_int(addr, size, signed)
+                    if signed:
+                        value &= MASK32 if ty is ValType.I32 else MASK64
+                    stack.append(value)
+            elif op in STORE_OPS:
+                ty, size = STORE_OPS[op]
+                value = stack.pop()
+                addr = stack.pop() + ins[1]
+                if ty is ValType.F32 or ty is ValType.F64:
+                    mem.store_float(addr, value, size)
+                else:
+                    mem.store_int(addr, value, size)
+            elif op == "block":
+                labels.append((ins[1] + 1, ins[2], len(stack) - ins[3]))
+            elif op == "loop":
+                labels.append((ins[1], ins[2], len(stack) - ins[2]))
+            elif op == "if":
+                cond = stack.pop()
+                labels.append((ins[2] + 1, ins[3], len(stack) - ins[4]))
+                if not cond:
+                    pc = ins[1]
+                    continue
+            elif op == "else":
+                pc = ins[1]
+                continue
+            elif op == "end":
+                labels.pop()
+            elif op == "br" or op == "br_if" or op == "br_table":
+                if op == "br_if":
+                    if not stack.pop():
+                        pc += 1
+                        continue
+                    d = ins[1]
+                elif op == "br":
+                    d = ins[1]
+                else:
+                    i = stack.pop()
+                    depths, default = ins[1], ins[2]
+                    d = depths[i] if i < len(depths) else default
+                if d >= len(labels):
+                    # Branch to the implicit function-level frame: return.
+                    break
+                target, arity, height = labels[-1 - d]
+                if arity:
+                    transferred = stack[-arity:]
+                    del stack[height:]
+                    stack.extend(transferred)
+                else:
+                    del stack[height:]
+                del labels[len(labels) - 1 - d :]
+                pc = target
+                continue
+            elif op == "return":
+                break
+            elif op == "call":
+                callee = ins[1]
+                ftype = (
+                    self.funcs[callee].type
+                    if isinstance(self.funcs[callee], HostFunc)
+                    else self.funcs[callee].type
+                )
+                n = len(ftype.params)
+                call_args = stack[len(stack) - n :] if n else []
+                if n:
+                    del stack[len(stack) - n :]
+                if metered:
+                    self._fuel = fuel
+                self.instructions_executed += executed
+                executed = 0
+                stack.extend(self._call(callee, call_args, depth + 1))
+                fuel = self._fuel
+                metered = fuel is not None
+            elif op == "call_indirect":
+                expected = ins[1]
+                i = stack.pop()
+                table = self.table
+                if table is None or i >= len(table):
+                    raise OutOfBoundsTableAccess(
+                        f"table index {i} out of bounds"
+                    )
+                callee = table[i]
+                if callee is None:
+                    raise UndefinedElement(f"uninitialised table element {i}")
+                # Entries are either local function indices, or — for
+                # dynamically linked modules (Tab. 2, dlopen/dlsym) —
+                # ("ext", instance, index) references into another instance.
+                if isinstance(callee, tuple):
+                    _, ext_inst, ext_idx = callee
+                    actual = ext_inst.module.func_type(ext_idx)
+                else:
+                    actual = self.module.func_type(callee)
+                if actual != expected:
+                    raise IndirectCallTypeMismatch(
+                        f"indirect call type mismatch: {actual} != {expected}"
+                    )
+                n = len(expected.params)
+                call_args = stack[len(stack) - n :] if n else []
+                if n:
+                    del stack[len(stack) - n :]
+                if metered:
+                    self._fuel = fuel
+                self.instructions_executed += executed
+                executed = 0
+                if isinstance(callee, tuple):
+                    stack.extend(callee[1]._call(callee[2], call_args, depth + 1))
+                else:
+                    stack.extend(self._call(callee, call_args, depth + 1))
+                fuel = self._fuel
+                metered = fuel is not None
+            elif op == "global.get":
+                stack.append(globals_[ins[1]].value)
+            elif op == "global.set":
+                globals_[ins[1]].value = stack.pop()
+            elif op == "drop":
+                stack.pop()
+            elif op == "select":
+                cond = stack.pop()
+                b = stack.pop()
+                if not cond:
+                    stack[-1] = b
+            elif op == "memory.size":
+                stack.append(mem.size_pages)
+            elif op == "memory.grow":
+                stack.append(mem.grow(stack.pop()) & MASK32)
+            elif op == "nop":
+                pass
+            elif op == "unreachable":
+                raise UnreachableExecuted("unreachable executed")
+            else:  # pragma: no cover - codegen emits only known ops
+                raise Trap(f"unknown opcode {op!r}")
+            pc += 1
+
+        if metered:
+            self._fuel = fuel
+        self.instructions_executed += executed
+        n_results = len(fn.type.results)
+        return stack[len(stack) - n_results :] if n_results else []
+
+
+def instantiate(
+    module: Module,
+    imports: dict[tuple[str, str], HostFunc] | list[HostFunc] | None = None,
+    **kwargs,
+) -> Instance:
+    """Validate, compile and instantiate ``module`` in one step."""
+    if isinstance(imports, list):
+        imports = {(h.module, h.name): h for h in imports}
+    return Instance(module, imports, **kwargs)

@@ -1,0 +1,265 @@
+"""Linear memory with a page table, copy-on-write and shared-region mapping.
+
+This is the mechanism behind two of the paper's central claims:
+
+* **SFI memory safety** (§2.2): guest code addresses a single linear byte
+  array starting at offset zero; every access is bounds-checked and traps
+  with :class:`OutOfBoundsMemoryAccess` on violation.
+
+* **Faaslet shared regions** (§3.3, Fig. 2): memory is organised as a table
+  of 64 KiB pages, each a ``memoryview`` into some backing buffer. Mapping a
+  shared region appends pages whose views alias a *common* backing
+  ``bytearray``, so two Faaslets see each other's writes with genuine
+  zero-copy semantics while each still addresses its own dense linear
+  address space.
+
+* **Proto-Faaslet restore** (§5.2): a snapshot freezes its pages; a restored
+  memory initially aliases them read-only and copies a page only on first
+  write (copy-on-write), which is what makes restores take microseconds
+  rather than milliseconds.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .errors import OutOfBoundsMemoryAccess
+from .types import MAX_PAGES, PAGE_SIZE, Limits, MemoryType
+
+_STRUCTS = {
+    ("i32", 4): struct.Struct("<I"),
+    ("i64", 8): struct.Struct("<Q"),
+    ("f32", 4): struct.Struct("<f"),
+    ("f64", 8): struct.Struct("<d"),
+}
+
+
+@dataclass
+class Page:
+    """One 64 KiB page of linear memory.
+
+    ``view`` always has length :data:`PAGE_SIZE`. ``writable`` is False for
+    copy-on-write pages (they alias a frozen snapshot and must be copied
+    before the first store). ``shared`` marks pages that alias a
+    :class:`~repro.faaslet.sharing.SharedRegion` backing buffer; these are
+    never copied, so writes propagate to every mapper.
+    """
+
+    __slots__ = ("view", "writable", "shared")
+
+    view: memoryview
+    writable: bool
+    shared: bool
+
+
+def _fresh_page() -> Page:
+    return Page(memoryview(bytearray(PAGE_SIZE)), writable=True, shared=False)
+
+
+class LinearMemory:
+    """A growable, bounds-checked linear memory backed by a page table."""
+
+    def __init__(self, memtype: MemoryType | None = None):
+        self.memtype = memtype or MemoryType(Limits(1))
+        self.pages: list[Page] = [
+            _fresh_page() for _ in range(self.memtype.limits.minimum)
+        ]
+        #: Number of pages copied due to COW faults (metric for §5.2).
+        self.cow_faults = 0
+
+    # ------------------------------------------------------------------
+    # Size management
+    # ------------------------------------------------------------------
+    @property
+    def size_pages(self) -> int:
+        return len(self.pages)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.pages) * PAGE_SIZE
+
+    def grow(self, delta_pages: int) -> int:
+        """Grow by ``delta_pages``; returns the old size in pages, or -1 if
+        the maximum (or the 32-bit address space) would be exceeded."""
+        if delta_pages < 0:
+            return -1
+        new_size = len(self.pages) + delta_pages
+        maximum = self.memtype.limits.maximum
+        if maximum is not None and new_size > maximum:
+            return -1
+        if new_size > MAX_PAGES:
+            return -1
+        old = len(self.pages)
+        self.pages.extend(_fresh_page() for _ in range(delta_pages))
+        return old
+
+    # ------------------------------------------------------------------
+    # Shared regions and copy-on-write
+    # ------------------------------------------------------------------
+    def map_shared_pages(self, backing: bytearray) -> int:
+        """Map ``backing`` (a multiple of PAGE_SIZE) as shared pages appended
+        to the end of memory. Returns the base address of the mapping.
+
+        This implements the remap step of §3.3: the function's linear byte
+        array is extended and the new pages alias common process memory.
+        """
+        if len(backing) % PAGE_SIZE != 0:
+            raise ValueError("shared region size must be a multiple of PAGE_SIZE")
+        n_pages = len(backing) // PAGE_SIZE
+        maximum = self.memtype.limits.maximum
+        if maximum is not None and len(self.pages) + n_pages > maximum:
+            raise MemoryError("shared mapping exceeds memory maximum")
+        base = len(self.pages) * PAGE_SIZE
+        whole = memoryview(backing)
+        for i in range(n_pages):
+            view = whole[i * PAGE_SIZE : (i + 1) * PAGE_SIZE]
+            self.pages.append(Page(view, writable=True, shared=True))
+        return base
+
+    def freeze_pages(self) -> list[memoryview]:
+        """Make every private page read-only and return the page views.
+
+        Used when taking a Proto-Faaslet snapshot: the snapshot and any
+        memory restored from it share the frozen pages until a write occurs.
+        Shared-region pages are excluded (snapshots capture private state).
+        """
+        views: list[memoryview] = []
+        for page in self.pages:
+            if page.shared:
+                raise ValueError("cannot snapshot memory with mapped shared regions")
+            page.writable = False
+            views.append(page.view)
+        return views
+
+    @classmethod
+    def from_frozen_pages(
+        cls, views: list[memoryview], memtype: MemoryType
+    ) -> "LinearMemory":
+        """Build a memory whose pages alias ``views`` copy-on-write."""
+        mem = cls.__new__(cls)
+        mem.memtype = memtype
+        mem.pages = [Page(v, writable=False, shared=False) for v in views]
+        mem.cow_faults = 0
+        return mem
+
+    def _materialise(self, page_idx: int) -> Page:
+        """Copy a COW page so it can be written (a "page fault")."""
+        page = self.pages[page_idx]
+        fresh = memoryview(bytearray(page.view))
+        page = Page(fresh, writable=True, shared=False)
+        self.pages[page_idx] = page
+        self.cow_faults += 1
+        return page
+
+    # ------------------------------------------------------------------
+    # Raw byte access
+    # ------------------------------------------------------------------
+    def _check(self, addr: int, size: int) -> None:
+        if addr < 0 or size < 0 or addr + size > len(self.pages) * PAGE_SIZE:
+            raise OutOfBoundsMemoryAccess(addr, size, len(self.pages) * PAGE_SIZE)
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Read ``size`` bytes starting at ``addr``."""
+        self._check(addr, size)
+        page_idx, offset = divmod(addr, PAGE_SIZE)
+        if offset + size <= PAGE_SIZE:
+            return bytes(self.pages[page_idx].view[offset : offset + size])
+        chunks = []
+        remaining = size
+        while remaining > 0:
+            take = min(PAGE_SIZE - offset, remaining)
+            chunks.append(bytes(self.pages[page_idx].view[offset : offset + take]))
+            remaining -= take
+            page_idx += 1
+            offset = 0
+        return b"".join(chunks)
+
+    def write(self, addr: int, data: bytes | bytearray | memoryview) -> None:
+        """Write ``data`` starting at ``addr``."""
+        size = len(data)
+        self._check(addr, size)
+        page_idx, offset = divmod(addr, PAGE_SIZE)
+        data = memoryview(data)
+        pos = 0
+        while pos < size:
+            page = self.pages[page_idx]
+            if not page.writable:
+                page = self._materialise(page_idx)
+            take = min(PAGE_SIZE - offset, size - pos)
+            page.view[offset : offset + take] = data[pos : pos + take]
+            pos += take
+            page_idx += 1
+            offset = 0
+
+    def fill(self, addr: int, value: int, size: int) -> None:
+        """Set ``size`` bytes starting at ``addr`` to ``value``."""
+        self.write(addr, bytes([value & 0xFF]) * size)
+
+    def read_cstring(self, addr: int, max_len: int = 1 << 20) -> bytes:
+        """Read a NUL-terminated byte string (for host-interface paths)."""
+        out = bytearray()
+        while len(out) < max_len:
+            b = self.read(addr + len(out), 1)
+            if b == b"\x00":
+                return bytes(out)
+            out += b
+        raise OutOfBoundsMemoryAccess(addr, max_len, self.size_bytes)
+
+    # ------------------------------------------------------------------
+    # Typed access (used by the interpreter's load/store ops)
+    # ------------------------------------------------------------------
+    def load_int(self, addr: int, size: int, signed: bool) -> int:
+        self._check(addr, size)
+        page_idx, offset = divmod(addr, PAGE_SIZE)
+        if offset + size <= PAGE_SIZE:
+            raw = self.pages[page_idx].view[offset : offset + size]
+            value = int.from_bytes(raw, "little", signed=signed)
+        else:
+            value = int.from_bytes(self.read(addr, size), "little", signed=signed)
+        return value
+
+    def store_int(self, addr: int, value: int, size: int) -> None:
+        self._check(addr, size)
+        page_idx, offset = divmod(addr, PAGE_SIZE)
+        data = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        if offset + size <= PAGE_SIZE:
+            page = self.pages[page_idx]
+            if not page.writable:
+                page = self._materialise(page_idx)
+            page.view[offset : offset + size] = data
+        else:
+            self.write(addr, data)
+
+    def load_float(self, addr: int, size: int) -> float:
+        self._check(addr, size)
+        st = _STRUCTS[("f32", 4)] if size == 4 else _STRUCTS[("f64", 8)]
+        page_idx, offset = divmod(addr, PAGE_SIZE)
+        if offset + size <= PAGE_SIZE:
+            return st.unpack_from(self.pages[page_idx].view, offset)[0]
+        return st.unpack(self.read(addr, size))[0]
+
+    def store_float(self, addr: int, value: float, size: int) -> None:
+        self._check(addr, size)
+        st = _STRUCTS[("f32", 4)] if size == 4 else _STRUCTS[("f64", 8)]
+        page_idx, offset = divmod(addr, PAGE_SIZE)
+        if offset + size <= PAGE_SIZE:
+            page = self.pages[page_idx]
+            if not page.writable:
+                page = self._materialise(page_idx)
+            st.pack_into(page.view, offset, value)
+        else:
+            self.write(addr, st.pack(value))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def resident_private_bytes(self) -> int:
+        """Bytes of private memory this instance uniquely owns (RSS-like).
+
+        COW pages still aliasing a snapshot and shared-region pages are not
+        counted, mirroring how PSS/RSS differ for containers in Tab. 3.
+        """
+        return sum(
+            PAGE_SIZE for p in self.pages if p.writable and not p.shared
+        )

@@ -1,0 +1,169 @@
+"""Module model: the in-memory equivalent of a ``.wasm`` binary.
+
+A :class:`Module` is produced either by the text assembler
+(:mod:`repro.wasm.text`) or the minilang compiler, then validated
+(:mod:`repro.wasm.validation`), code-generated (:mod:`repro.wasm.codegen`)
+and instantiated (:mod:`repro.wasm.instance`). That pipeline mirrors the
+compile → validate → codegen → link phases of §3.4 in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .instructions import Instr
+from .types import FuncType, GlobalType, MemoryType, TableType, ValType
+
+
+@dataclass
+class Function:
+    """A function defined inside the module."""
+
+    type: FuncType
+    locals: list[ValType] = field(default_factory=list)
+    body: list[Instr] = field(default_factory=list)
+    name: str | None = None
+
+
+@dataclass
+class ImportedFunc:
+    """A function imported from the host (the Faaslet host interface)."""
+
+    module: str
+    name: str
+    type: FuncType
+
+
+@dataclass
+class Global:
+    """A global variable with a constant initial value."""
+
+    type: GlobalType
+    init: int | float = 0
+
+
+@dataclass
+class DataSegment:
+    """Bytes copied into linear memory at instantiation time."""
+
+    offset: int
+    data: bytes
+
+
+@dataclass
+class ElementSegment:
+    """Function indices copied into the table at instantiation time."""
+
+    offset: int
+    func_indices: list[int] = field(default_factory=list)
+
+
+@dataclass
+class Export:
+    """An export: ``kind`` is one of ``func``, ``memory``, ``global``."""
+
+    name: str
+    kind: str
+    index: int
+
+
+@dataclass
+class Module:
+    """A complete module. The function index space is imports first, then
+    locally defined functions, as in WebAssembly."""
+
+    imports: list[ImportedFunc] = field(default_factory=list)
+    funcs: list[Function] = field(default_factory=list)
+    memory: MemoryType | None = None
+    table: TableType | None = None
+    globals_: list[Global] = field(default_factory=list)
+    exports: list[Export] = field(default_factory=list)
+    data: list[DataSegment] = field(default_factory=list)
+    elements: list[ElementSegment] = field(default_factory=list)
+    start: int | None = None
+    name: str | None = None
+
+    # ------------------------------------------------------------------
+    def func_type(self, index: int) -> FuncType:
+        """Type of the function at ``index`` in the unified index space."""
+        n_imports = len(self.imports)
+        if index < n_imports:
+            return self.imports[index].type
+        return self.funcs[index - n_imports].type
+
+    @property
+    def num_funcs(self) -> int:
+        return len(self.imports) + len(self.funcs)
+
+    def export_map(self) -> dict[str, Export]:
+        return {e.name: e for e in self.exports}
+
+    def find_export(self, name: str, kind: str = "func") -> Export:
+        for export in self.exports:
+            if export.name == name and export.kind == kind:
+                return export
+        raise KeyError(f"no exported {kind} named {name!r}")
+
+
+class ModuleBuilder:
+    """Programmatic module construction, used by the minilang compiler and
+    by tests that build modules without going through the text format."""
+
+    def __init__(self, name: str | None = None):
+        self.module = Module(name=name)
+        self._func_names: dict[str, int] = {}
+
+    def import_func(self, module: str, name: str, functype: FuncType) -> int:
+        if self.module.funcs:
+            raise ValueError("imports must be declared before defined functions")
+        idx = len(self.module.imports)
+        self.module.imports.append(ImportedFunc(module, name, functype))
+        self._func_names[name] = idx
+        return idx
+
+    def add_memory(self, min_pages: int, max_pages: int | None = None) -> None:
+        from .types import Limits
+
+        self.module.memory = MemoryType(Limits(min_pages, max_pages))
+
+    def add_table(self, min_size: int, max_size: int | None = None) -> None:
+        from .types import Limits
+
+        self.module.table = TableType(Limits(min_size, max_size))
+
+    def add_global(
+        self, valtype: ValType, init: int | float = 0, mutable: bool = True
+    ) -> int:
+        idx = len(self.module.globals_)
+        self.module.globals_.append(Global(GlobalType(valtype, mutable), init))
+        return idx
+
+    def add_data(self, offset: int, data: bytes) -> None:
+        self.module.data.append(DataSegment(offset, data))
+
+    def add_function(
+        self,
+        name: str,
+        functype: FuncType,
+        locals_: list[ValType],
+        body: list[Instr],
+        export: bool = False,
+    ) -> int:
+        idx = self.module.num_funcs
+        self.module.funcs.append(Function(functype, list(locals_), list(body), name))
+        self._func_names[name] = idx
+        if export:
+            self.module.exports.append(Export(name, "func", idx))
+        return idx
+
+    def add_element(self, offset: int, func_indices: list[int]) -> None:
+        self.module.elements.append(ElementSegment(offset, list(func_indices)))
+
+    def func_index(self, name: str) -> int:
+        return self._func_names[name]
+
+    def set_start(self, index: int) -> None:
+        self.module.start = index
+
+    def build(self) -> Module:
+        return self.module

@@ -1,0 +1,285 @@
+"""Object files: serialised modules + pre-generated code (§3.4/§5.2).
+
+After upload-time validation and code generation, FAASM "writes the
+resulting object files to a shared object store" so any host can
+instantiate the function without recompiling. This module defines that
+artifact: a sectioned binary format carrying the module structure *and*
+the flat-compiled function bodies.
+
+Layout::
+
+    magic "FOBJ" | version u16 | section*...
+    section := tag u8 | length u32 | payload
+
+Payloads are encoded with a small self-describing value encoder (ints,
+floats, strings, bytes, lists, tuples, None, ValType/FuncType/BlockType),
+deliberately *not* pickle: object files come from the shared store and are
+parsed defensively — unknown tags raise, nothing executes on load.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .codegen import CompiledFunction
+from .instructions import BlockType
+from .module import (
+    DataSegment,
+    ElementSegment,
+    Export,
+    Function,
+    Global,
+    ImportedFunc,
+    Module,
+)
+from .types import FuncType, GlobalType, Limits, MemoryType, TableType, ValType
+
+MAGIC = b"FOBJ"
+VERSION = 1
+
+
+class ObjectFileError(ValueError):
+    """The object file is malformed or from an unsupported version."""
+
+
+# ----------------------------------------------------------------------
+# Value encoder (a compact, non-executing alternative to pickle)
+# ----------------------------------------------------------------------
+
+_T_NONE = 0
+_T_INT = 1
+_T_NEGINT = 2
+_T_FLOAT = 3
+_T_STR = 4
+_T_BYTES = 5
+_T_LIST = 6
+_T_TUPLE = 7
+_T_VALTYPE = 8
+_T_FUNCTYPE = 9
+_T_BLOCKTYPE = 10
+_T_BOOL_TRUE = 11
+_T_BOOL_FALSE = 12
+
+_U32 = struct.Struct("<I")
+_F64 = struct.Struct("<d")
+
+_VALTYPE_CODES = {ValType.I32: 0, ValType.I64: 1, ValType.F32: 2, ValType.F64: 3}
+_VALTYPE_FROM = {v: k for k, v in _VALTYPE_CODES.items()}
+
+
+def _enc(value, out: bytearray) -> None:
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_BOOL_TRUE)
+    elif value is False:
+        out.append(_T_BOOL_FALSE)
+    elif isinstance(value, int):
+        if value >= 0:
+            out.append(_T_INT)
+        else:
+            out.append(_T_NEGINT)
+            value = -value
+        raw = value.to_bytes((value.bit_length() + 7) // 8 or 1, "little")
+        out.append(len(raw))
+        out += raw
+    elif isinstance(value, float):
+        out.append(_T_FLOAT)
+        out += _F64.pack(value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(_T_STR)
+        out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(_T_BYTES)
+        out += _U32.pack(len(value))
+        out += bytes(value)
+    elif isinstance(value, list):
+        out.append(_T_LIST)
+        out += _U32.pack(len(value))
+        for item in value:
+            _enc(item, out)
+    elif isinstance(value, tuple):
+        out.append(_T_TUPLE)
+        out += _U32.pack(len(value))
+        for item in value:
+            _enc(item, out)
+    elif isinstance(value, ValType):
+        out.append(_T_VALTYPE)
+        out.append(_VALTYPE_CODES[value])
+    elif isinstance(value, FuncType):
+        out.append(_T_FUNCTYPE)
+        _enc(list(value.params), out)
+        _enc(list(value.results), out)
+    elif isinstance(value, BlockType):
+        out.append(_T_BLOCKTYPE)
+        _enc(list(value.params), out)
+        _enc(list(value.results), out)
+    else:
+        raise ObjectFileError(f"cannot encode {type(value).__name__}")
+
+
+class _Reader:
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise ObjectFileError("truncated object file")
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+    def value(self):
+        tag = self.u8()
+        if tag == _T_NONE:
+            return None
+        if tag == _T_BOOL_TRUE:
+            return True
+        if tag == _T_BOOL_FALSE:
+            return False
+        if tag in (_T_INT, _T_NEGINT):
+            n = self.u8()
+            value = int.from_bytes(self.take(n), "little")
+            return -value if tag == _T_NEGINT else value
+        if tag == _T_FLOAT:
+            return _F64.unpack(self.take(8))[0]
+        if tag == _T_STR:
+            return self.take(self.u32()).decode("utf-8")
+        if tag == _T_BYTES:
+            return self.take(self.u32())
+        if tag == _T_LIST:
+            return [self.value() for _ in range(self.u32())]
+        if tag == _T_TUPLE:
+            return tuple(self.value() for _ in range(self.u32()))
+        if tag == _T_VALTYPE:
+            return _VALTYPE_FROM[self.u8()]
+        if tag == _T_FUNCTYPE:
+            params = self.value()
+            results = self.value()
+            return FuncType(tuple(params), tuple(results))
+        if tag == _T_BLOCKTYPE:
+            params = self.value()
+            results = self.value()
+            return BlockType(tuple(params), tuple(results))
+        raise ObjectFileError(f"unknown value tag {tag}")
+
+
+# ----------------------------------------------------------------------
+# Module / compiled-code (de)serialisation
+# ----------------------------------------------------------------------
+
+
+def _limits_tuple(limits: Limits):
+    return (limits.minimum, limits.maximum)
+
+
+def _module_payload(module: Module):
+    return [
+        module.name,
+        [(i.module, i.name, i.type) for i in module.imports],
+        _limits_tuple(module.memory.limits) if module.memory else None,
+        _limits_tuple(module.table.limits) if module.table else None,
+        [(g.type.valtype, g.type.mutable, g.init) for g in module.globals_],
+        [(e.name, e.kind, e.index) for e in module.exports],
+        [(d.offset, bytes(d.data)) for d in module.data],
+        [(e.offset, list(e.func_indices)) for e in module.elements],
+        module.start,
+        # Function *signatures* only — bodies ship as compiled code.
+        [(f.name, f.type, list(f.locals)) for f in module.funcs],
+    ]
+
+
+def _restore_module(payload) -> Module:
+    (name, imports, memory, table, globals_, exports, data, elements,
+     start, funcs) = payload
+    module = Module(name=name)
+    module.imports = [ImportedFunc(m, n, t) for m, n, t in imports]
+    if memory is not None:
+        module.memory = MemoryType(Limits(memory[0], memory[1]))
+    if table is not None:
+        module.table = TableType(Limits(table[0], table[1]))
+    module.globals_ = [Global(GlobalType(vt, mut), init) for vt, mut, init in globals_]
+    module.exports = [Export(n, k, i) for n, k, i in exports]
+    module.data = [DataSegment(off, bytes(d)) for off, d in data]
+    module.elements = [ElementSegment(off, list(fi)) for off, fi in elements]
+    module.start = start
+    # Bodies are intentionally empty: execution uses the compiled section.
+    module.funcs = [Function(t, list(locs), [], n) for n, t, locs in funcs]
+    return module
+
+
+def _compiled_payload(compiled: list[CompiledFunction]):
+    return [
+        (fn.name, fn.type, list(fn.local_types), [tuple(ins) for ins in fn.code])
+        for fn in compiled
+    ]
+
+
+def _restore_compiled(payload) -> list[CompiledFunction]:
+    return [
+        CompiledFunction(name, ftype, list(local_types), [tuple(ins) for ins in code])
+        for name, ftype, local_types, code in payload
+    ]
+
+
+_SEC_MODULE = 1
+_SEC_CODE = 2
+_SEC_META = 3
+
+
+def write_object(module: Module, compiled: list[CompiledFunction],
+                 meta: dict | None = None) -> bytes:
+    """Serialise a validated module and its generated code."""
+    out = bytearray(MAGIC)
+    out += struct.pack("<H", VERSION)
+
+    def section(tag: int, payload) -> None:
+        body = bytearray()
+        _enc(payload, body)
+        out.append(tag)
+        out.extend(_U32.pack(len(body)))
+        out.extend(body)
+
+    section(_SEC_MODULE, _module_payload(module))
+    section(_SEC_CODE, _compiled_payload(compiled))
+    if meta:
+        section(_SEC_META, sorted(meta.items()))
+    return bytes(out)
+
+
+def read_object(data: bytes) -> tuple[Module, list[CompiledFunction], dict]:
+    """Parse an object file; returns (module, compiled functions, meta)."""
+    if data[:4] != MAGIC:
+        raise ObjectFileError("bad magic")
+    (version,) = struct.unpack_from("<H", data, 4)
+    if version != VERSION:
+        raise ObjectFileError(f"unsupported object version {version}")
+    reader = _Reader(data)
+    reader.pos = 6
+    module = None
+    compiled: list[CompiledFunction] = []
+    meta: dict = {}
+    while reader.pos < len(data):
+        tag = reader.u8()
+        length = reader.u32()
+        body = _Reader(reader.take(length))
+        if tag == _SEC_MODULE:
+            module = _restore_module(body.value())
+        elif tag == _SEC_CODE:
+            compiled = _restore_compiled(body.value())
+        elif tag == _SEC_META:
+            meta = dict(body.value())
+        else:
+            raise ObjectFileError(f"unknown section tag {tag}")
+    if module is None:
+        raise ObjectFileError("object file has no module section")
+    return module, compiled, meta

@@ -1,0 +1,21 @@
+"""Differential tests: every Polybench kernel's sandboxed result must match
+its native-Python mirror bit-for-bit (same IEEE-754 double operations)."""
+
+import pytest
+
+from repro.apps.kernels import KERNELS, run_kernel_in_faaslet, run_kernel_native
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+def test_kernel_matches_native(name):
+    kernel = KERNELS[name]
+    n = max(8, kernel.default_n // 2)  # keep test runtime low
+    sandboxed = run_kernel_in_faaslet(kernel, n)
+    native = run_kernel_native(kernel, n)
+    assert sandboxed == pytest.approx(native, rel=1e-12, abs=1e-12)
+
+
+def test_kernels_are_nontrivial():
+    for kernel in KERNELS.values():
+        value = run_kernel_native(kernel, max(8, kernel.default_n // 2))
+        assert value != 0.0

@@ -1,0 +1,64 @@
+"""Map/reduce word-count tests, including boundary-splitting properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.mapreduce import (
+    reference_wordcount,
+    run_wordcount,
+    setup_wordcount,
+)
+from repro.runtime import FaasmCluster
+
+CORPUS = (
+    b"the quick brown fox jumps over the lazy dog "
+    b"the dog barks and the fox runs away into the quiet woods "
+) * 20
+
+
+def test_wordcount_matches_reference():
+    cluster = FaasmCluster(n_hosts=2, capacity=16)
+    setup_wordcount(cluster, CORPUS)
+    result = run_wordcount(cluster, chunk_size=256)
+    assert result == reference_wordcount(CORPUS)
+
+
+def test_single_chunk():
+    cluster = FaasmCluster(n_hosts=1)
+    setup_wordcount(cluster, b"alpha beta alpha")
+    result = run_wordcount(cluster, chunk_size=10_000)
+    assert result == {"alpha": 2, "beta": 1}
+
+
+def test_chunk_boundaries_do_not_split_words():
+    """Chunk edges landing inside words must not create bogus tokens."""
+    corpus = b"abcdef " * 50  # 7-byte period vs awkward chunk sizes
+    cluster = FaasmCluster(n_hosts=2, capacity=16)
+    setup_wordcount(cluster, corpus)
+    for chunk_size in (13, 32, 40):
+        result = run_wordcount(cluster, chunk_size=chunk_size)
+        assert result == {"abcdef": 50}, f"chunk_size={chunk_size}"
+
+
+@given(
+    st.lists(
+        st.sampled_from(["cat", "dog", "bird", "x", "longword"]),
+        min_size=1,
+        max_size=60,
+    ),
+    st.integers(8, 64),
+)
+@settings(max_examples=15, deadline=None)
+def test_wordcount_property(words, chunk_size):
+    corpus = (" ".join(words)).encode()
+    cluster = FaasmCluster(n_hosts=2, capacity=16)
+    setup_wordcount(cluster, corpus)
+    assert run_wordcount(cluster, chunk_size=chunk_size) == reference_wordcount(corpus)
+
+
+def test_mappers_fan_out_across_hosts():
+    cluster = FaasmCluster(n_hosts=3, capacity=4)
+    setup_wordcount(cluster, CORPUS)
+    run_wordcount(cluster, chunk_size=128)
+    mappers = [r for r in cluster.calls.all_records() if r.function == "wc_map"]
+    assert len(mappers) == -(-len(CORPUS) // 128)

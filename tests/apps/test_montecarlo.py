@@ -1,0 +1,50 @@
+"""Pure-wasm distributed Monte-Carlo π tests."""
+
+import pytest
+
+from repro.apps.montecarlo import estimate_pi, setup_montecarlo
+from repro.runtime import FaasmCluster
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    c = FaasmCluster(n_hosts=2, capacity=16)
+    setup_montecarlo(c)
+    return c
+
+
+def test_estimate_converges(cluster):
+    pi = estimate_pi(cluster, n_workers=4, samples_k=3)
+    assert abs(pi - 3.14159) < 0.1
+
+
+def test_single_worker(cluster):
+    pi = estimate_pi(cluster, n_workers=1, samples_k=2)
+    assert 2.8 < pi < 3.5
+
+
+def test_partials_published_to_state(cluster):
+    estimate_pi(cluster, n_workers=3, samples_k=1)
+    keys = [k for k in cluster.global_state.keys() if k.startswith("pi/part/")]
+    assert {"pi/part/0", "pi/part/1", "pi/part/2"} <= set(keys)
+    hits, samples = cluster.global_state.get_value("pi/part/0").split(b" ")
+    assert int(samples) == 1000
+    assert 0 <= int(hits) <= 1000
+
+
+def test_all_calls_are_wasm_guests(cluster):
+    """No host-Python application code: every call executed in a Faaslet."""
+    estimate_pi(cluster, n_workers=2, samples_k=1)
+    records = cluster.calls.all_records()
+    assert {r.function for r in records} <= {"pi_driver", "pi_worker"}
+    from repro.faaslet import FunctionDefinition
+
+    for name in ("pi_driver", "pi_worker"):
+        assert isinstance(cluster.registry.get(name), FunctionDefinition)
+
+
+def test_parameter_validation(cluster):
+    with pytest.raises(ValueError):
+        estimate_pi(cluster, n_workers=0)
+    with pytest.raises(ValueError):
+        estimate_pi(cluster, samples_k=10_000)

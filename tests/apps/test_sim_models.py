@@ -1,0 +1,113 @@
+"""Unit tests for the simulated workload builders (Fig. 6/7/8 models)."""
+
+import pytest
+
+from repro.apps.sim_models import (
+    InferenceModelParams,
+    MatmulModelParams,
+    SGDModelParams,
+    build_matmul_workload,
+    build_sgd_worker,
+    sgd_epoch_args,
+)
+from repro.sim.workload import Await, Chain, Compute, LoadExternal, StateRead, StateWrite
+
+
+class TestSGDModel:
+    def test_dataset_arithmetic(self):
+        params = SGDModelParams(n_examples=1000, bytes_per_example=100, n_chunks=10)
+        assert params.dataset_bytes == 100_000
+        assert params.chunk_bytes == 10_000
+        assert params.weights_bytes == params.n_features * 8
+
+    def test_epoch_args_cover_all_examples(self):
+        params = SGDModelParams(n_examples=1000)
+        args = sgd_epoch_args(params, 8, epoch=0)
+        assert len(args) == 8
+        assert sum(n for _e, _s, n in args) == 8 * (1000 // 8)
+        for epoch, start, _n in args:
+            assert epoch == 0
+            assert 0 <= start < 1000
+
+    def test_epoch_args_rotate_between_epochs(self):
+        params = SGDModelParams()
+        first = sgd_epoch_args(params, 4, epoch=0)
+        second = sgd_epoch_args(params, 4, epoch=1)
+        assert first != second
+        # Deterministic per epoch (resumable experiments).
+        assert sgd_epoch_args(params, 4, epoch=1) == second
+
+    def test_worker_op_stream_shape(self):
+        params = SGDModelParams(n_examples=10_000, n_chunks=10, push_interval=500)
+        worker = build_sgd_worker(params)
+        ops = list(worker.body((0, 0, 2_500)))
+        reads = [op for op in ops if isinstance(op, StateRead)]
+        writes = [op for op in ops if isinstance(op, StateWrite)]
+        computes = [op for op in ops if isinstance(op, Compute)]
+        # 2500 examples over 10 chunks of 1000 → 3 chunks + the weights read.
+        chunk_reads = [r for r in reads if r.key.startswith("train-chunk-")]
+        assert len(chunk_reads) == 3
+        assert any(r.key == "weights" for r in reads)
+        # 2500 / 500 = 5 batched weight updates, all local (push=False).
+        assert len(writes) == 5
+        assert all(not w.push for w in writes)
+        assert len(computes) == 5
+        assert sum(c.seconds for c in computes) == pytest.approx(
+            2_500 * params.flops_per_example / params.host_flops
+        )
+
+    def test_worker_wraps_around_dataset_end(self):
+        params = SGDModelParams(n_examples=1000, n_chunks=10)
+        worker = build_sgd_worker(params)
+        ops = list(worker.body((0, 950, 100)))  # crosses the end
+        chunk_reads = [op.key for op in ops if isinstance(op, StateRead)
+                       and op.key.startswith("train-chunk-")]
+        assert all(key.startswith("train-chunk-") for key in chunk_reads)
+
+
+class TestInferenceModel:
+    def test_function_identity_controls_cold_starts(self):
+        params = InferenceModelParams()
+        a = params.make_function("u1")
+        b = params.make_function("u2")
+        assert a.name != b.name  # distinct identities → distinct pools
+
+    def test_op_stream(self):
+        params = InferenceModelParams()
+        fn = params.make_function("x")
+        ops = list(fn.body(None))
+        assert isinstance(ops[0], LoadExternal)
+        assert isinstance(ops[1], StateRead) and ops[1].once_per_unit
+        assert isinstance(ops[2], Compute)
+
+
+class TestMatmulModel:
+    def test_call_tree_shape(self):
+        params = MatmulModelParams(n=800)
+        root = build_matmul_workload(params)
+        chains = []
+
+        def walk(fn, arg, depth=0):
+            ops = list(fn.body(arg))
+            for op in ops:
+                if isinstance(op, Chain):
+                    chains.append(op.function.name)
+                    if op.function.name == "mm-mult":
+                        walk(op.function, op.arg, depth + 1)
+                    elif op.function.name == "mm-leaf":
+                        pass
+            return ops
+
+        walk(root, (0, "r"))
+        # Root chains 8 inner mults + 1 merge; each inner chains 8 leaves +
+        # 1 merge. Totals: 8 mults, 64 leaves, 9 merges.
+        assert chains.count("mm-mult") == 8
+        assert chains.count("mm-leaf") == 64
+        assert chains.count("mm-merge") == 9
+
+    def test_merge_reads_scale_with_level(self):
+        params = MatmulModelParams(n=800)
+        build_matmul_workload(params)  # builder side effects none
+        # Leaf-level merge reads (q x q) blocks; root merge reads (n/2)^2.
+        q = params.n // 4
+        assert params.block_bytes(q, q) * 4 == params.block_bytes(2 * q, 2 * q)

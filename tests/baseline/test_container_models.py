@@ -1,0 +1,60 @@
+"""Container and churn model tests (baseline calibration)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baseline import (
+    ChurnModel,
+    ContainerModel,
+    docker_churn_model,
+    faaslet_churn_model,
+    proto_faaslet_churn_model,
+)
+
+
+class TestChurnModel:
+    def test_base_latency_at_low_rate(self):
+        docker = docker_churn_model()
+        assert docker.latency_at_rate(0.1) == pytest.approx(2.0, rel=0.1)
+
+    def test_saturation_rates_match_fig10(self):
+        assert docker_churn_model().saturation_rate == pytest.approx(3.0)
+        assert faaslet_churn_model().saturation_rate == pytest.approx(600.0)
+        assert proto_faaslet_churn_model().saturation_rate == pytest.approx(4000.0)
+
+    def test_latency_monotone_in_rate(self):
+        model = faaslet_churn_model()
+        rates = [1, 10, 100, 300, 500, 590, 700, 1000]
+        latencies = [model.latency_at_rate(r) for r in rates]
+        assert latencies == sorted(latencies)
+
+    def test_blowup_past_saturation(self):
+        model = docker_churn_model()
+        assert model.latency_at_rate(10) > 10 * model.latency_at_rate(1)
+
+    def test_achieved_rate_capped(self):
+        model = docker_churn_model()
+        assert model.achieved_rate(100) == pytest.approx(3.0)
+        assert model.achieved_rate(1) == 1
+
+    @given(st.floats(0.01, 10000))
+    @settings(max_examples=100, deadline=None)
+    def test_latency_never_below_base(self, rate):
+        for model in (docker_churn_model(), faaslet_churn_model(),
+                      proto_faaslet_churn_model()):
+            assert model.latency_at_rate(rate) >= model.base_s
+
+    @given(st.floats(0.01, 10000))
+    @settings(max_examples=100, deadline=None)
+    def test_mechanism_ordering_at_all_rates(self, rate):
+        docker = docker_churn_model().latency_at_rate(rate)
+        faaslet = faaslet_churn_model().latency_at_rate(rate)
+        proto = proto_faaslet_churn_model().latency_at_rate(rate)
+        assert proto < faaslet < docker
+
+
+class TestContainerModel:
+    def test_defaults_match_paper_calibration(self):
+        model = ContainerModel()
+        assert model.cold_start_time() == pytest.approx(2.8)
+        assert model.memory_overhead() == 8 * 1024 * 1024

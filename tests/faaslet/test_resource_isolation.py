@@ -1,0 +1,276 @@
+"""Resource isolation tests: CPU cgroups and network namespaces (§3.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faaslet import (
+    AF_INET,
+    AF_UNIX,
+    CpuCgroup,
+    Faaslet,
+    FunctionDefinition,
+    NetworkNamespace,
+    NetworkPolicyError,
+    SOCK_DGRAM,
+    SOCK_STREAM,
+    TokenBucket,
+    VirtualInterface,
+)
+from repro.host import StandaloneEnvironment
+from repro.minilang import build
+from repro.wasm import OutOfFuel
+
+
+# ----------------------------------------------------------------------
+# CPU cgroups
+# ----------------------------------------------------------------------
+
+
+class TestCpuCgroup:
+    def test_equal_shares_equal_quanta(self):
+        cg = CpuCgroup("cg", period_fuel=1000)
+        cg.add_member("a")
+        cg.add_member("b")
+        assert cg.quantum_for("a") == 500
+        assert cg.quantum_for("b") == 500
+
+    def test_proportional_shares(self):
+        cg = CpuCgroup("cg", period_fuel=900)
+        cg.add_member("small", shares=1)
+        cg.add_member("big", shares=2)
+        assert cg.quantum_for("big") == 2 * cg.quantum_for("small")
+
+    def test_duplicate_member_rejected(self):
+        cg = CpuCgroup("cg")
+        cg.add_member("a")
+        with pytest.raises(ValueError):
+            cg.add_member("a")
+
+    def test_nonpositive_shares_rejected(self):
+        cg = CpuCgroup("cg")
+        with pytest.raises(ValueError):
+            cg.add_member("x", shares=0)
+
+    def test_usage_accounting_and_fairness(self):
+        cg = CpuCgroup("cg")
+        cg.add_member("a")
+        cg.add_member("b")
+        cg.charge("a", 1000)
+        cg.charge("b", 1000)
+        assert cg.fairness_ratio() == 1.0
+        cg.charge("a", 3000)
+        assert cg.fairness_ratio() == 4.0
+        assert cg.usage() == {"a": 4000, "b": 1000}
+
+    @given(st.lists(st.integers(1, 16), min_size=2, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_quanta_sum_close_to_period(self, shares):
+        """Members' quanta must not over-allocate the period."""
+        cg = CpuCgroup("cg", period_fuel=1_000_000)
+        for i, s in enumerate(shares):
+            cg.add_member(f"m{i}", shares=s)
+        total = sum(cg.quantum_for(f"m{i}") for i in range(len(shares)))
+        assert total <= 1_000_000 + len(shares)  # rounding slack
+
+    def test_runaway_faaslet_preempted_within_quantum(self):
+        """A guest that exceeds its fuel quantum is stopped — it cannot
+        monopolise the executor (the enforcement half of CPU isolation)."""
+        env = StandaloneEnvironment()
+        spinner = Faaslet(
+            FunctionDefinition.build(
+                "spin", build("export int main() { while (true) { } return 0; }")
+            ),
+            env,
+        )
+        polite = Faaslet(
+            FunctionDefinition.build(
+                "ok", build("export int main() { return 42; }")
+            ),
+            env,
+        )
+        cg = CpuCgroup("cg", period_fuel=50_000)
+        cg.add_member(spinner.name)
+        cg.add_member(polite.name)
+
+        spinner.instance.set_fuel(cg.quantum_for(spinner.name))
+        with pytest.raises(OutOfFuel):
+            spinner.instance.invoke("main")
+        cg.record_throttle(spinner.name)
+        cg.charge(spinner.name, spinner.instance.instructions_executed)
+        # The runaway consumed at most its quantum...
+        assert spinner.instance.instructions_executed <= 25_001
+        # ...and the co-located Faaslet still runs normally.
+        polite.instance.set_fuel(cg.quantum_for(polite.name))
+        assert polite.instance.invoke("main") == 42
+        assert cg.member(spinner.name).throttled == 1
+
+    def test_repeated_calls_accumulate_fair_usage(self):
+        """Over many quantum-bounded calls, equal-share members accumulate
+        nearly equal CPU regardless of per-call appetite."""
+        env = StandaloneEnvironment()
+        src = """
+        extern int input_size();
+        export int main() {
+            int acc = 0;
+            int n = input_size() * 50;
+            for (int i = 0; i < n; i = i + 1) { acc = acc + i; }
+            return 0;
+        }
+        """
+        definition = FunctionDefinition.build("work", build(src))
+        cg = CpuCgroup("cg", period_fuel=2_000_000)
+        faaslets = [Faaslet(definition, env) for _ in range(2)]
+        for f in faaslets:
+            cg.add_member(f.name)
+        # Member 0 makes few big calls; member 1 many small calls.
+        plans = [[100] * 5, [10] * 50]
+        for faaslet, plan in zip(faaslets, plans):
+            for size in plan:
+                faaslet.instance.set_fuel(cg.quantum_for(faaslet.name))
+                before = faaslet.instance.instructions_executed
+                faaslet.call(b"x" * size)
+                cg.charge(faaslet.name, faaslet.instance.instructions_executed - before)
+        ratio = cg.fairness_ratio()
+        assert ratio < 1.5, f"unfair CPU accounting: {ratio:.2f}"
+
+
+# ----------------------------------------------------------------------
+# Token bucket / traffic shaping
+# ----------------------------------------------------------------------
+
+
+class TestTokenBucket:
+    def test_burst_passes_without_delay(self):
+        bucket = TokenBucket(rate_bytes_per_sec=1000, burst_bytes=500)
+        assert bucket.consume(500, now=0.0) == 0.0
+
+    def test_sustained_rate_delayed(self):
+        bucket = TokenBucket(rate_bytes_per_sec=1000, burst_bytes=100)
+        bucket.consume(100, now=0.0)
+        delay = bucket.consume(1000, now=0.0)
+        assert delay == pytest.approx(1.0)
+
+    def test_refill_over_time(self):
+        bucket = TokenBucket(rate_bytes_per_sec=100, burst_bytes=100)
+        bucket.consume(100, now=0.0)
+        assert bucket.consume(50, now=1.0) == 0.0  # 100 tokens refilled
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0, 10)
+        with pytest.raises(ValueError):
+            TokenBucket(10, 0)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 2000), st.floats(0, 0.5)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_long_run_rate_never_exceeded(self, sends):
+        """Total bytes admitted by time T never exceed burst + rate*T."""
+        rate, burst = 1000.0, 500.0
+        bucket = TokenBucket(rate, burst)
+        now = 0.0
+        total_sent = 0.0
+        finish = 0.0
+        for nbytes, gap in sends:
+            now += gap
+            delay = bucket.consume(nbytes, now)
+            total_sent += nbytes
+            finish = max(finish, now + delay)
+        # All traffic completes no earlier than the shaping bound allows.
+        assert total_sent <= burst + rate * finish + 1e-6
+
+
+# ----------------------------------------------------------------------
+# Network namespaces
+# ----------------------------------------------------------------------
+
+
+class TestNetworkNamespace:
+    def make_ns(self):
+        endpoints = {("10.0.0.1", 80): lambda req: b"pong:" + req}
+        return NetworkNamespace("test", endpoints=endpoints)
+
+    def test_client_roundtrip(self):
+        ns = self.make_ns()
+        fd = ns.socket(AF_INET, SOCK_STREAM)
+        ns.connect(fd, "10.0.0.1", 80)
+        sent, _ = ns.send(fd, b"ping")
+        assert sent == 4
+        data, _ = ns.recv(fd, 100)
+        assert data == b"pong:ping"
+        ns.close(fd)
+
+    def test_af_unix_rejected(self):
+        ns = self.make_ns()
+        with pytest.raises(NetworkPolicyError):
+            ns.socket(AF_UNIX, SOCK_STREAM)
+
+    def test_udp_allowed(self):
+        ns = self.make_ns()
+        assert ns.socket(AF_INET, SOCK_DGRAM) > 0
+
+    def test_connect_to_unknown_endpoint_fails(self):
+        ns = self.make_ns()
+        fd = ns.socket(AF_INET, SOCK_STREAM)
+        with pytest.raises(ConnectionRefusedError):
+            ns.connect(fd, "1.2.3.4", 9999)
+
+    def test_send_without_connect_fails(self):
+        ns = self.make_ns()
+        fd = ns.socket(AF_INET, SOCK_STREAM)
+        with pytest.raises(OSError):
+            ns.send(fd, b"x")
+
+    def test_bad_fd_fails(self):
+        ns = self.make_ns()
+        with pytest.raises(OSError):
+            ns.send(99, b"x")
+
+    def test_recv_in_chunks(self):
+        ns = self.make_ns()
+        fd = ns.socket(AF_INET, SOCK_STREAM)
+        ns.connect(fd, "10.0.0.1", 80)
+        ns.send(fd, b"abcdef")
+        first, _ = ns.recv(fd, 4)
+        second, _ = ns.recv(fd, 100)
+        assert first + second == b"pong:abcdef"
+
+    def test_traffic_accounted(self):
+        ns = self.make_ns()
+        fd = ns.socket(AF_INET, SOCK_STREAM)
+        ns.connect(fd, "10.0.0.1", 80)
+        ns.send(fd, b"12345")
+        ns.recv(fd, 1000)
+        assert ns.interface.stats.tx_bytes == 5
+        assert ns.interface.stats.rx_bytes == 10  # "pong:12345"
+
+    def test_namespaces_are_isolated(self):
+        """Sockets in one namespace are invisible to another."""
+        ns1, ns2 = self.make_ns(), self.make_ns()
+        fd = ns1.socket(AF_INET, SOCK_STREAM)
+        with pytest.raises(OSError):
+            ns2.send(fd, b"x")
+
+    def test_close_all(self):
+        ns = self.make_ns()
+        fds = [ns.socket(AF_INET, SOCK_STREAM) for _ in range(3)]
+        ns.close_all()
+        for fd in fds:
+            with pytest.raises(OSError):
+                ns.recv(fd, 1)
+
+    def test_shaping_delay_reported(self):
+        iface = VirtualInterface("v", egress_rate=100.0, burst=50.0, clock=lambda: 0.0)
+        ns = NetworkNamespace("n", interface=iface,
+                              endpoints={("h", 1): lambda req: b""})
+        fd = ns.socket(AF_INET, SOCK_STREAM)
+        ns.connect(fd, "h", 1)
+        _, delay1 = ns.send(fd, b"x" * 50)   # within burst
+        _, delay2 = ns.send(fd, b"x" * 100)  # exceeds: shaped
+        assert delay1 == 0.0
+        assert delay2 == pytest.approx(1.0)

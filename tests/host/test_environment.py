@@ -1,0 +1,99 @@
+"""StandaloneEnvironment and environment-contract tests."""
+
+import pytest
+
+from repro.host import StandaloneEnvironment
+from repro.host.environment import ChainError
+
+
+def test_chain_unknown_function_raises():
+    env = StandaloneEnvironment()
+    with pytest.raises(ChainError, match="unknown function"):
+        env.chain_call("ghost", b"")
+
+
+def test_chain_executes_depth_first():
+    env = StandaloneEnvironment()
+    order = []
+
+    def inner(data):
+        order.append("inner")
+        return b"i"
+
+    def outer(data):
+        order.append("outer-start")
+        cid = env.chain_call("inner", b"")
+        assert env.await_call(cid) == 0
+        order.append("outer-end")
+        return env.get_call_output(cid) + b"o"
+
+    env.register_function("inner", inner)
+    env.register_function("outer", outer)
+    cid = env.chain_call("outer", b"")
+    assert env.await_call(cid) == 0
+    assert env.get_call_output(cid) == b"io"
+    assert order == ["outer-start", "inner", "outer-end"]
+
+
+def test_failing_function_reports_nonzero():
+    env = StandaloneEnvironment()
+    env.register_function("boom", lambda data: 1 / 0)
+    cid = env.chain_call("boom", b"")
+    assert env.await_call(cid) == 1
+    assert env.get_call_output(cid) == b""
+
+
+def test_unknown_call_id_raises():
+    env = StandaloneEnvironment()
+    with pytest.raises(ChainError):
+        env.await_call(99)
+    with pytest.raises(ChainError):
+        env.get_call_output(99)
+
+
+def test_call_ids_are_unique():
+    env = StandaloneEnvironment()
+    env.register_function("f", lambda data: b"")
+    ids = [env.chain_call("f", b"") for _ in range(5)]
+    assert len(set(ids)) == 5
+
+
+def test_load_module_wat_and_minilang(tmp_path):
+    env = StandaloneEnvironment()
+    env.object_store.upload("m.wat", b'(module (func $f (export "f")))')
+    env.object_store.upload("m.ml", b"export int f() { return 1; }")
+    wat_mod = env.load_module("m.wat")
+    ml_mod = env.load_module("m.ml")
+    assert wat_mod.find_export("f").index == 0
+    assert ml_mod.find_export("f") is not None
+
+
+def test_load_module_validates():
+    env = StandaloneEnvironment()
+    # Ill-typed module must be rejected before any execution.
+    env.object_store.upload(
+        "bad.wat", b'(module (func $f (export "f") (result i32) (f64.const 1.0)))'
+    )
+    from repro.wasm import ValidationError
+
+    with pytest.raises(ValidationError):
+        env.load_module("bad.wat")
+
+
+def test_random_bytes_and_clock():
+    env = StandaloneEnvironment()
+    assert len(env.random_bytes(16)) == 16
+    assert env.random_bytes(16) != env.random_bytes(16)
+    t0 = env.current_time_ns()
+    t1 = env.current_time_ns()
+    assert t1 >= t0
+
+
+def test_filesystem_for_caches_per_user():
+    env = StandaloneEnvironment()
+    alice1 = env.filesystem_for("alice")
+    alice2 = env.filesystem_for("alice")
+    bob = env.filesystem_for("bob")
+    assert alice1 is alice2
+    assert alice1 is not bob
+    assert env.filesystem_for(env.filesystem.user) is env.filesystem

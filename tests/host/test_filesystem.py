@@ -1,0 +1,191 @@
+"""Virtual filesystem tests: read-global write-local + capability model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.host import (
+    FilesystemError,
+    GlobalObjectStore,
+    O_APPEND,
+    O_CREAT,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+    SEEK_CUR,
+    SEEK_END,
+    SEEK_SET,
+    VirtualFilesystem,
+)
+
+
+@pytest.fixture
+def store():
+    s = GlobalObjectStore()
+    s.upload("lib/base.txt", b"global contents")
+    return s
+
+
+@pytest.fixture
+def vfs(store):
+    return VirtualFilesystem(store, user="alice")
+
+
+def test_read_global_file(vfs):
+    fd = vfs.open("lib/base.txt", O_RDONLY)
+    assert vfs.read(fd, 100) == b"global contents"
+    vfs.close(fd)
+
+
+def test_write_shadows_global_locally(vfs, store):
+    fd = vfs.open("lib/base.txt", O_RDWR)
+    vfs.write(fd, b"LOCAL!")
+    vfs.close(fd)
+    # Global layer unchanged; local layer shadows.
+    assert store.get("lib/base.txt") == b"global contents"
+    fd = vfs.open("lib/base.txt", O_RDONLY)
+    assert vfs.read(fd, 100) == b"LOCAL! contents"
+
+
+def test_local_layers_are_per_user(store):
+    alice = VirtualFilesystem(store, "alice")
+    bob = VirtualFilesystem(store, "bob")
+    fd = alice.open("cache.bin", O_WRONLY | O_CREAT)
+    alice.write(fd, b"alice data")
+    alice.close(fd)
+    assert alice.exists("cache.bin")
+    assert not bob.exists("cache.bin")
+
+
+def test_create_requires_o_creat(vfs):
+    with pytest.raises(FilesystemError):
+        vfs.open("new.txt", O_WRONLY)
+    fd = vfs.open("new.txt", O_WRONLY | O_CREAT)
+    assert vfs.write(fd, b"ok") == 2
+
+
+def test_truncate(vfs):
+    fd = vfs.open("t.txt", O_WRONLY | O_CREAT)
+    vfs.write(fd, b"0123456789")
+    vfs.close(fd)
+    fd = vfs.open("t.txt", O_WRONLY | O_TRUNC)
+    vfs.close(fd)
+    assert vfs.stat("t.txt").size == 0
+
+
+def test_append_mode(vfs):
+    fd = vfs.open("log.txt", O_WRONLY | O_CREAT)
+    vfs.write(fd, b"one")
+    vfs.close(fd)
+    fd = vfs.open("log.txt", O_APPEND)
+    vfs.write(fd, b"two")
+    vfs.close(fd)
+    assert vfs.read_file("log.txt") == b"onetwo"
+
+
+def test_seek_whences(vfs):
+    fd = vfs.open("s.txt", O_RDWR | O_CREAT)
+    vfs.write(fd, b"abcdefgh")
+    assert vfs.seek(fd, 2, SEEK_SET) == 2
+    assert vfs.read(fd, 2) == b"cd"
+    assert vfs.seek(fd, 1, SEEK_CUR) == 5
+    assert vfs.read(fd, 1) == b"f"
+    assert vfs.seek(fd, -2, SEEK_END) == 6
+    assert vfs.read(fd, 10) == b"gh"
+    with pytest.raises(FilesystemError):
+        vfs.seek(fd, -100, SEEK_SET)
+
+
+def test_sparse_write_past_end_zero_fills(vfs):
+    fd = vfs.open("sparse.bin", O_RDWR | O_CREAT)
+    vfs.seek(fd, 8, SEEK_SET)
+    vfs.write(fd, b"X")
+    vfs.seek(fd, 0, SEEK_SET)
+    assert vfs.read(fd, 9) == b"\x00" * 8 + b"X"
+
+
+def test_capability_model_no_path_escape(vfs):
+    with pytest.raises(FilesystemError):
+        vfs.open("../../../etc/passwd", O_RDONLY)
+
+
+def test_dot_and_dotdot_normalised(vfs, store):
+    store.upload("a/b/c.txt", b"deep")
+    fd = vfs.open("a/./x/../b/c.txt", O_RDONLY)
+    assert vfs.read(fd, 10) == b"deep"
+
+
+def test_descriptors_are_unforgeable_handles(vfs):
+    fd = vfs.open("lib/base.txt", O_RDONLY)
+    vfs.close(fd)
+    # Using a closed (or never-issued) descriptor fails.
+    with pytest.raises(FilesystemError):
+        vfs.read(fd, 1)
+    with pytest.raises(FilesystemError):
+        vfs.read(fd + 100, 1)
+
+
+def test_write_on_readonly_descriptor_rejected(vfs):
+    fd = vfs.open("lib/base.txt", O_RDONLY)
+    with pytest.raises(FilesystemError):
+        vfs.write(fd, b"nope")
+
+
+def test_read_on_writeonly_descriptor_rejected(vfs):
+    fd = vfs.open("w.txt", O_WRONLY | O_CREAT)
+    with pytest.raises(FilesystemError):
+        vfs.read(fd, 1)
+
+
+def test_dup_shares_buffer_not_position(vfs):
+    fd = vfs.open("d.txt", O_RDWR | O_CREAT)
+    vfs.write(fd, b"hello")
+    fd2 = vfs.dup(fd)
+    vfs.seek(fd2, 0, SEEK_SET)
+    assert vfs.read(fd2, 5) == b"hello"
+    # Writing through one descriptor is visible through the other.
+    vfs.seek(fd, 0, SEEK_SET)
+    vfs.write(fd, b"HELLO")
+    vfs.seek(fd2, 0, SEEK_SET)
+    assert vfs.read(fd2, 5) == b"HELLO"
+
+
+def test_stat(vfs, store):
+    info = vfs.stat("lib/base.txt")
+    assert info.size == len(b"global contents")
+    assert not info.local
+    fd = vfs.open("mine.txt", O_WRONLY | O_CREAT)
+    vfs.write(fd, b"xy")
+    assert vfs.stat("mine.txt").local
+    with pytest.raises(FilesystemError):
+        vfs.stat("ghost.txt")
+
+
+def test_object_store_listing(store):
+    store.upload("data/a.bin", b"1")
+    store.upload("data/b.bin", b"2")
+    assert store.list("data") == ["data/a.bin", "data/b.bin"]
+    assert "lib/base.txt" in store.list()
+
+
+def test_local_bytes_accounting(vfs):
+    assert vfs.local_bytes() == 0
+    fd = vfs.open("big.bin", O_WRONLY | O_CREAT)
+    vfs.write(fd, b"z" * 1000)
+    assert vfs.local_bytes() == 1000
+
+
+@given(st.lists(st.tuples(st.integers(0, 50), st.binary(min_size=1, max_size=20)), max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_file_matches_bytearray_model(ops):
+    vfs = VirtualFilesystem(GlobalObjectStore(), "u")
+    fd = vfs.open("f.bin", O_RDWR | O_CREAT)
+    model = bytearray()
+    for pos, data in ops:
+        vfs.seek(fd, pos, SEEK_SET)
+        vfs.write(fd, data)
+        if pos + len(data) > len(model):
+            model.extend(b"\x00" * (pos + len(data) - len(model)))
+        model[pos : pos + len(data)] = data
+    vfs.seek(fd, 0, SEEK_SET)
+    assert vfs.read(fd, len(model) + 10) == bytes(model)

@@ -1,0 +1,102 @@
+"""Multi-tenant isolation across the host interface (per-user filesystems,
+cross-tenant hygiene)."""
+
+import pytest
+
+from repro.faaslet import Faaslet, FunctionDefinition
+from repro.host import StandaloneEnvironment
+from repro.minilang import build
+from repro.minilang.stdlib import with_stdlib
+
+WRITER_SRC = with_stdlib(
+    """
+    export int main() {
+        int fd = open("cache/data.txt", slen("cache/data.txt"), 65);
+        if (fd < 0) { return 1; }
+        write(fd, "mine", 4);
+        close(fd);
+        return 0;
+    }
+    """
+)
+
+READER_SRC = with_stdlib(
+    """
+    export int main() {
+        int fd = open("cache/data.txt", slen("cache/data.txt"), 0);
+        if (fd < 0) { return 77; }  // not visible
+        int[] buf = new int[2];
+        int n = read(fd, ptr(buf), 8);
+        write_call_output(ptr(buf), n);
+        return 0;
+    }
+    """
+)
+
+
+def test_local_files_are_per_user():
+    """Tenant A's locally written files are invisible to tenant B, while
+    both share the global read-only layer."""
+    env = StandaloneEnvironment()
+    env.object_store.upload("shared/lib.txt", b"common")
+    writer_a = Faaslet(
+        FunctionDefinition.build("w", build(WRITER_SRC), user="alice"), env
+    )
+    reader_a = Faaslet(
+        FunctionDefinition.build("ra", build(READER_SRC), user="alice"), env
+    )
+    reader_b = Faaslet(
+        FunctionDefinition.build("rb", build(READER_SRC), user="bob"), env
+    )
+    assert writer_a.call()[0] == 0
+    code, output = reader_a.call()
+    assert (code, output) == (0, b"mine")  # same tenant sees the write
+    assert reader_b.call()[0] == 77  # other tenant does not
+
+    # Both tenants read the global layer.
+    assert reader_a.filesystem.exists("shared/lib.txt")
+    assert reader_b.filesystem.exists("shared/lib.txt")
+
+
+def test_same_user_faaslets_share_cache():
+    """Co-located Faaslets of one user share the local write layer (the
+    CPython bytecode-cache pattern of §3.1)."""
+    env = StandaloneEnvironment()
+    definition = FunctionDefinition.build("w", build(WRITER_SRC), user="alice")
+    a1, a2 = Faaslet(definition, env), Faaslet(definition, env)
+    assert a1.call()[0] == 0
+    assert a1.filesystem is a2.filesystem
+
+
+def test_dlopen_respects_user_filesystem():
+    """A library written into one tenant's local layer cannot be dlopened
+    by another tenant."""
+    env = StandaloneEnvironment()
+    noop = "export int main() { return 0; }"
+    alice = Faaslet(FunctionDefinition.build("a", build(noop), user="alice"), env)
+    bob = Faaslet(FunctionDefinition.build("b", build(noop), user="bob"), env)
+    # Alice privately writes a library.
+    from repro.host.filesystem import O_CREAT, O_WRONLY
+
+    fd = alice.filesystem.open("libs/secret.ml", O_WRONLY | O_CREAT)
+    alice.filesystem.write(fd, b"export int f() { return 9; }")
+    alice.filesystem.close(fd)
+
+    assert alice.dlopen("libs/secret.ml") > 0
+    # Bob's capability view simply has no such file (guests see -1 through
+    # the host-interface wrapper; the Python API raises).
+    from repro.host.filesystem import FilesystemError
+
+    with pytest.raises(FilesystemError):
+        bob.dlopen("libs/secret.ml")
+
+
+def test_global_layer_library_loadable_by_all():
+    env = StandaloneEnvironment()
+    env.object_store.upload("libs/common.ml", b"export int f() { return 3; }")
+    noop = "export int main() { return 0; }"
+    for user in ("alice", "bob"):
+        faaslet = Faaslet(
+            FunctionDefinition.build(user, build(noop), user=user), env
+        )
+        assert faaslet.dlopen("libs/common.ml") > 0

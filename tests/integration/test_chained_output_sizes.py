@@ -1,0 +1,73 @@
+"""Behavioural coverage of get_call_output_size and large chained payloads."""
+
+import pytest
+
+from repro.minilang.stdlib import with_stdlib
+from repro.runtime import FaasmCluster
+
+PRODUCER_SRC = with_stdlib(
+    """
+export int main() {
+    // Emit input_size() * 3 bytes of 'z'.
+    int n = input_size() * 3;
+    int[] out = new int[(n + 4) / 4];
+    memset_bytes(ptr(out), 122, n);
+    write_call_output(ptr(out), n);
+    return 0;
+}
+"""
+)
+
+CONSUMER_SRC = with_stdlib(
+    """
+export int main() {
+    int n = input_size();
+    int buf = read_input_buffer();
+    int id = chain_call("producer", slen("producer"), buf, n);
+    if (await_call(id) != 0) { return 1; }
+    int size = get_call_output_size(id);
+    if (size != n * 3) { return 2; }
+    int[] out = new int[(size + 4) / 4];
+    int copied = get_call_output(id, ptr(out), size);
+    if (copied != size) { return 3; }
+    // Verify contents before forwarding.
+    for (int i = 0; i < size; i += 1) {
+        if (loadb(ptr(out) + i) != 122) { return 4; }
+    }
+    write_call_output(ptr(out), size);
+    return 0;
+}
+"""
+)
+
+
+def test_output_size_negotiation_between_guests():
+    cluster = FaasmCluster(n_hosts=2)
+    cluster.upload("producer", PRODUCER_SRC)
+    cluster.upload("consumer", CONSUMER_SRC)
+    code, output = cluster.invoke("consumer", b"x" * 100)
+    assert code == 0
+    assert output == b"z" * 300
+
+
+def test_large_payload_through_chain():
+    cluster = FaasmCluster(n_hosts=2)
+    cluster.upload("producer", PRODUCER_SRC)
+    cluster.upload("consumer", CONSUMER_SRC)
+    code, output = cluster.invoke("consumer", b"x" * 20_000)
+    assert code == 0
+    assert len(output) == 60_000
+
+
+def test_output_size_for_unknown_call_is_error():
+    from repro.faaslet import Faaslet, FunctionDefinition
+    from repro.host import StandaloneEnvironment
+    from repro.minilang import build
+
+    probe = with_stdlib(
+        "export int main() { return get_call_output_size(424242); }"
+    )
+    faaslet = Faaslet(
+        FunctionDefinition.build("p", build(probe)), StandaloneEnvironment()
+    )
+    assert faaslet.invoke_export("main") == -1

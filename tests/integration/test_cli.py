@@ -1,0 +1,88 @@
+"""CLI tests (python -m repro)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def guest_file(tmp_path):
+    path = tmp_path / "double.ml"
+    path.write_text(
+        """
+        extern int input_size();
+        extern void write_call_output(int buf, int len);
+        export int main() {
+            int[] out = new int[1];
+            storeb(ptr(out), 48 + input_size() * 2);
+            write_call_output(ptr(out), 1);
+            return 0;
+        }
+        export int square(int x) { return x * x; }
+        """
+    )
+    return str(path)
+
+
+def test_run_with_input(guest_file, capsys):
+    assert main(["run", guest_file, "--input", "abc"]) == 0
+    out = capsys.readouterr().out
+    assert "6" in out  # 3 input bytes doubled -> '6'
+    assert "exit code: 0" in out
+
+
+def test_run_with_entry_and_args(guest_file, capsys):
+    assert main(["run", guest_file, "--entry", "square", "--arg", "9"]) == 0
+    assert "result: 81" in capsys.readouterr().out
+
+
+def test_disasm(guest_file, capsys):
+    assert main(["disasm", guest_file]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("(module")
+    assert '"square"' in out
+
+
+def test_run_wat_file(tmp_path, capsys):
+    path = tmp_path / "mod.wat"
+    path.write_text(
+        '(module (func $f (export "main") (result i32) (i32.const 0)))'
+    )
+    assert main(["run", str(path)]) == 0
+
+
+def test_objdump_roundtrip(tmp_path, capsys):
+    from repro.minilang import build
+    from repro.wasm.codegen import compile_module
+    from repro.wasm.objectfile import write_object
+
+    module = build("export int main() { return 7; }")
+    obj = tmp_path / "fn.obj"
+    obj.write_bytes(
+        write_object(module, compile_module(module), meta={"entry": "main"})
+    )
+    assert main(["objdump", str(obj)]) == 0
+    out = capsys.readouterr().out
+    assert "functions" in out and "main" in out
+
+
+def test_run_object_file(tmp_path, capsys):
+    from repro.minilang import build
+    from repro.wasm.codegen import compile_module
+    from repro.wasm.objectfile import write_object
+
+    module = build(
+        """
+        extern void write_call_output(int buf, int len);
+        export int main() {
+            write_call_output("obj", slen("obj"));
+            return 0;
+        }
+        """
+    )
+    obj = tmp_path / "fn.obj"
+    obj.write_bytes(
+        write_object(module, compile_module(module), meta={"entry": "main"})
+    )
+    assert main(["run", str(obj)]) == 0
+    assert "obj" in capsys.readouterr().out

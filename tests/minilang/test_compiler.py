@@ -1,0 +1,300 @@
+"""Minilang end-to-end tests: source → wasm module → execution."""
+
+import pytest
+
+from repro.minilang import MinilangError, SyntaxErrorML, TypeErrorML, build
+from repro.wasm import (
+    FuncType,
+    HostFunc,
+    I32,
+    OutOfBoundsMemoryAccess,
+    UnreachableExecuted,
+    instantiate,
+)
+
+
+def run(source, name, *args, imports=None, **kwargs):
+    inst = instantiate(build(source), imports, validated=True, **kwargs)
+    return inst.invoke(name, *args)
+
+
+def test_arithmetic():
+    src = "export int f(int a, int b) { return a * b + 7; }"
+    assert run(src, "f", 6, 7) == 49
+
+
+def test_fib_recursive():
+    src = """
+    export int fib(int n) {
+        if (n < 2) { return n; }
+        return fib(n - 1) + fib(n - 2);
+    }
+    """
+    assert run(src, "fib", 10) == 55
+
+
+def test_while_loop():
+    src = """
+    export int sum(int n) {
+        int acc = 0;
+        int i = 0;
+        while (i < n) {
+            acc = acc + i;
+            i = i + 1;
+        }
+        return acc;
+    }
+    """
+    assert run(src, "sum", 100) == 4950
+
+
+def test_for_loop_with_break_continue():
+    src = """
+    export int f(int n) {
+        int acc = 0;
+        for (int i = 0; i < n; i = i + 1) {
+            if (i % 2 == 0) { continue; }
+            if (i > 10) { break; }
+            acc = acc + i;
+        }
+        return acc;
+    }
+    """
+    # Odd numbers <= 10: 1 + 3 + 5 + 7 + 9 = 25.
+    assert run(src, "f", 100) == 25
+
+
+def test_nested_loops():
+    src = """
+    export int f(int n) {
+        int acc = 0;
+        for (int i = 0; i < n; i = i + 1) {
+            for (int j = 0; j < n; j = j + 1) {
+                if (j > i) { break; }
+                acc = acc + 1;
+            }
+        }
+        return acc;
+    }
+    """
+    assert run(src, "f", 4) == 1 + 2 + 3 + 4
+
+
+def test_float_math():
+    src = """
+    export float hyp(float a, float b) {
+        return sqrt(a * a + b * b);
+    }
+    """
+    assert run(src, "hyp", 3.0, 4.0) == pytest.approx(5.0)
+
+
+def test_int_float_promotion():
+    src = "export float f(int a, float b) { return a + b; }"
+    assert run(src, "f", 1, 0.5) == pytest.approx(1.5)
+
+
+def test_casts():
+    src = """
+    export int f(float x) { return (int) x; }
+    export float g(int x) { return (float) x / 2.0; }
+    """
+    assert run(src, "f", 3.99) == 3
+    assert run(src, "g", 7) == pytest.approx(3.5)
+
+
+def test_long_arithmetic():
+    src = """
+    export long f(long a, int b) {
+        return a * (long) b;
+    }
+    """
+    assert run(src, "f", 1 << 40, 3) == 3 << 40
+
+
+def test_arrays():
+    src = """
+    export float dot(int n) {
+        float[] a = new float[n];
+        float[] b = new float[n];
+        for (int i = 0; i < n; i = i + 1) {
+            a[i] = (float) i;
+            b[i] = 2.0;
+        }
+        float acc = 0.0;
+        for (int i = 0; i < n; i = i + 1) {
+            acc = acc + a[i] * b[i];
+        }
+        return acc;
+    }
+    """
+    assert run(src, "dot", 10) == pytest.approx(2.0 * 45)
+
+
+def test_int_arrays():
+    src = """
+    export int f(int n) {
+        int[] a = new int[n];
+        for (int i = 0; i < n; i = i + 1) { a[i] = i * i; }
+        int acc = 0;
+        for (int i = 0; i < n; i = i + 1) { acc = acc + a[i]; }
+        return acc;
+    }
+    """
+    assert run(src, "f", 5) == 0 + 1 + 4 + 9 + 16
+
+
+def test_array_alloc_grows_memory():
+    # 1 MiB of floats requires growing past the initial single page.
+    src = """
+    export int f() {
+        float[] a = new float[131072];
+        a[131071] = 1.5;
+        if (a[131071] == 1.5) { return 1; }
+        return 0;
+    }
+    """
+    assert run(src, "f") == 1
+
+
+def test_oob_array_access_traps():
+    src = """
+    export int f() {
+        int[] a = new int[4];
+        return a[100000000];
+    }
+    """
+    with pytest.raises(OutOfBoundsMemoryAccess):
+        run(src, "f")
+
+
+def test_globals():
+    src = """
+    global int counter = 10;
+    export int bump() { counter = counter + 1; return counter; }
+    """
+    module = build(src)
+    inst = instantiate(module, validated=True)
+    assert inst.invoke("bump") == 11
+    assert inst.invoke("bump") == 12
+
+
+def test_extern_host_call():
+    src = """
+    extern int host_add(int a, int b);
+    export int f(int x) { return host_add(x, 100); }
+    """
+    host = HostFunc("env", "host_add", FuncType((I32, I32), (I32,)), lambda a, b: a + b)
+    assert run(src, "f", 1, imports=[host]) == 101
+
+
+def test_logical_operators_short_circuit():
+    src = """
+    global int calls = 0;
+    int bump() { calls = calls + 1; return 1; }
+    export int f(int x) {
+        if (x > 0 && bump() > 0) { return calls; }
+        return -calls;
+    }
+    """
+    module = build(src)
+    inst = instantiate(module, validated=True)
+    assert inst.invoke("f", 1) == 1  # bump called
+    inst.set_global if False else None
+    inst2 = instantiate(module, validated=True)
+    assert inst2.invoke("f", 0) == 0  # bump short-circuited away
+
+
+def test_logical_or():
+    src = """
+    export int f(int a, int b) {
+        if (a == 1 || b == 1) { return 1; }
+        return 0;
+    }
+    """
+    assert run(src, "f", 1, 0) == 1
+    assert run(src, "f", 0, 1) == 1
+    assert run(src, "f", 0, 0) == 0
+
+
+def test_unary_not():
+    src = "export int f(int a) { return !a; }"
+    assert run(src, "f", 0) == 1
+    assert run(src, "f", 5) == 0
+
+
+def test_missing_return_traps():
+    src = """
+    export int f(int a) {
+        if (a > 0) { return 1; }
+    }
+    """
+    assert run(src, "f", 5) == 1
+    with pytest.raises(UnreachableExecuted):
+        run(src, "f", -5)
+
+
+def test_else_if_chain():
+    src = """
+    export int sign(int x) {
+        if (x > 0) { return 1; }
+        else if (x < 0) { return -1; }
+        else { return 0; }
+    }
+    """
+    assert run(src, "sign", 42) == 1
+    assert run(src, "sign", -42) == -1
+    assert run(src, "sign", 0) == 0
+
+
+def test_type_error_mixed_assignment():
+    src = "export int f(float x) { int y = x; return y; }"
+    with pytest.raises(TypeErrorML):
+        build(src)
+
+
+def test_undeclared_variable():
+    with pytest.raises(TypeErrorML):
+        build("export int f() { return zz; }")
+
+
+def test_syntax_error():
+    with pytest.raises(SyntaxErrorML):
+        build("export int f( { return 0; }")
+
+
+def test_unknown_function_call():
+    with pytest.raises(TypeErrorML):
+        build("export int f() { return nope(3); }")
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(MinilangError):
+        build("export int f() { break; return 0; }")
+
+
+def test_forward_reference():
+    src = """
+    export int f(int x) { return g(x) + 1; }
+    int g(int x) { return x * 2; }
+    """
+    assert run(src, "f", 10) == 21
+
+
+def test_comments():
+    src = """
+    // line comment
+    /* block
+       comment */
+    export int f() { return 7; } // trailing
+    """
+    assert run(src, "f") == 7
+
+
+def test_float_builtins():
+    src = """
+    export float f(float x, float y) {
+        return fmax(floor(x), fabs(y));
+    }
+    """
+    assert run(src, "f", 2.9, -1.5) == pytest.approx(2.0)

@@ -1,0 +1,84 @@
+"""Compound assignment operator tests."""
+
+import pytest
+
+from repro.minilang import SyntaxErrorML, build
+from repro.wasm import instantiate
+
+
+def run(src, name, *args):
+    return instantiate(build(src), validated=True).invoke(name, *args)
+
+
+def test_scalar_compound_ops():
+    src = """
+    export int f(int a) {
+        a += 10;
+        a -= 3;
+        a *= 2;
+        a /= 4;
+        a %= 5;
+        return a;
+    }
+    """
+    for a in (0, 7, 100, -9):
+        expected = a
+        expected += 10
+        expected -= 3
+        expected *= 2
+        expected = int(expected / 4)  # C-style truncation
+        expected = expected - int(expected / 5) * 5
+        assert run(src, "f", a) == expected
+
+
+def test_float_compound():
+    src = """
+    export float f(float x) {
+        x += 0.5;
+        x *= 2.0;
+        return x;
+    }
+    """
+    assert run(src, "f", 1.25) == pytest.approx(3.5)
+
+
+def test_array_element_compound():
+    src = """
+    export int f(int n) {
+        int[] a = new int[4];
+        for (int i = 0; i < n; i += 1) {
+            a[i % 4] += i;
+        }
+        return a[0] + a[1] * 1000;
+    }
+    """
+    expected = [0, 0, 0, 0]
+    for i in range(10):
+        expected[i % 4] += i
+    assert run(src, "f", 10) == expected[0] + expected[1] * 1000
+
+
+def test_compound_in_for_step():
+    src = """
+    export int f(int n) {
+        int acc = 0;
+        for (int i = 0; i < n; i += 2) { acc += i; }
+        return acc;
+    }
+    """
+    assert run(src, "f", 10) == 0 + 2 + 4 + 6 + 8
+
+
+def test_compound_on_global():
+    src = """
+    global int total = 100;
+    export int f(int d) { total -= d; return total; }
+    """
+    inst = instantiate(build(src), validated=True)
+    assert inst.invoke("f", 30) == 70
+    assert inst.invoke("f", 30) == 40
+
+
+def test_compound_on_expression_rejected():
+    with pytest.raises(SyntaxErrorML, match="assignment target"):
+        build("export int f() { (1 + 2) += 3; return 0; }")

@@ -1,0 +1,69 @@
+"""Direct lexer tests."""
+
+import pytest
+
+from repro.minilang import LexError, tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.value) for t in tokenize(src) if t.kind != "eof"]
+
+
+def test_numbers():
+    assert kinds("0 42 1_000 0xFF 0x1_0") == [
+        ("int", 0), ("int", 42), ("int", 1000), ("int", 255), ("int", 16),
+    ]
+
+
+def test_floats():
+    assert kinds("1.5 0.25 2e3 1.5e-2 .5") == [
+        ("float", 1.5), ("float", 0.25), ("float", 2000.0),
+        ("float", 0.015), ("float", 0.5),
+    ]
+
+
+def test_keywords_vs_identifiers():
+    toks = kinds("int intx for forth _x x_1")
+    assert toks == [
+        ("keyword", "int"), ("ident", "intx"), ("keyword", "for"),
+        ("ident", "forth"), ("ident", "_x"), ("ident", "x_1"),
+    ]
+
+
+def test_operator_maximal_munch():
+    assert [v for _k, v in kinds("a<=b != c += d && e")] == [
+        "a", "<=", "b", "!=", "c", "+=", "d", "&&", "e",
+    ]
+
+
+def test_comments_stripped():
+    assert kinds("1 // two\n3 /* 4 */ 5") == [
+        ("int", 1), ("int", 3), ("int", 5),
+    ]
+
+
+def test_line_numbers():
+    toks = tokenize("a\nb\n\nc")
+    lines = {t.value: t.line for t in toks if t.kind == "ident"}
+    assert lines == {"a": 1, "b": 2, "c": 4}
+
+
+def test_string_tokens():
+    toks = tokenize('"hi" "a\\n"')
+    strings = [t.value for t in toks if t.kind == "string"]
+    assert strings == [b"hi", b"a\n"]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(LexError, match="unterminated"):
+        tokenize("a /* never closed")
+
+
+def test_unexpected_character():
+    with pytest.raises(LexError, match="unexpected character"):
+        tokenize("a @ b")
+
+
+def test_multiline_string_rejected():
+    with pytest.raises(LexError):
+        tokenize('"line\nbreak"')

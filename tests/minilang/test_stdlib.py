@@ -1,0 +1,107 @@
+"""Guest standard-library tests (the language-specific linking layer)."""
+
+import pytest
+
+from repro.faaslet import Faaslet, FunctionDefinition
+from repro.host import StandaloneEnvironment
+from repro.minilang import build
+from repro.minilang.stdlib import PRELUDE, with_stdlib
+
+
+def make(src, env=None):
+    definition = FunctionDefinition.build("t", build(with_stdlib(src)))
+    return Faaslet(definition, env or StandaloneEnvironment())
+
+
+def test_prelude_compiles_standalone():
+    # The prelude plus a trivial main is a valid module.
+    make("export int main() { return 0; }")
+
+
+def test_itoa_atoi_roundtrip():
+    src = """
+    export int main() {
+        int[] buf = new int[4];
+        int n = itoa(0 - 12345, ptr(buf));
+        return atoi(ptr(buf), n);
+    }
+    """
+    assert make(src).invoke_export("main") == -12345
+
+
+def test_itoa_zero():
+    src = """
+    export int main() {
+        int[] buf = new int[4];
+        int n = itoa(0, ptr(buf));
+        if (n != 1) { return 1; }
+        if (loadb(ptr(buf)) != 48) { return 2; }
+        return 0;
+    }
+    """
+    assert make(src).call()[0] == 0
+
+
+def test_output_int_and_read_input_buffer():
+    src = """
+    export int main() {
+        int buf = read_input_buffer();
+        int v = atoi(buf, input_size());
+        output_int(v * 2);
+        return 0;
+    }
+    """
+    faaslet = make(src)
+    code, output = faaslet.call(b"-21")
+    assert code == 0
+    assert output == b"-42"
+
+
+def test_memcpy_memset_streq():
+    src = """
+    export int main() {
+        int[] a = new int[4];
+        int[] b = new int[4];
+        memset_bytes(ptr(a), 7, 16);
+        memcpy(ptr(b), ptr(a), 16);
+        if (streq(ptr(a), ptr(b), 16) == 0) { return 1; }
+        storeb(ptr(b) + 5, 8);
+        if (streq(ptr(a), ptr(b), 16) == 1) { return 2; }
+        return 0;
+    }
+    """
+    assert make(src).call()[0] == 0
+
+
+def test_stdlib_state_externs_work():
+    src = """
+    export int main() {
+        set_state("k", slen("k"), "value", slen("value"));
+        push_state("k", slen("k"));
+        return state_size("k", slen("k"));
+    }
+    """
+    env = StandaloneEnvironment()
+    faaslet = make(src, env)
+    assert faaslet.invoke_export("main") == 5
+    assert env.global_state.get_value("k") == b"value"
+
+
+def test_stdlib_lock_externs_balanced():
+    src = """
+    export int main() {
+        set_state("k", slen("k"), "x", 1);
+        lock_state_write("k", slen("k"));
+        unlock_state_write("k", slen("k"));
+        lock_state_read("k", slen("k"));
+        unlock_state_read("k", slen("k"));
+        lock_state_global_write("k", slen("k"));
+        unlock_state_global_write("k", slen("k"));
+        return 0;
+    }
+    """
+    env = StandaloneEnvironment()
+    assert make(src, env).call()[0] == 0
+    # All locks released.
+    replica = env.state.tier.replica("k")
+    assert not replica.lock.write_held and replica.lock.readers == 0

@@ -1,0 +1,141 @@
+"""String-literal support: interning, escapes, host-interface ergonomics."""
+
+import pytest
+
+from repro.faaslet import Faaslet, FunctionDefinition
+from repro.host import StandaloneEnvironment
+from repro.minilang import LexError, TypeErrorML, build
+from repro.wasm import instantiate
+
+
+def run(src, name, *args, env=None):
+    definition = FunctionDefinition.build("t", build(src), entry=name)
+    faaslet = Faaslet(definition, env or StandaloneEnvironment())
+    return faaslet, faaslet.invoke_export(name, *args)
+
+
+def test_string_literal_yields_address_of_bytes():
+    src = """
+    export int main() {
+        int s = "AB";
+        return loadb(s) * 1000 + loadb(s + 1);
+    }
+    """
+    _, result = run(src, "main")
+    assert result == ord("A") * 1000 + ord("B")
+
+
+def test_strings_are_nul_terminated_and_interned():
+    src = """
+    export int main() {
+        int a = "same";
+        int b = "same";
+        int c = "other";
+        if (a != b) { return 1; }
+        if (a == c) { return 2; }
+        if (loadb(a + 4) != 0) { return 3; }
+        return 0;
+    }
+    """
+    assert run(src, "main")[1] == 0
+
+
+def test_slen_is_compile_time():
+    src = 'export int main() { return slen("hello") + slen(""); }'
+    assert run(src, "main")[1] == 5
+
+
+def test_slen_requires_literal():
+    with pytest.raises(TypeErrorML):
+        build("export int main() { int x = 3; return slen(x); }")
+
+
+def test_string_escapes():
+    src = r"""
+    export int main() {
+        int s = "a\n\t\"\\\0b";
+        if (loadb(s + 1) != 10) { return 1; }
+        if (loadb(s + 2) != 9) { return 2; }
+        if (loadb(s + 3) != 34) { return 3; }
+        if (loadb(s + 4) != 92) { return 4; }
+        if (loadb(s + 5) != 0) { return 5; }
+        if (loadb(s + 6) != 98) { return 6; }
+        return 0;
+    }
+    """
+    assert run(src, "main")[1] == 0
+
+
+def test_unterminated_string_rejected():
+    with pytest.raises(LexError):
+        build('export int main() { int s = "oops; return 0; }')
+
+
+def test_bad_escape_rejected():
+    with pytest.raises(LexError):
+        build(r'export int main() { int s = "\q"; return 0; }')
+
+
+def test_many_strings_push_heap_base_up():
+    decls = "\n".join(
+        f'    int s{i} = "{"x" * 64}{i:04d}";' for i in range(40)
+    )
+    src = f"""
+    export int main() {{
+        {decls}
+        int[] a = new int[4];
+        a[0] = 7;
+        return a[0];
+    }}
+    """
+    # Allocation must not land on top of the string data.
+    faaslet, result = run(src, "main")
+    assert result == 7
+
+
+def test_state_api_with_string_keys():
+    """The ergonomic host-interface pattern strings were added for."""
+    src = """
+    extern int get_state(int kptr, int klen, int size);
+    extern void push_state(int kptr, int klen);
+
+    export int main() {
+        float[] w = farr(get_state("weights", slen("weights"), 32));
+        w[0] = 2.5;
+        w[1] = w[0] * 2.0;
+        push_state("weights", slen("weights"));
+        return 0;
+    }
+    """
+    env = StandaloneEnvironment()
+    faaslet, result = run(src, "main", env=env)
+    assert result == 0
+    import numpy as np
+
+    stored = np.frombuffer(env.global_state.get_value("weights"), dtype=np.float64)
+    assert stored[0] == 2.5 and stored[1] == 5.0
+
+
+def test_chained_calls_with_string_names():
+    src = """
+    extern int chain_call(int np, int nl, int ip, int il);
+    extern int await_call(int id);
+    extern int get_call_output(int id, int buf, int len);
+    extern void write_call_output(int buf, int len);
+
+    export int main() {
+        int id = chain_call("helper", slen("helper"), "5", 1);
+        if (await_call(id) != 0) { return 1; }
+        int[] buf = new int[4];
+        int n = get_call_output(id, ptr(buf), 16);
+        write_call_output(ptr(buf), n);
+        return 0;
+    }
+    """
+    env = StandaloneEnvironment()
+    env.register_function("helper", lambda data: str(int(data) * 3).encode())
+    definition = FunctionDefinition.build("t", build(src))
+    faaslet = Faaslet(definition, env)
+    code, output = faaslet.call()
+    assert code == 0
+    assert output == b"15"

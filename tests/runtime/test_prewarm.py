@@ -1,0 +1,49 @@
+"""Pre-warming tests (scale-up ahead of traffic)."""
+
+import pytest
+
+from repro.runtime import FaasmCluster
+
+SRC = "export int main() { return 0; }"
+
+
+def test_prewarm_provisions_pools_everywhere():
+    cluster = FaasmCluster(n_hosts=3)
+    cluster.upload("fn", SRC)
+    added = cluster.pre_warm("fn", per_host=2)
+    assert added == 6
+    for instance in cluster.instances:
+        assert instance.warm_count("fn") == 2
+    assert cluster.warm_sets.warm_hosts("fn") == {"host-0", "host-1", "host-2"}
+
+
+def test_prewarmed_calls_never_cold_start():
+    cluster = FaasmCluster(n_hosts=2)
+    cluster.upload("fn", SRC)
+    cluster.pre_warm("fn", per_host=1)
+    for _ in range(6):
+        assert cluster.invoke("fn")[0] == 0
+    assert cluster.total_cold_starts() == 0
+    assert all(i.metrics.warm_hits >= 1 for i in cluster.instances)
+
+
+def test_prewarm_python_function_is_noop():
+    cluster = FaasmCluster(n_hosts=1)
+    cluster.register_python("py", lambda ctx: None)
+    assert cluster.pre_warm("py") == 0
+
+
+def test_prewarm_unknown_function_rejected():
+    cluster = FaasmCluster(n_hosts=1)
+    with pytest.raises(KeyError):
+        cluster.pre_warm("ghost")
+
+
+def test_prewarm_then_reclaim_roundtrip():
+    cluster = FaasmCluster(n_hosts=1)
+    cluster.upload("fn", SRC)
+    cluster.pre_warm("fn", per_host=3)
+    instance = cluster.instances[0]
+    assert instance.warm_count("fn") == 3
+    assert instance.reclaim_idle() == 3
+    assert cluster.warm_sets.warm_hosts("fn") == set()

@@ -1,0 +1,74 @@
+"""Warm-pool reclamation (scale-to-zero) tests."""
+
+import pytest
+
+from repro.runtime import FaasmCluster
+
+SRC = "export int main() { return 0; }"
+
+
+def test_reclaim_frees_pool_and_warm_set():
+    cluster = FaasmCluster(n_hosts=1)
+    cluster.upload("fn", SRC)
+    cluster.invoke("fn")
+    instance = cluster.instances[0]
+    assert instance.warm_count("fn") == 1
+    assert cluster.warm_sets.warm_hosts("fn") == {"host-0"}
+
+    reclaimed = instance.reclaim_idle()
+    assert reclaimed == 1
+    assert instance.warm_count("fn") == 0
+    assert cluster.warm_sets.warm_hosts("fn") == set()
+
+
+def test_reclaim_keeps_requested_floor():
+    cluster = FaasmCluster(n_hosts=1, capacity=16)
+    # A function slow enough that dispatches overlap, forcing the pool to
+    # grow beyond one Faaslet.
+    cluster.upload(
+        "fn",
+        """
+        export int main() {
+            int acc = 0;
+            for (int i = 0; i < 60000; i = i + 1) { acc = acc + i; }
+            return 0;
+        }
+        """,
+    )
+    ids = [cluster.dispatch("fn") for _ in range(6)]
+    for cid in ids:
+        cluster.calls.wait(cid, 30)
+    instance = cluster.instances[0]
+    assert instance.warm_count("fn") >= 2
+    instance.reclaim_idle(keep_per_function=1)
+    assert instance.warm_count("fn") == 1
+    # Still advertised warm: the pool is non-empty.
+    assert cluster.warm_sets.warm_hosts("fn") == {"host-0"}
+
+
+def test_call_after_reclaim_cold_starts_again():
+    cluster = FaasmCluster(n_hosts=1)
+    cluster.upload("fn", SRC)
+    cluster.invoke("fn")
+    instance = cluster.instances[0]
+    cold_before = instance.metrics.cold_starts
+    instance.reclaim_idle()
+    assert cluster.invoke("fn")[0] == 0
+    assert instance.metrics.cold_starts == cold_before + 1
+
+
+def test_reclaim_shrinks_memory_footprint():
+    cluster = FaasmCluster(n_hosts=1, capacity=16)
+    cluster.upload("fn", SRC)
+    ids = [cluster.dispatch("fn") for _ in range(8)]
+    for cid in ids:
+        cluster.calls.wait(cid, 30)
+    instance = cluster.instances[0]
+    before = instance.memory_footprint()
+    instance.reclaim_idle()
+    assert instance.memory_footprint() <= before
+
+
+def test_reclaim_idempotent_on_empty_pool():
+    cluster = FaasmCluster(n_hosts=1)
+    assert cluster.instances[0].reclaim_idle() == 0

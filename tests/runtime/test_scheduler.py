@@ -1,0 +1,115 @@
+"""Shared-state scheduler tests (§5.1) and warm-set registry behaviour."""
+
+import json
+
+import pytest
+
+from repro.runtime.scheduler import LocalScheduler, SchedulingDecision, WarmSetRegistry
+from repro.state.kv import GlobalStateStore
+
+
+@pytest.fixture
+def store():
+    return GlobalStateStore()
+
+
+@pytest.fixture
+def warm_sets(store):
+    return WarmSetRegistry(store)
+
+
+def make_scheduler(host, warm_sets, capacity=2, peers=None):
+    peers = peers if peers is not None else {}
+    return LocalScheduler(
+        host,
+        warm_sets,
+        capacity_fn=lambda: capacity,
+        peer_capacity_fn=lambda h: peers.get(h, 0),
+    )
+
+
+class TestWarmSetRegistry:
+    def test_empty_initially(self, warm_sets):
+        assert warm_sets.warm_hosts("fn") == set()
+
+    def test_add_remove(self, warm_sets):
+        warm_sets.add("fn", "h1")
+        warm_sets.add("fn", "h2")
+        assert warm_sets.warm_hosts("fn") == {"h1", "h2"}
+        warm_sets.remove("fn", "h1")
+        assert warm_sets.warm_hosts("fn") == {"h2"}
+
+    def test_add_is_idempotent(self, warm_sets):
+        warm_sets.add("fn", "h1")
+        warm_sets.add("fn", "h1")
+        assert warm_sets.warm_hosts("fn") == {"h1"}
+
+    def test_sets_live_in_global_state_tier(self, store, warm_sets):
+        """The paper stores warm sets in the FAASM global tier."""
+        warm_sets.add("fn", "h1")
+        raw = store.get_value("faasm/sched/warm/fn")
+        assert json.loads(raw.decode()) == ["h1"]
+
+    def test_per_function_isolation(self, warm_sets):
+        warm_sets.add("a", "h1")
+        warm_sets.add("b", "h2")
+        assert warm_sets.warm_hosts("a") == {"h1"}
+        assert warm_sets.warm_hosts("b") == {"h2"}
+
+
+class TestLocalScheduler:
+    def test_cold_start_registers_warm(self, warm_sets):
+        sched = make_scheduler("h1", warm_sets)
+        decision = sched.schedule("fn")
+        assert decision.host == "h1"
+        assert decision.reason == "cold-local"
+        assert decision.is_cold
+        assert warm_sets.warm_hosts("fn") == {"h1"}
+
+    def test_warm_local_preferred(self, warm_sets):
+        warm_sets.add("fn", "h1")
+        sched = make_scheduler("h1", warm_sets)
+        decision = sched.schedule("fn")
+        assert decision.reason == "warm-local"
+        assert decision.host == "h1"
+
+    def test_shared_to_warm_peer_when_not_warm_here(self, warm_sets):
+        warm_sets.add("fn", "h2")
+        sched = make_scheduler("h1", warm_sets, peers={"h2": 3})
+        decision = sched.schedule("fn")
+        assert decision.reason == "shared"
+        assert decision.host == "h2"
+
+    def test_no_capacity_anywhere_cold_starts_locally(self, warm_sets):
+        warm_sets.add("fn", "h2")
+        sched = make_scheduler("h1", warm_sets, peers={"h2": 0})
+        decision = sched.schedule("fn")
+        assert decision.reason == "cold-local"
+        assert decision.host == "h1"
+
+    def test_local_full_shares_with_peer(self, warm_sets):
+        warm_sets.add("fn", "h1")
+        warm_sets.add("fn", "h2")
+        sched = make_scheduler("h1", warm_sets, capacity=0, peers={"h2": 1})
+        decision = sched.schedule("fn")
+        assert decision.reason == "shared"
+        assert decision.host == "h2"
+
+    def test_decision_counters(self, warm_sets):
+        sched = make_scheduler("h1", warm_sets)
+        sched.schedule("fn")  # cold
+        sched.schedule("fn")  # warm-local now
+        assert sched.decisions["cold-local"] == 1
+        assert sched.decisions["warm-local"] == 1
+
+    def test_two_schedulers_share_state(self, warm_sets):
+        """Omega-style: schedulers coordinate only through the shared
+        warm sets, never directly."""
+        s1 = make_scheduler("h1", warm_sets, peers={"h2": 1})
+        s2 = make_scheduler("h2", warm_sets, peers={"h1": 1})
+        d1 = s1.schedule("fn")
+        assert d1.reason == "cold-local"
+        # h2's scheduler sees h1's registration through the global tier.
+        d2 = s2.schedule("fn")
+        assert d2.reason == "shared"
+        assert d2.host == "h1"

@@ -1,0 +1,98 @@
+"""SimHost / SimNetwork model tests."""
+
+import pytest
+
+from repro.sim import Environment, OutOfMemory, SimCluster, SimHost, SimNetwork
+
+MB = 1024 * 1024
+
+
+class TestSimHost:
+    def test_allocation_and_peak(self):
+        env = Environment()
+        host = SimHost(env, "h", ram=100 * MB)
+        host.allocate(60 * MB)
+        host.free(30 * MB)
+        host.allocate(10 * MB)
+        assert host.mem_used == 40 * MB
+        assert host.mem_peak == 60 * MB
+        assert host.mem_free == 60 * MB
+
+    def test_oom(self):
+        env = Environment()
+        host = SimHost(env, "h", ram=10 * MB)
+        host.allocate(9 * MB)
+        with pytest.raises(OutOfMemory):
+            host.allocate(2 * MB)
+        # Failed allocation must not be charged.
+        assert host.mem_used == 9 * MB
+
+    def test_free_never_goes_negative(self):
+        env = Environment()
+        host = SimHost(env, "h")
+        host.free(123)
+        assert host.mem_used == 0
+
+
+class TestSimNetwork:
+    def test_transfer_duration(self):
+        env = Environment()
+        cluster = SimCluster.build(env, 2, bandwidth=100 * MB, latency=0.001)
+        src, dst = cluster.hosts
+
+        def move(env):
+            yield from cluster.network.transfer(src, dst, 200 * MB)
+
+        env.run_process(move(env))
+        assert env.now == pytest.approx(2.001)
+        assert src.tx_bytes == 200 * MB
+        assert dst.rx_bytes == 200 * MB
+
+    def test_nic_streams_serialise(self):
+        """More concurrent transfers than NIC streams: they queue."""
+        env = Environment()
+        cluster = SimCluster.build(env, 2, bandwidth=100 * MB, latency=0.0)
+        src, dst = cluster.hosts
+        src.nic = type(src.nic)(env, 1)
+        dst.nic = type(dst.nic)(env, 1)
+
+        def move(env):
+            yield from cluster.network.transfer(src, dst, 100 * MB)
+
+        for _ in range(3):
+            env.process(move(env))
+        env.run()
+        assert env.now == pytest.approx(3.0)  # 3 x 1s, fully serialised
+
+    def test_zero_byte_transfer_costs_latency_only(self):
+        env = Environment()
+        cluster = SimCluster.build(env, 1, latency=0.005)
+
+        def move(env):
+            yield from cluster.network.transfer(cluster.hosts[0], None, 0)
+
+        env.run_process(move(env))
+        assert env.now == pytest.approx(0.005)
+        assert cluster.network.totals.bytes_total == 0
+
+    def test_kvs_transfers_charged_to_totals(self):
+        env = Environment()
+        cluster = SimCluster.build(env, 1)
+
+        def move(env):
+            yield from cluster.to_kvs(cluster.hosts[0], 500_000_000)
+            yield from cluster.from_kvs(cluster.hosts[0], 500_000_000)
+
+        env.run_process(move(env))
+        # Each transfer counted sent+recv: 2 GB total.
+        assert cluster.total_transferred_gb() == pytest.approx(2.0)
+
+    def test_endpointless_transfer(self):
+        env = Environment()
+        network = SimNetwork(env, bandwidth=1e9, latency=0.0)
+
+        def move(env):
+            yield from network.transfer(None, None, 1_000_000)
+
+        env.run_process(move(env))
+        assert network.totals.transfers == 1

@@ -1,0 +1,187 @@
+"""Discrete-event engine tests."""
+
+import pytest
+
+from repro.sim import Environment, Resource, Store, all_of
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.5)
+        return "done"
+
+    result = env.run_process(proc(env))
+    assert result == "done"
+    assert env.now == 2.5
+
+
+def test_processes_interleave():
+    env = Environment()
+    log = []
+
+    def worker(env, name, delay):
+        yield env.timeout(delay)
+        log.append((env.now, name))
+
+    env.process(worker(env, "b", 2.0))
+    env.process(worker(env, "a", 1.0))
+    env.run()
+    assert log == [(1.0, "a"), (2.0, "b")]
+
+
+def test_process_waits_on_process():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(3.0)
+        return 42
+
+    def parent(env):
+        value = yield env.process(child(env))
+        return value + 1
+
+    assert env.run_process(parent(env)) == 43
+    assert env.now == 3.0
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+
+    def child(env, d):
+        yield env.timeout(d)
+        return d
+
+    def parent(env):
+        procs = [env.process(child(env, d)) for d in (3.0, 1.0, 2.0)]
+        values = yield all_of(env, procs)
+        return values
+
+    assert env.run_process(parent(env)) == [3.0, 1.0, 2.0]
+    assert env.now == 3.0
+
+
+def test_all_of_empty():
+    env = Environment()
+
+    def parent(env):
+        values = yield all_of(env, [])
+        return values
+
+    assert env.run_process(parent(env)) == []
+
+
+def test_event_succeed_value():
+    env = Environment()
+    gate = env.event()
+
+    def opener(env):
+        yield env.timeout(5.0)
+        gate.succeed("open")
+
+    def waiter(env):
+        value = yield gate
+        return value
+
+    env.process(opener(env))
+    assert env.run_process(waiter(env)) == "open"
+
+
+def test_event_failure_propagates():
+    env = Environment()
+    gate = env.event()
+
+    def failer(env):
+        yield env.timeout(1.0)
+        gate.fail(ValueError("nope"))
+
+    def waiter(env):
+        yield gate
+
+    env.process(failer(env))
+    with pytest.raises(ValueError):
+        env.run_process(waiter(env))
+
+
+def test_resource_serialises():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    spans = []
+
+    def user(env, name):
+        yield resource.request()
+        start = env.now
+        yield env.timeout(1.0)
+        resource.release()
+        spans.append((name, start, env.now))
+
+    for i in range(3):
+        env.process(user(env, i))
+    env.run()
+    assert env.now == 3.0
+    # No two holders overlap.
+    ordered = sorted(spans, key=lambda s: s[1])
+    for (_, _, end), (_, start, _) in zip(ordered, ordered[1:]):
+        assert start >= end
+
+
+def test_resource_capacity_two():
+    env = Environment()
+    resource = Resource(env, capacity=2)
+
+    def user(env):
+        yield resource.request()
+        yield env.timeout(1.0)
+        resource.release()
+
+    for _ in range(4):
+        env.process(user(env))
+    env.run()
+    assert env.now == 2.0  # two waves of two
+
+
+def test_store_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env):
+        for i in range(3):
+            yield env.timeout(1.0)
+            store.put(i)
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            got.append((env.now, item))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert got == [(1.0, 0), (2.0, 1), (3.0, 2)]
+
+
+def test_run_until():
+    env = Environment()
+
+    def ticker(env):
+        while True:
+            yield env.timeout(1.0)
+
+    env.process(ticker(env))
+    env.run(until=5.5)
+    assert env.now == 5.5
+
+
+def test_yielding_processed_event_resumes():
+    env = Environment()
+    done = env.event()
+    done.succeed("early")
+
+    def waiter(env):
+        value = yield done
+        return value
+
+    env.run()  # process the event first
+    assert env.run_process(waiter(env)) == "early"

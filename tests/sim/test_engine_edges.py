@@ -1,0 +1,163 @@
+"""Engine edge cases: interrupts, failures, nested processes, run_process."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, Resource, SimulationError, Store
+
+
+def test_interrupt_stops_process():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+            log.append("finished")
+        except Interrupt as intr:
+            log.append(("interrupted", intr.cause, env.now))
+
+    proc = env.process(sleeper(env))
+
+    def interrupter(env):
+        yield env.timeout(1)
+        proc.interrupt("deadline")
+
+    env.process(interrupter(env))
+    env.run()
+    # The process observed the interrupt at t=1 and never "finished"; the
+    # abandoned timeout still drains from the queue harmlessly.
+    assert log == [("interrupted", "deadline", 1.0)]
+
+
+def test_process_exception_propagates_to_waiter():
+    env = Environment()
+
+    def failer(env):
+        yield env.timeout(1)
+        raise ValueError("inner")
+
+    def waiter(env):
+        yield env.process(failer(env))
+
+    with pytest.raises(ValueError, match="inner"):
+        env.run_process(waiter(env))
+
+
+def test_run_process_detects_deadlock():
+    env = Environment()
+
+    def stuck(env):
+        yield env.event()  # never fires
+
+    with pytest.raises(SimulationError, match="deadlock"):
+        env.run_process(stuck(env))
+
+
+def test_deeply_nested_processes():
+    env = Environment()
+
+    def level(env, depth):
+        if depth == 0:
+            yield env.timeout(1)
+            return 1
+        value = yield env.process(level(env, depth - 1))
+        return value + 1
+
+    assert env.run_process(level(env, 50)) == 51
+    assert env.now == 1
+
+
+def test_zero_delay_timeouts_preserve_order():
+    env = Environment()
+    log = []
+
+    def worker(env, name):
+        yield env.timeout(0)
+        log.append(name)
+
+    for name in "abc":
+        env.process(worker(env, name))
+    env.run()
+    assert log == list("abc")
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+    with pytest.raises(SimulationError):
+        ev.fail(ValueError())
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_resource_queue_length():
+    env = Environment()
+    res = Resource(env, 1)
+
+    def holder(env):
+        yield res.request()
+        yield env.timeout(10)
+        res.release()
+
+    def waiter(env):
+        yield res.request()
+        res.release()
+
+    env.process(holder(env))
+    env.process(waiter(env))
+    env.run(until=5)
+    assert res.queue_length == 1
+    env.run()
+    assert res.queue_length == 0
+
+
+def test_store_get_before_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env):
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer(env):
+        yield env.timeout(3)
+        store.put("x")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [(3, "x")]
+
+
+def test_run_until_preserves_pending_events():
+    env = Environment()
+    fired = []
+
+    def late(env):
+        yield env.timeout(10)
+        fired.append(env.now)
+
+    env.process(late(env))
+    env.run(until=5)
+    assert fired == []
+    env.run()
+    assert fired == [10]
+
+
+def test_yielding_non_event_is_an_error():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(SimulationError, match="expected an Event"):
+        env.run()

@@ -1,0 +1,125 @@
+"""FAASM sim-platform scheduling: locality and chain-origin affinity."""
+
+import pytest
+
+from repro.sim import (
+    Chain,
+    Compute,
+    Environment,
+    FaasmSimPlatform,
+    SimCluster,
+    SimFunction,
+    StateRead,
+    StateWrite,
+)
+
+MB = 1024 * 1024
+
+
+def build_platform(n_hosts=4, **kwargs):
+    env = Environment()
+    cluster = SimCluster.build(env, n_hosts)
+    return FaasmSimPlatform(cluster, **kwargs)
+
+
+def test_locality_prefers_host_with_replicas():
+    platform = build_platform()
+
+    def writer_body(arg):
+        yield StateWrite("hot-value", MB, push=True)
+        yield Compute(0.001)
+
+    writer = SimFunction("writer", writer_body)
+    platform.invoke(writer)
+    platform.env.run()
+    writer_host = next(
+        h for h in platform.cluster.hosts
+        if platform.host_replica_bytes(h) > 0
+    )
+
+    def reader_body(arg):
+        yield StateRead("hot-value", MB)
+        yield Compute(0.001)
+
+    reader = SimFunction(
+        "reader", reader_body, locality=lambda arg: ["hot-value"]
+    )
+    before = platform.cluster.network.totals.bytes_total
+    platform.invoke(reader)
+    platform.env.run()
+    # The reader landed on the writer's host: zero new transfer.
+    assert platform.cluster.network.totals.bytes_total == before
+
+
+def test_no_locality_spreads_to_least_loaded():
+    platform = build_platform()
+
+    def body(arg):
+        yield Compute(0.001)
+
+    fn = SimFunction("fn", body, working_set=MB)
+    platform.invoke_many(fn, list(range(4)))
+    platform.env.run()
+    hosts_used = {f.host.name for pool in platform._warm.values() for f in pool}
+    assert len(hosts_used) == 4  # evenly spread
+
+
+def test_chain_origin_affinity_up_to_capacity():
+    platform = build_platform(chain_local_capacity=4)
+
+    def leaf_body(arg):
+        yield Compute(0.05)
+
+    leaf = SimFunction("leaf", leaf_body, working_set=MB)
+
+    def parent_body(arg):
+        handles = []
+        for i in range(3):
+            handle = yield Chain(leaf, i)
+            handles.append(handle)
+
+    parent = SimFunction("parent", parent_body, working_set=MB)
+    platform.invoke(parent)
+    platform.env.run()
+    parent_host = platform._warm["parent"][0].host
+    leaf_hosts = [f.host for f in platform._warm["leaf"]]
+    # All three leaves fit the origin-host capacity: co-located.
+    assert all(h is parent_host for h in leaf_hosts)
+
+
+def test_chain_spills_when_origin_saturated():
+    platform = build_platform(chain_local_capacity=2)
+
+    def leaf_body(arg):
+        yield Compute(0.05)
+
+    leaf = SimFunction("leaf", leaf_body, working_set=MB)
+
+    def parent_body(arg):
+        handles = []
+        for i in range(6):
+            handle = yield Chain(leaf, i)
+            handles.append(handle)
+
+    parent = SimFunction("parent", parent_body, working_set=MB)
+    platform.invoke(parent)
+    platform.env.run()
+    leaf_hosts = {f.host.name for f in platform._warm["leaf"]}
+    assert len(leaf_hosts) > 1  # overflow was shared with other hosts
+
+
+def test_reclaim_idle_frees_replicas_and_faaslets():
+    platform = build_platform(n_hosts=1)
+
+    def body(arg):
+        yield StateRead("v", 8 * MB)
+        yield Compute(0.001)
+
+    fn = SimFunction("fn", body)
+    platform.invoke(fn)
+    platform.env.run()
+    host = platform.cluster.hosts[0]
+    assert host.mem_used > 0
+    platform.reclaim_idle()
+    assert host.mem_used == 0
+    assert platform.host_replica_bytes(host) == 0

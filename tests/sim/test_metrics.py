@@ -1,0 +1,81 @@
+"""Metrics tests: percentiles, billable memory, transfer accounting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import BillableMemory, LatencyRecorder, TransferTotals, percentile
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([5.0], 50) == 5.0
+        assert percentile([5.0], 99) == 5.0
+
+    def test_median_odd(self):
+        assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert percentile([1.0, 3.0], 50) == 2.0
+
+    def test_extremes(self):
+        values = [float(i) for i in range(100)]
+        assert percentile(values, 0) == 0.0
+        assert percentile(values, 100) == 99.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    @given(st.lists(st.floats(0, 1e6, allow_nan=False), min_size=1, max_size=100),
+           st.floats(0, 100))
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_and_monotone(self, values, pct):
+        result = percentile(values, pct)
+        assert min(values) <= result <= max(values)
+        # Monotone in pct.
+        assert percentile(values, 0) <= result <= percentile(values, 100)
+
+
+class TestLatencyRecorder:
+    def test_cdf_is_nondecreasing(self):
+        rec = LatencyRecorder()
+        for x in (5.0, 1.0, 3.0, 2.0, 4.0):
+            rec.record(x)
+        cdf = rec.cdf(points=10)
+        lats = [l for l, _ in cdf]
+        fracs = [f for _, f in cdf]
+        assert lats == sorted(lats)
+        assert fracs == sorted(fracs)
+        assert fracs[-1] == pytest.approx(1.0)
+
+    def test_stats(self):
+        rec = LatencyRecorder()
+        for x in range(1, 101):
+            rec.record(float(x))
+        assert rec.count == 100
+        assert rec.median() == pytest.approx(50.5)
+        assert rec.mean() == pytest.approx(50.5)
+        assert rec.p(99) == pytest.approx(99.01)
+
+
+class TestBillableMemory:
+    def test_gb_seconds(self):
+        bill = BillableMemory()
+        bill.record(2 * 10**9, 3.0)  # 2 GB for 3 s
+        assert bill.gb_seconds == pytest.approx(6.0)
+        assert bill.invocations == 1
+
+    def test_accumulates(self):
+        bill = BillableMemory()
+        for _ in range(10):
+            bill.record(10**9, 0.5)
+        assert bill.gb_seconds == pytest.approx(5.0)
+
+
+class TestTransferTotals:
+    def test_counts_both_directions(self):
+        totals = TransferTotals()
+        totals.record(500_000_000)
+        assert totals.bytes_total == 10**9
+        assert totals.gigabytes == pytest.approx(1.0)
+        assert totals.transfers == 1

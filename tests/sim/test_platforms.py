@@ -1,0 +1,201 @@
+"""Platform model tests: shared workloads under FAASM vs Knative semantics."""
+
+import pytest
+
+from repro.baseline import KnativeSimPlatform
+from repro.sim import (
+    Await,
+    Chain,
+    Compute,
+    Environment,
+    FaasmSimPlatform,
+    OutOfMemory,
+    SimCluster,
+    SimFunction,
+    StateRead,
+    StateWrite,
+)
+
+MB = 1024 * 1024
+
+
+def build(platform_cls, n_hosts=2, ram=None, **kwargs):
+    env = Environment()
+    cluster_kwargs = {"ram": ram} if ram else {}
+    cluster = SimCluster.build(env, n_hosts, **cluster_kwargs)
+    return platform_cls(cluster, **kwargs)
+
+
+def simple_fn(compute_s=0.01, working_set=MB):
+    def body(arg):
+        yield Compute(compute_s)
+
+    return SimFunction("fn", body, working_set=working_set)
+
+
+def test_faasm_cold_then_warm():
+    platform = build(FaasmSimPlatform)
+    fn = simple_fn()
+    h1 = platform.invoke(fn)
+    platform.env.run()
+    h2 = platform.invoke(fn)
+    platform.env.run()
+    assert platform.metrics.cold_starts == 1
+    assert platform.metrics.warm_starts == 1
+    # Warm call latency excludes the cold-start penalty.
+    lat = platform.metrics.latency.samples
+    assert lat[1] < lat[0]
+
+
+def test_knative_cold_start_much_slower():
+    knative = build(KnativeSimPlatform)
+    faasm = build(FaasmSimPlatform)
+    fn = simple_fn()
+    knative.invoke(fn)
+    knative.env.run()
+    faasm.invoke(fn)
+    faasm.env.run()
+    assert knative.metrics.latency.samples[0] > 100 * faasm.metrics.latency.samples[0]
+
+
+def test_state_sharing_vs_duplication_network():
+    """N co-located readers: Faasm pulls once per host, Knative N times."""
+
+    def body(arg):
+        yield StateRead("value", 10 * MB)
+        yield Compute(0.001)
+
+    fn = SimFunction("reader", body)
+    n = 8
+
+    faasm = build(FaasmSimPlatform, n_hosts=2)
+    handles = faasm.invoke_many(fn, list(range(n)))
+    faasm.env.run()
+    faasm_gb = faasm.cluster.total_transferred_gb()
+
+    knative = build(KnativeSimPlatform, n_hosts=2)
+    handles = knative.invoke_many(fn, list(range(n)))
+    knative.env.run()
+    knative_gb = knative.cluster.total_transferred_gb()
+
+    # 2 hosts → Faasm transfers ~2 copies; Knative ~8 (one per container).
+    assert knative_gb > 3 * faasm_gb
+
+
+def test_state_sharing_vs_duplication_memory():
+    def body(arg):
+        yield StateRead("value", 10 * MB)
+        yield Compute(0.001)
+
+    fn = SimFunction("reader", body, working_set=MB)
+
+    faasm = build(FaasmSimPlatform, n_hosts=1)
+    faasm.invoke_many(fn, list(range(4)))
+    faasm.env.run()
+    faasm_mem = faasm.cluster.hosts[0].mem_peak
+
+    knative = build(KnativeSimPlatform, n_hosts=1)
+    knative.invoke_many(fn, list(range(4)))
+    knative.env.run()
+    knative_mem = knative.cluster.hosts[0].mem_peak
+
+    # One shared 10 MB replica vs four private copies.
+    assert knative_mem > 2 * faasm_mem
+
+
+def test_batched_writes_flush():
+    def body(arg):
+        yield StateWrite("weights", MB, push=False)
+        yield Compute(0.001)
+
+    fn = SimFunction("writer", body)
+    platform = build(FaasmSimPlatform, n_hosts=1)
+    platform.invoke_many(fn, list(range(5)))
+    platform.env.run()
+    before = platform.cluster.total_transferred_gb()
+    assert before == 0.0  # all writes stayed local
+    platform.env.run_process(platform.flush_dirty())
+    after = platform.cluster.total_transferred_gb()
+    assert after > 0
+
+
+def test_knative_writes_always_ship():
+    def body(arg):
+        yield StateWrite("weights", MB, push=False)
+
+    fn = SimFunction("writer", body)
+    platform = build(KnativeSimPlatform, n_hosts=1)
+    platform.invoke_many(fn, list(range(5)))
+    platform.env.run()
+    assert platform.cluster.total_transferred_gb() > 0
+
+
+def test_chaining():
+    def child_body(arg):
+        yield Compute(0.01)
+
+    child = SimFunction("child", child_body, working_set=MB)
+
+    def parent_body(arg):
+        handles = []
+        for i in range(4):
+            handle = yield Chain(child, i)
+            handles.append(handle)
+        yield Await(tuple(handles))
+
+    parent = SimFunction("parent", parent_body, working_set=MB)
+
+    platform = build(FaasmSimPlatform)
+    handle = platform.invoke(parent)
+    platform.env.run()
+    assert handle.process.processed
+    assert platform.metrics.latency.count == 5  # parent + 4 children
+
+
+def test_oom_on_small_host():
+    def body(arg):
+        yield StateRead(f"value-{arg}", 100 * MB)  # distinct keys: no sharing
+        yield Compute(0.01)
+
+    fn = SimFunction("hog", body, working_set=MB)
+    platform = build(KnativeSimPlatform, n_hosts=1, ram=512 * MB)
+    handles = platform.invoke_many(fn, list(range(10)))
+    platform.env.run()
+    assert platform.metrics.failures > 0
+
+
+def test_faasm_shares_regions_no_oom():
+    """Same aggregate footprint but one shared key: Faasm survives."""
+
+    def body(arg):
+        yield StateRead("value", 100 * MB)
+        yield Compute(0.01)
+
+    fn = SimFunction("reader", body, working_set=MB)
+    platform = build(FaasmSimPlatform, n_hosts=1, ram=512 * MB)
+    platform.invoke_many(fn, list(range(10)))
+    platform.env.run()
+    assert platform.metrics.failures == 0
+
+
+def test_wasm_slowdown_applied():
+    fn = simple_fn(compute_s=1.0)
+    platform = build(FaasmSimPlatform, wasm_slowdown=1.5)
+    platform.invoke(fn)
+    platform.env.run()
+    # Latency = restore + 1.5 s compute.
+    assert platform.metrics.latency.samples[0] == pytest.approx(1.5, rel=0.01)
+
+
+def test_no_proto_pays_init_cost():
+    fn = SimFunction("ml", lambda arg: iter(()), working_set=MB, init_cost_s=0.5,
+                     snapshot_init=False)
+
+    def body(arg):
+        yield Compute(0.001)
+
+    fn.body = body
+    platform = build(FaasmSimPlatform, use_protos=False)
+    platform.invoke(fn)
+    platform.env.run()
+    assert platform.metrics.latency.samples[0] > 0.5

@@ -1,0 +1,168 @@
+"""Distributed data object tests (§4.1, Listing 1 objects)."""
+
+import numpy as np
+import pytest
+
+from repro.state import (
+    DistributedDict,
+    DistributedList,
+    GlobalStateStore,
+    ImmutableValue,
+    LocalTier,
+    MatrixReadOnly,
+    SparseMatrixReadOnly,
+    StateAPI,
+    StateClient,
+    VectorAsync,
+)
+
+
+@pytest.fixture
+def store():
+    return GlobalStateStore()
+
+
+def make_api(store, host="h1"):
+    return StateAPI(LocalTier(host, StateClient(store)))
+
+
+def test_immutable_value(store):
+    a = make_api(store, "a")
+    b = make_api(store, "b")
+    ImmutableValue(a, "config").create(b"settings")
+    assert ImmutableValue(b, "config").get() == b"settings"
+    with pytest.raises(ValueError):
+        ImmutableValue(b, "config").create(b"other")
+
+
+def test_distributed_dict_roundtrip(store):
+    a = make_api(store, "a")
+    d = DistributedDict(a, "dict")
+    d.put("alpha", 1)
+    d.put("beta", [1, 2, 3])
+    b = make_api(store, "b")
+    remote = DistributedDict(b, "dict")
+    remote.pull()
+    assert remote.get("alpha") == 1
+    assert remote.get("beta") == [1, 2, 3]
+    assert remote.get("gamma", "default") == "default"
+
+
+def test_distributed_dict_atomic_update(store):
+    apis = [make_api(store, f"h{i}") for i in range(4)]
+    for api in apis * 3:
+        DistributedDict(api, "counts").update_atomic(
+            lambda d: d.__setitem__("n", d.get("n", 0) + 1)
+        )
+    final = DistributedDict(make_api(store, "reader"), "counts")
+    final.pull()
+    assert final.get("n") == 12
+
+
+def test_distributed_list_appends_commute(store):
+    a = DistributedList(make_api(store, "a"), "log")
+    b = DistributedList(make_api(store, "b"), "log")
+    a.append(b"first")
+    b.append(b"second")
+    a.append(b"third")
+    assert a.items() == [b"first", b"second", b"third"]
+    assert len(b) == 3
+
+
+def test_distributed_list_empty(store):
+    lst = DistributedList(make_api(store), "empty")
+    assert lst.items() == []
+
+
+def test_vector_async(store):
+    a = make_api(store, "a")
+    vec = VectorAsync.create(a, "weights", np.arange(8, dtype=np.float64))
+    vec[0] = 100.0
+    vec.array[1:3] += 1.0
+    # Remote host sees the original until push.
+    b = make_api(store, "b")
+    remote = VectorAsync(b, "weights", 8)
+    remote.pull()
+    assert remote[0] == 0.0
+    vec.push()
+    remote.pull()
+    assert remote[0] == 100.0
+    assert remote[1] == 2.0
+
+
+def test_vector_async_zero_copy_local_sharing(store):
+    api = make_api(store)
+    v1 = VectorAsync.create(api, "w", np.zeros(4))
+    v2 = VectorAsync(api, "w", 4)
+    v1[2] = 9.0
+    assert v2[2] == 9.0  # same local replica backing
+
+
+def test_matrix_read_only_columns(store):
+    api = make_api(store, "writer")
+    mat = np.arange(20, dtype=np.float64).reshape(4, 5)
+    MatrixReadOnly.create(api, "m", mat)
+
+    reader = make_api(store, "reader")
+    remote = MatrixReadOnly(reader, "m")
+    cols = remote.columns(1, 3)
+    np.testing.assert_array_equal(cols, mat[:, 1:3])
+    # Only the needed chunk crossed the network: 2 cols * 4 rows * 8 bytes,
+    # plus the 8-byte metadata value.
+    assert reader.tier.client.meter.received_bytes == 2 * 4 * 8 + 8
+
+
+def test_matrix_read_only_is_immutable_view(store):
+    api = make_api(store)
+    MatrixReadOnly.create(api, "m", np.ones((2, 2)))
+    cols = MatrixReadOnly(api, "m").columns(0, 2)
+    with pytest.raises(ValueError):
+        cols[0, 0] = 5.0
+
+
+def test_matrix_bad_range(store):
+    api = make_api(store)
+    MatrixReadOnly.create(api, "m", np.ones((2, 3)))
+    with pytest.raises(IndexError):
+        MatrixReadOnly(api, "m").columns(2, 10)
+
+
+def test_sparse_matrix_columns(store):
+    from scipy.sparse import random as sparse_random
+
+    rng = np.random.default_rng(42)
+    mat = sparse_random(30, 40, density=0.1, random_state=42, format="csc")
+    api = make_api(store, "writer")
+    SparseMatrixReadOnly.create(api, "sm", mat)
+
+    reader = make_api(store, "reader")
+    remote = SparseMatrixReadOnly(reader, "sm")
+    cols = remote.columns(10, 20)
+    np.testing.assert_allclose(cols.toarray(), mat[:, 10:20].toarray())
+
+
+def test_sparse_matrix_pulls_only_needed_chunks(store):
+    from scipy.sparse import csc_matrix
+
+    dense = np.zeros((4, 100))
+    dense[0, :] = 1.0  # one nonzero per column
+    api = make_api(store, "writer")
+    SparseMatrixReadOnly.create(api, "sm", csc_matrix(dense))
+
+    reader = make_api(store, "reader")
+    remote = SparseMatrixReadOnly(reader, "sm")
+    meter = reader.tier.client.meter
+    base = meter.received_bytes  # meta + indptr already pulled
+    remote.columns(0, 10)
+    # 10 nonzeros: 10*8 bytes data + 10*4 bytes indices.
+    assert meter.received_bytes - base == 10 * 8 + 10 * 4
+
+
+def test_sparse_matrix_full_range(store):
+    from scipy.sparse import csc_matrix
+
+    dense = np.diag(np.arange(1.0, 6.0))
+    api = make_api(store)
+    SparseMatrixReadOnly.create(api, "d", csc_matrix(dense))
+    got = SparseMatrixReadOnly(api, "d").columns(0, 5)
+    np.testing.assert_allclose(got.toarray(), dense)

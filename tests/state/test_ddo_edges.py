@@ -1,0 +1,103 @@
+"""DDO edge cases: odd shapes, empty structures, mapped-region liveness."""
+
+import numpy as np
+import pytest
+
+from repro.faaslet import Faaslet, FunctionDefinition
+from repro.host import StandaloneEnvironment
+from repro.minilang import build
+from repro.state import (
+    GlobalStateStore,
+    LocalTier,
+    MatrixReadOnly,
+    SparseMatrixReadOnly,
+    StateAPI,
+    StateClient,
+    VectorAsync,
+)
+
+
+def make_api(store=None, host="h"):
+    return StateAPI(LocalTier(host, StateClient(store or GlobalStateStore())))
+
+
+def test_matrix_single_column_and_row():
+    api = make_api()
+    tall = np.arange(6, dtype=np.float64).reshape(6, 1)
+    MatrixReadOnly.create(api, "tall", tall)
+    np.testing.assert_array_equal(MatrixReadOnly(api, "tall").columns(0, 1), tall)
+
+    wide = np.arange(6, dtype=np.float64).reshape(1, 6)
+    MatrixReadOnly.create(api, "wide", wide)
+    np.testing.assert_array_equal(
+        MatrixReadOnly(api, "wide").columns(2, 5), wide[:, 2:5]
+    )
+
+
+def test_matrix_empty_range():
+    api = make_api()
+    MatrixReadOnly.create(api, "m", np.ones((3, 3)))
+    cols = MatrixReadOnly(api, "m").columns(1, 1)
+    assert cols.shape == (3, 0)
+
+
+def test_sparse_matrix_with_empty_columns():
+    from scipy.sparse import csc_matrix
+
+    dense = np.zeros((5, 6))
+    dense[2, 1] = 7.0
+    dense[4, 4] = -2.0
+    api = make_api()
+    SparseMatrixReadOnly.create(api, "s", csc_matrix(dense))
+    remote = SparseMatrixReadOnly(api, "s")
+    # A range made entirely of empty columns.
+    empty = remote.columns(2, 4)
+    assert empty.nnz == 0
+    full = remote.columns(0, 6)
+    np.testing.assert_allclose(full.toarray(), dense)
+
+
+def test_vector_async_length_one():
+    api = make_api()
+    vec = VectorAsync.create(api, "v", np.array([3.25]))
+    vec[0] *= 2
+    vec.push()
+    assert np.frombuffer(api.tier.client.store.get_value("v"))[0] == 6.5
+
+
+def test_mapped_guest_sees_host_side_ddo_writes():
+    """A guest that mapped a state region observes later host-side DDO
+    writes to the same replica instantly (one backing buffer)."""
+    env = StandaloneEnvironment()
+    vec = VectorAsync.create(env.state, "live", np.zeros(8))
+    guest_src = """
+    extern int get_state(int kptr, int klen, int size);
+    export int probe() {
+        float[] v = farr(get_state("live", slen("live"), 64));
+        return (int) v[5];
+    }
+    """
+    faaslet = Faaslet(
+        FunctionDefinition.build("p", build(guest_src), entry="probe"), env
+    )
+    assert faaslet.invoke_export("probe") == 0
+    vec[5] = 42.0  # host-side write through the DDO
+    assert faaslet.invoke_export("probe") == 42  # no pull, no remap
+
+
+def test_guest_writes_visible_to_host_ddo():
+    env = StandaloneEnvironment()
+    vec = VectorAsync.create(env.state, "live2", np.zeros(4))
+    guest_src = """
+    extern int get_state(int kptr, int klen, int size);
+    export int poke() {
+        float[] v = farr(get_state("live2", slen("live2"), 32));
+        v[1] = 9.5;
+        return 0;
+    }
+    """
+    faaslet = Faaslet(
+        FunctionDefinition.build("p", build(guest_src), entry="poke"), env
+    )
+    faaslet.invoke_export("poke")
+    assert vec[1] == 9.5

@@ -1,0 +1,89 @@
+"""Property-based DDO tests: cross-host consistency semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.state import (
+    DistributedDict,
+    DistributedList,
+    GlobalStateStore,
+    LocalTier,
+    StateAPI,
+    StateClient,
+    VectorAsync,
+)
+
+
+def make_api(store, host):
+    return StateAPI(LocalTier(host, StateClient(store)))
+
+
+@given(st.lists(st.tuples(st.integers(0, 2), st.text(max_size=8), st.integers()), max_size=25))
+@settings(max_examples=60, deadline=None)
+def test_dict_atomic_updates_linearise(ops):
+    """update_atomic from any host is immediately visible to every other
+    host after a pull — strong consistency through the global lock."""
+    store = GlobalStateStore()
+    apis = [make_api(store, f"h{i}") for i in range(3)]
+    model: dict = {}
+    for host, key, value in ops:
+        DistributedDict(apis[host], "d").update_atomic(
+            lambda d: d.__setitem__(key, value)
+        )
+        model[key] = value
+        # A different host pulls and must see the full model.
+        reader = DistributedDict(apis[(host + 1) % 3], "d")
+        reader.pull()
+        assert reader.items() == model
+
+
+@given(st.lists(st.tuples(st.integers(0, 2), st.binary(min_size=1, max_size=16)), max_size=25))
+@settings(max_examples=60, deadline=None)
+def test_list_appends_from_all_hosts_totally_ordered(ops):
+    """Appends commute at the storage level: every host observes the same
+    total order (arrival order at the global tier)."""
+    store = GlobalStateStore()
+    apis = [make_api(store, f"h{i}") for i in range(3)]
+    expected = []
+    for host, payload in ops:
+        DistributedList(apis[host], "log").append(payload)
+        expected.append(payload)
+    for api in apis:
+        assert DistributedList(api, "log").items() == expected
+
+
+@given(
+    st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=20),
+    st.integers(0, 19),
+    st.floats(-1e3, 1e3),
+)
+@settings(max_examples=60, deadline=None)
+def test_vector_async_push_pull_roundtrip(values, idx, delta):
+    store = GlobalStateStore()
+    a = make_api(store, "a")
+    b = make_api(store, "b")
+    vec = VectorAsync.create(a, "v", np.array(values))
+    idx = idx % len(values)
+    vec[idx] += delta
+    vec.push()
+    remote = VectorAsync(b, "v", len(values))
+    remote.pull()
+    expected = np.array(values)
+    expected[idx] += delta
+    np.testing.assert_allclose(np.asarray(remote.array), expected)
+
+
+def test_vector_async_last_writer_wins():
+    """Concurrent whole-vector pushes race; SGD tolerates this (§4.1)."""
+    store = GlobalStateStore()
+    a = VectorAsync.create(make_api(store, "a"), "w", np.zeros(2))
+    b_api = make_api(store, "b")
+    b = VectorAsync(b_api, "w", 2)
+    b.pull()
+    a[0] = 1.0
+    b[1] = 2.0
+    a.push()
+    b.push()  # b never saw a's write: it wins wholesale
+    final = np.frombuffer(store.get_value("w"), dtype=np.float64)
+    assert final[0] == 0.0 and final[1] == 2.0

@@ -1,0 +1,210 @@
+"""Property-based tests for the state layer."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.state import GlobalStateStore, LocalTier, RWLock, StateClient
+from repro.state.local import _IntervalSet
+
+
+# ----------------------------------------------------------------------
+# IntervalSet vs a set-of-offsets reference model
+# ----------------------------------------------------------------------
+
+interval = st.tuples(st.integers(0, 200), st.integers(0, 60)).map(
+    lambda t: (t[0], t[0] + t[1])
+)
+
+
+@given(st.lists(interval, max_size=30), interval)
+@settings(max_examples=200, deadline=None)
+def test_interval_set_matches_reference(adds, probe):
+    s = _IntervalSet()
+    model: set[int] = set()
+    for start, end in adds:
+        s.add(start, end)
+        model.update(range(start, end))
+    start, end = probe
+    assert s.covers(start, end) == (set(range(start, end)) <= model)
+    gaps = s.missing(start, end)
+    # Gaps are disjoint, ordered, inside the probe, and exactly the
+    # missing offsets.
+    flat: set[int] = set()
+    prev_end = start
+    for gs, ge in gaps:
+        assert start <= gs < ge <= end
+        assert gs >= prev_end
+        prev_end = ge
+        flat.update(range(gs, ge))
+    assert flat == set(range(start, end)) - model
+
+
+@given(st.lists(interval, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_interval_set_spans_are_normalised(adds):
+    s = _IntervalSet()
+    for start, end in adds:
+        s.add(start, end)
+    spans = s.spans
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert e1 < s2  # ordered and non-adjacent-overlapping
+    for start, end in spans:
+        assert start < end
+
+
+# ----------------------------------------------------------------------
+# Global store ranges vs a bytearray model
+# ----------------------------------------------------------------------
+
+_store_ops = st.one_of(
+    st.tuples(st.just("set_range"), st.integers(0, 500), st.binary(min_size=1, max_size=40)),
+    st.tuples(st.just("append"), st.just(0), st.binary(min_size=1, max_size=20)),
+    st.tuples(st.just("get_range"), st.integers(0, 500), st.integers(1, 40)),
+)
+
+
+@given(st.lists(_store_ops, max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_global_store_matches_bytearray(ops):
+    store = GlobalStateStore()
+    store.set_value("k", bytes(64))
+    model = bytearray(64)
+    for op, offset, arg in ops:
+        if op == "set_range":
+            store.set_range("k", offset, arg)
+            end = offset + len(arg)
+            if end > len(model):
+                model.extend(b"\x00" * (end - len(model)))
+            model[offset:end] = arg
+        elif op == "append":
+            store.append("k", arg)
+            model.extend(arg)
+        else:
+            size = arg
+            if offset + size > len(model):
+                with pytest.raises(IndexError):
+                    store.get_range("k", offset, size)
+            else:
+                assert store.get_range("k", offset, size) == bytes(
+                    model[offset : offset + size]
+                )
+    assert store.get_value("k") == bytes(model)
+
+
+# ----------------------------------------------------------------------
+# Pull-chunk never re-fetches present ranges (network minimality)
+# ----------------------------------------------------------------------
+
+
+@given(st.lists(interval, min_size=1, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_chunk_pulls_fetch_each_byte_at_most_once(pulls):
+    store = GlobalStateStore()
+    store.set_value("v", bytes(300))
+    client = StateClient(store)
+    tier = LocalTier("h", client)
+    fetched: set[int] = set()
+    for start, end in pulls:
+        end = min(end, 300)
+        if end <= start:
+            continue
+        tier.pull_chunk("v", start, end - start)
+        fetched.update(range(start, end))
+        # Bytes received so far == distinct bytes requested so far.
+        assert client.meter.received_bytes == len(fetched)
+
+
+# ----------------------------------------------------------------------
+# RWLock invariants under real threads
+# ----------------------------------------------------------------------
+
+
+def test_rwlock_excludes_writers_from_readers():
+    lock = RWLock()
+    state = {"readers": 0, "writers": 0, "violations": 0}
+    guard = threading.Lock()
+    stop = threading.Event()
+
+    def reader():
+        for _ in range(200):
+            with lock.read_locked():
+                with guard:
+                    state["readers"] += 1
+                    if state["writers"]:
+                        state["violations"] += 1
+                with guard:
+                    state["readers"] -= 1
+
+    def writer():
+        for _ in range(100):
+            with lock.write_locked():
+                with guard:
+                    state["writers"] += 1
+                    if state["writers"] > 1 or state["readers"]:
+                        state["violations"] += 1
+                with guard:
+                    state["writers"] -= 1
+
+    threads = [threading.Thread(target=reader) for _ in range(4)] + [
+        threading.Thread(target=writer) for _ in range(2)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(30)
+    assert state["violations"] == 0
+    assert not lock.write_held and lock.readers == 0
+
+
+def test_rwlock_multiple_concurrent_readers():
+    lock = RWLock()
+    assert lock.acquire_read()
+    assert lock.acquire_read()
+    assert lock.readers == 2
+    # A writer cannot enter while readers hold the lock.
+    assert not lock.acquire_write(timeout=0.01)
+    lock.release_read()
+    lock.release_read()
+    assert lock.acquire_write(timeout=1)
+    lock.release_write()
+
+
+def test_rwlock_release_without_acquire_raises():
+    lock = RWLock()
+    with pytest.raises(RuntimeError):
+        lock.release_read()
+    with pytest.raises(RuntimeError):
+        lock.release_write()
+
+
+def test_rwlock_writer_preference():
+    """Once a writer waits, new readers queue behind it."""
+    lock = RWLock()
+    lock.acquire_read()
+    results = []
+
+    def writer():
+        lock.acquire_write()
+        results.append("w")
+        lock.release_write()
+
+    def late_reader():
+        lock.acquire_read()
+        results.append("r")
+        lock.release_read()
+
+    wt = threading.Thread(target=writer)
+    wt.start()
+    # Give the writer time to start waiting.
+    import time
+
+    time.sleep(0.05)
+    rt = threading.Thread(target=late_reader)
+    rt.start()
+    time.sleep(0.05)
+    lock.release_read()  # first reader leaves; writer should win
+    wt.join(10)
+    rt.join(10)
+    assert results[0] == "w"

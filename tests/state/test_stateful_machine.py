@@ -1,0 +1,97 @@
+"""Hypothesis stateful testing of the two-tier architecture.
+
+A rule-based machine drives three hosts' state APIs with arbitrary
+interleavings of local writes, pushes and pulls, checking the tier
+invariants against a reference model after every step:
+
+* a host's local view reflects its own writes until overwritten by a pull;
+* the global tier holds exactly the last pushed value for each key;
+* pulling makes a host's view equal the global value;
+* local writes never leak to other hosts without a push+pull.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.state import GlobalStateStore, LocalTier, StateAPI, StateClient
+from repro.state.kv import StateKeyError
+
+HOSTS = ["h0", "h1", "h2"]
+KEYS = ["alpha", "beta"]
+VALUES = [b"a" * 4, b"b" * 4, b"c" * 8, b"d" * 2]
+
+
+class TwoTierMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.store = GlobalStateStore()
+        self.apis = {
+            host: StateAPI(LocalTier(host, StateClient(self.store)))
+            for host in HOSTS
+        }
+        #: Reference models.
+        self.global_model: dict[str, bytes] = {}
+        self.local_model: dict[tuple[str, str], bytes] = {}
+
+    hosts = st.sampled_from(HOSTS)
+    keys = st.sampled_from(KEYS)
+    values = st.sampled_from(VALUES)
+
+    @rule(host=hosts, key=keys, value=values)
+    def set_local(self, host, key, value):
+        self.apis[host].set_state(key, value)
+        self.local_model[(host, key)] = value
+
+    @rule(host=hosts, key=keys)
+    def push(self, host, key):
+        if (host, key) not in self.local_model:
+            return
+        self.apis[host].push_state(key)
+        self.global_model[key] = self.local_model[(host, key)]
+
+    @rule(host=hosts, key=keys)
+    def pull(self, host, key):
+        if key not in self.global_model:
+            return
+        self.apis[host].pull_state(key)
+        self.local_model[(host, key)] = self.global_model[key]
+
+    @rule(host=hosts, key=keys, value=values, offset=st.integers(0, 3))
+    def set_offset(self, host, key, value, offset):
+        if (host, key) not in self.local_model:
+            return
+        self.apis[host].set_state_offset(key, value, offset)
+        old = bytearray(self.local_model[(host, key)])
+        end = offset + len(value)
+        if end > len(old):
+            old.extend(b"\x00" * (end - len(old)))
+        old[offset:end] = value
+        self.local_model[(host, key)] = bytes(old)
+
+    @invariant()
+    def local_views_match_model(self):
+        for (host, key), expected in self.local_model.items():
+            actual = bytes(self.apis[host].get_state(key))
+            assert actual == expected, (host, key)
+
+    @invariant()
+    def global_tier_matches_model(self):
+        for key, expected in self.global_model.items():
+            assert self.store.get_value(key) == expected
+        for key in KEYS:
+            if key not in self.global_model:
+                assert not self.store.exists(key)
+
+
+TwoTierMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestTwoTier = TwoTierMachine.TestCase

@@ -1,0 +1,226 @@
+"""A table-driven conformance suite in the style of the wasm spec tests.
+
+Each case is (wat, invocations) where invocations map an exported call to
+an expected result or trap class — compact coverage of operator semantics
+the dedicated tests don't already exercise.
+"""
+
+import math
+
+import pytest
+
+from repro.wasm import (
+    IntegerDivideByZero,
+    IntegerOverflow,
+    UnreachableExecuted,
+    instantiate,
+    parse_module,
+)
+
+CASES = [
+    # (name, wat, [(func, args, expected | ExceptionClass)])
+    (
+        "i32-signed-edge-cases",
+        """
+        (module
+          (func $div (export "div") (param i32 i32) (result i32)
+            (i32.div_s (local.get 0) (local.get 1)))
+          (func $rem (export "rem") (param i32 i32) (result i32)
+            (i32.rem_s (local.get 0) (local.get 1))))
+        """,
+        [
+            ("div", (7, 2), 3),
+            ("div", (-7, 2), -3),
+            ("div", (7, -2), -3),
+            ("div", (-7, -2), 3),
+            ("div", (-2147483648, -1), IntegerOverflow),
+            ("div", (1, 0), IntegerDivideByZero),
+            ("rem", (-7, 2), -1),
+            ("rem", (7, -2), 1),
+            ("rem", (-2147483648, -1), 0),  # rem of INT_MIN/-1 is defined: 0
+            ("rem", (1, 0), IntegerDivideByZero),
+        ],
+    ),
+    (
+        "i32-unsigned-comparisons",
+        """
+        (module
+          (func $ltu (export "ltu") (param i32 i32) (result i32)
+            (i32.lt_u (local.get 0) (local.get 1)))
+          (func $divu (export "divu") (param i32 i32) (result i32)
+            (i32.div_u (local.get 0) (local.get 1))))
+        """,
+        [
+            ("ltu", (-1, 1), 0),  # 0xFFFFFFFF >u 1
+            ("ltu", (1, -1), 1),
+            ("divu", (-1, 2), 0x7FFFFFFF),
+            ("divu", (1, 0), IntegerDivideByZero),
+        ],
+    ),
+    (
+        "shift-count-masking",
+        """
+        (module
+          (func $shl (export "shl") (param i32 i32) (result i32)
+            (i32.shl (local.get 0) (local.get 1)))
+          (func $shr (export "shr") (param i32 i32) (result i32)
+            (i32.shr_s (local.get 0) (local.get 1))))
+        """,
+        [
+            ("shl", (1, 32), 1),     # count taken mod 32
+            ("shl", (1, 33), 2),
+            ("shr", (-8, 1), -4),    # arithmetic shift keeps the sign
+            ("shr", (-1, 31), -1),
+        ],
+    ),
+    (
+        "i64-wraparound",
+        """
+        (module
+          (func $add (export "add") (param i64 i64) (result i64)
+            (i64.add (local.get 0) (local.get 1)))
+          (func $clz (export "clz") (param i64) (result i64)
+            (i64.clz (local.get 0))))
+        """,
+        [
+            ("add", (2**63 - 1, 1), -(2**63)),
+            ("add", (-1, 1), 0),
+            ("clz", (1,), 63),
+            ("clz", (0,), 64),
+        ],
+    ),
+    (
+        "float-comparisons-and-nan",
+        """
+        (module
+          (func $eq (export "eq") (param f64 f64) (result i32)
+            (f64.eq (local.get 0) (local.get 1)))
+          (func $lt (export "lt") (param f64 f64) (result i32)
+            (f64.lt (local.get 0) (local.get 1)))
+          (func $min (export "min") (param f64 f64) (result f64)
+            (f64.min (local.get 0) (local.get 1))))
+        """,
+        [
+            ("eq", (math.nan, math.nan), 0),
+            ("lt", (math.nan, 1.0), 0),
+            ("lt", (-math.inf, math.inf), 1),
+            ("eq", (0.0, -0.0), 1),
+            ("min", (3.0, -3.0), -3.0),
+        ],
+    ),
+    (
+        "select-and-block-values",
+        """
+        (module
+          (func $pick (export "pick") (param i32) (result i32)
+            (block (result i32)
+              (select (i32.const 7) (i32.const 9) (local.get 0)))))
+        """,
+        [
+            ("pick", (1,), 7),
+            ("pick", (0,), 9),
+        ],
+    ),
+    (
+        "loop-with-params",
+        """
+        (module
+          (func $sum (export "sum") (param $n i32) (result i32)
+            (local $acc i32)
+            (block $done
+              (loop $top
+                (br_if $done (i32.eqz (local.get $n)))
+                (local.set $acc (i32.add (local.get $acc) (local.get $n)))
+                (local.set $n (i32.sub (local.get $n) (i32.const 1)))
+                (br $top)))
+            (local.get $acc)))
+        """,
+        [
+            ("sum", (0,), 0),
+            ("sum", (4,), 10),
+        ],
+    ),
+    (
+        "nested-br-table",
+        # All br_table targets must share one arity (the validator enforces
+        # this), so every block here carries an i32 result.
+        """
+        (module
+          (func $route (export "route") (param i32) (result i32)
+            (block $c (result i32)
+              (drop
+                (block $b (result i32)
+                  (drop
+                    (block $a (result i32)
+                      (br_table $a $b $c (i32.const 99) (local.get 0))))
+                  (return (i32.const 10))))
+              (return (i32.const 20)))))
+        """,
+        [
+            ("route", (0,), 10),
+            ("route", (1,), 20),
+            ("route", (2,), 99),
+            ("route", (50,), 99),  # out-of-range uses the default
+        ],
+    ),
+    (
+        "unreachable-in-branch",
+        """
+        (module
+          (func $f (export "f") (param i32) (result i32)
+            (if (result i32) (local.get 0)
+              (then (i32.const 1))
+              (else (unreachable)))))
+        """,
+        [
+            ("f", (1,), 1),
+            ("f", (0,), UnreachableExecuted),
+        ],
+    ),
+    (
+        "globals-across-calls",
+        """
+        (module
+          (global $acc (mut f64) (f64.const 1.0))
+          (func $scale (export "scale") (param f64) (result f64)
+            (global.set $acc (f64.mul (global.get $acc) (local.get 0)))
+            (global.get $acc)))
+        """,
+        [
+            ("scale", (2.0,), 2.0),
+            ("scale", (2.0,), 4.0),
+            ("scale", (0.5,), 2.0),
+        ],
+    ),
+    (
+        "memory-grow-semantics",
+        """
+        (module
+          (memory 1 2)
+          (func $grow (export "grow") (param i32) (result i32)
+            (memory.grow (local.get 0)))
+          (func $size (export "size") (result i32) memory.size))
+        """,
+        [
+            ("grow", (0,), 1),   # grow by 0 returns current size
+            ("grow", (1,), 1),
+            ("size", (), 2),
+            ("grow", (1,), -1),  # beyond max
+        ],
+    ),
+]
+
+
+@pytest.mark.parametrize("name,wat,invocations", CASES, ids=[c[0] for c in CASES])
+def test_conformance(name, wat, invocations):
+    inst = instantiate(parse_module(wat))
+    for func, args, expected in invocations:
+        if isinstance(expected, type) and issubclass(expected, Exception):
+            with pytest.raises(expected):
+                inst.invoke(func, *args)
+        else:
+            result = inst.invoke(func, *args)
+            if isinstance(expected, float):
+                assert result == pytest.approx(expected), (name, func, args)
+            else:
+                assert result == expected, (name, func, args)

@@ -1,0 +1,206 @@
+"""Instance/interpreter edge cases: linking, exports, traps, fuel."""
+
+import pytest
+
+from repro.wasm import (
+    FuncType,
+    HostFunc,
+    I32,
+    F64,
+    IndirectCallTypeMismatch,
+    LinkError,
+    OutOfBoundsTableAccess,
+    Trap,
+    UndefinedElement,
+    instantiate,
+    parse_module,
+)
+
+
+def test_missing_import_rejected():
+    module = parse_module(
+        '(module (import "env" "f" (func $f)) (func $g (export "g") (call $f)))'
+    )
+    with pytest.raises(LinkError, match="missing import"):
+        instantiate(module)
+
+
+def test_import_type_mismatch_rejected():
+    module = parse_module(
+        '(module (import "env" "f" (func $f (param i32))) '
+        '(func $g (export "g") (call $f (i32.const 1))))'
+    )
+    wrong = HostFunc("env", "f", FuncType((F64,), ()), lambda x: None)
+    with pytest.raises(LinkError, match="type mismatch"):
+        instantiate(module, [wrong])
+
+
+def test_data_segment_out_of_bounds_rejected():
+    module = parse_module('(module (memory 1) (data (i32.const 65530) "toolong!!"))')
+    with pytest.raises(LinkError, match="does not fit"):
+        instantiate(module)
+
+
+def test_host_function_wrong_result_count_traps():
+    module = parse_module(
+        '(module (import "env" "f" (func $f (result i32))) '
+        '(func $g (export "g") (result i32) (call $f)))'
+    )
+    bad = HostFunc("env", "f", FuncType((), (I32,)), lambda: None)
+    inst = instantiate(module, [bad])
+    with pytest.raises(Trap, match="returned 0 values"):
+        inst.invoke("g")
+
+
+def test_host_function_with_instance_access():
+    module = parse_module(
+        """
+        (module
+          (memory 1)
+          (import "env" "poke" (func $poke (param i32)))
+          (func $g (export "g") (result i32)
+            (call $poke (i32.const 100))
+            (i32.load8_u (i32.const 100))))
+        """
+    )
+
+    def poke(instance, addr):
+        instance.memory.write(addr, b"\x2a")
+
+    host = HostFunc("env", "poke", FuncType((I32,), ()), poke, pass_instance=True)
+    assert instantiate(module, [host]).invoke("g") == 42
+
+
+def test_indirect_call_out_of_bounds_table():
+    module = parse_module(
+        """
+        (module
+          (table 1 1)
+          (func $f (export "f") (result i32)
+            (call_indirect (result i32) (i32.const 9))))
+        """
+    )
+    with pytest.raises(OutOfBoundsTableAccess):
+        instantiate(module).invoke("f")
+
+
+def test_indirect_call_null_element():
+    module = parse_module(
+        """
+        (module
+          (table 2 2)
+          (func $f (export "f") (result i32)
+            (call_indirect (result i32) (i32.const 0))))
+        """
+    )
+    with pytest.raises(UndefinedElement):
+        instantiate(module).invoke("f")
+
+
+def test_indirect_call_signature_mismatch():
+    module = parse_module(
+        """
+        (module
+          (table funcref (elem $g))
+          (func $g (param i32) (result i32) (local.get 0))
+          (func $f (export "f") (result i32)
+            (call_indirect (result i32) (i32.const 0))))
+        """
+    )
+    with pytest.raises(IndirectCallTypeMismatch):
+        instantiate(module).invoke("f")
+
+
+def test_exported_global_read_write():
+    module = parse_module(
+        '(module (global $g (mut i32) (i32.const 7)) (export "g" (global $g)))'
+    )
+    inst = instantiate(module)
+    assert inst.get_global("g") == 7
+    inst.set_global("g", -1)
+    assert inst.get_global("g") == -1
+
+
+def test_immutable_exported_global_rejects_write():
+    module = parse_module(
+        '(module (global $g i32 (i32.const 7)) (export "g" (global $g)))'
+    )
+    inst = instantiate(module)
+    with pytest.raises(ValueError, match="immutable"):
+        inst.set_global("g", 1)
+
+
+def test_invoke_wrong_arity_rejected():
+    module = parse_module('(module (func $f (export "f") (param i32)))')
+    inst = instantiate(module)
+    with pytest.raises(TypeError, match="expects 1 args"):
+        inst.invoke("f")
+
+
+def test_invoke_unknown_export_rejected():
+    inst = instantiate(parse_module("(module)"))
+    with pytest.raises(KeyError):
+        inst.invoke("nope")
+
+
+def test_fuel_counts_instructions_across_host_calls():
+    calls = []
+    module = parse_module(
+        """
+        (module
+          (import "env" "cb" (func $cb))
+          (func $f (export "f")
+            (call $cb)
+            (call $cb)))
+        """
+    )
+    host = HostFunc("env", "cb", FuncType(), lambda: calls.append(1))
+    inst = instantiate(module, [host], fuel=1_000)
+    inst.invoke("f")
+    assert len(calls) == 2
+    assert inst.fuel < 1_000
+    assert inst.instructions_executed > 0
+
+
+def test_host_can_refuel_mid_execution():
+    module = parse_module(
+        """
+        (module
+          (import "env" "refuel" (func $refuel))
+          (func $f (export "f") (result i32)
+            (local $i i32)
+            (call $refuel)
+            (block $out
+              (loop $top
+                (local.set $i (i32.add (local.get $i) (i32.const 1)))
+                (br_if $out (i32.ge_u (local.get $i) (i32.const 500)))
+                (br $top)))
+            (local.get $i)))
+        """
+    )
+
+    def refuel(instance):
+        instance.add_fuel(100_000)
+
+    host = HostFunc("env", "refuel", FuncType(), refuel, pass_instance=True)
+    inst = instantiate(module, [host], fuel=10)  # far too little on its own
+    assert inst.invoke("f") == 500
+
+
+def test_multiple_return_values():
+    module = parse_module(
+        """
+        (module
+          (func $f (export "f") (param i32) (result i32 i32)
+            (local.get 0)
+            (i32.mul (local.get 0) (local.get 0))))
+        """
+    )
+    assert instantiate(module).invoke("f", 5) == (5, 25)
+
+
+def test_signed_result_convention():
+    module = parse_module(
+        '(module (func $f (export "f") (result i32) (i32.const -123)))'
+    )
+    assert instantiate(module).invoke("f") == -123

@@ -1,0 +1,288 @@
+"""End-to-end tests of the wasm pipeline: text → validate → codegen → run."""
+
+import pytest
+
+from repro.wasm import (
+    CallStackExhausted,
+    FuncType,
+    HostFunc,
+    I32,
+    IntegerDivideByZero,
+    OutOfBoundsMemoryAccess,
+    OutOfFuel,
+    UnreachableExecuted,
+    instantiate,
+    parse_module,
+)
+
+
+def run(text, name, *args, imports=None, **kwargs):
+    inst = instantiate(parse_module(text), imports, **kwargs)
+    return inst.invoke(name, *args)
+
+
+def test_add():
+    text = """
+    (module
+      (func $add (export "add") (param i32 i32) (result i32)
+        (i32.add (local.get 0) (local.get 1))))
+    """
+    assert run(text, "add", 2, 3) == 5
+    assert run(text, "add", -1, 1) == 0
+    assert run(text, "add", 2**31 - 1, 1) == -(2**31)  # wraparound
+
+
+def test_loop_sum():
+    text = """
+    (module
+      (func $sum (export "sum") (param $n i32) (result i32)
+        (local $i i32) (local $acc i32)
+        (block $exit
+          (loop $top
+            (br_if $exit (i32.ge_s (local.get $i) (local.get $n)))
+            (local.set $acc (i32.add (local.get $acc) (local.get $i)))
+            (local.set $i (i32.add (local.get $i) (i32.const 1)))
+            (br $top)))
+        (local.get $acc)))
+    """
+    assert run(text, "sum", 10) == 45
+    assert run(text, "sum", 0) == 0
+    assert run(text, "sum", 1000) == 499500
+
+
+def test_if_else_result():
+    text = """
+    (module
+      (func $max (export "max") (param i32 i32) (result i32)
+        (if (result i32) (i32.gt_s (local.get 0) (local.get 1))
+          (then (local.get 0))
+          (else (local.get 1)))))
+    """
+    assert run(text, "max", 3, 7) == 7
+    assert run(text, "max", -2, -9) == -2
+
+
+def test_recursion_factorial():
+    text = """
+    (module
+      (func $fac (export "fac") (param $n i32) (result i32)
+        (if (result i32) (i32.le_s (local.get $n) (i32.const 1))
+          (then (i32.const 1))
+          (else (i32.mul (local.get $n)
+                         (call $fac (i32.sub (local.get $n) (i32.const 1))))))))
+    """
+    assert run(text, "fac", 10) == 3628800
+
+
+def test_memory_store_load():
+    text = """
+    (module
+      (memory 1)
+      (func $roundtrip (export "roundtrip") (param $addr i32) (param $v i32) (result i32)
+        (i32.store (local.get $addr) (local.get $v))
+        (i32.load (local.get $addr))))
+    """
+    assert run(text, "roundtrip", 128, 0xDEADBEEF - 2**32) == 0xDEADBEEF - 2**32
+
+
+def test_memory_offset_immediate():
+    text = """
+    (module
+      (memory 1)
+      (func $f (export "f") (result i32)
+        (i32.store offset=100 (i32.const 0) (i32.const 42))
+        (i32.load offset=96 (i32.const 4))))
+    """
+    assert run(text, "f") == 42
+
+
+def test_oob_load_traps():
+    text = """
+    (module
+      (memory 1)
+      (func $f (export "f") (result i32)
+        (i32.load (i32.const 65533))))
+    """
+    with pytest.raises(OutOfBoundsMemoryAccess):
+        run(text, "f")
+
+
+def test_data_segment():
+    text = """
+    (module
+      (memory 1)
+      (data (i32.const 16) "hi\\00")
+      (func $f (export "f") (result i32)
+        (i32.load8_u (i32.const 17))))
+    """
+    assert run(text, "f") == ord("i")
+
+
+def test_div_by_zero_traps():
+    text = """
+    (module
+      (func $f (export "f") (param i32 i32) (result i32)
+        (i32.div_s (local.get 0) (local.get 1))))
+    """
+    with pytest.raises(IntegerDivideByZero):
+        run(text, "f", 1, 0)
+    assert run(text, "f", -7, 2) == -3  # trunc toward zero
+
+
+def test_unreachable_traps():
+    text = '(module (func $f (export "f") unreachable))'
+    with pytest.raises(UnreachableExecuted):
+        run(text, "f")
+
+
+def test_call_stack_exhaustion():
+    text = """
+    (module
+      (func $f (export "f") (call $f)))
+    """
+    with pytest.raises(CallStackExhausted):
+        run(text, "f")
+
+
+def test_globals():
+    text = """
+    (module
+      (global $g (mut i32) (i32.const 7))
+      (func $bump (export "bump") (result i32)
+        (global.set $g (i32.add (global.get $g) (i32.const 1)))
+        (global.get $g)))
+    """
+    inst = instantiate(parse_module(text))
+    assert inst.invoke("bump") == 8
+    assert inst.invoke("bump") == 9
+
+
+def test_call_indirect():
+    text = """
+    (module
+      (table funcref (elem $sq $dbl))
+      (func $sq (param i32) (result i32)
+        (i32.mul (local.get 0) (local.get 0)))
+      (func $dbl (param i32) (result i32)
+        (i32.add (local.get 0) (local.get 0)))
+      (func $apply (export "apply") (param $which i32) (param $x i32) (result i32)
+        (call_indirect (param i32) (result i32)
+          (local.get $x) (local.get $which))))
+    """
+    assert run(text, "apply", 0, 5) == 25
+    assert run(text, "apply", 1, 5) == 10
+
+
+def test_br_table():
+    text = """
+    (module
+      (func $classify (export "classify") (param $x i32) (result i32)
+        (block $default
+          (block $two
+            (block $one
+              (block $zero
+                (br_table $zero $one $two $default (local.get $x)))
+              (return (i32.const 100)))
+            (return (i32.const 101)))
+          (return (i32.const 102)))
+        (i32.const 999)))
+    """
+    assert run(text, "classify", 0) == 100
+    assert run(text, "classify", 1) == 101
+    assert run(text, "classify", 2) == 102
+    assert run(text, "classify", 77) == 999
+
+
+def test_host_function_import():
+    text = """
+    (module
+      (import "env" "double" (func $double (param i32) (result i32)))
+      (func $f (export "f") (param i32) (result i32)
+        (call $double (local.get 0))))
+    """
+    host = HostFunc("env", "double", FuncType((I32,), (I32,)), lambda x: x * 2)
+    assert run(text, "f", 21, imports=[host]) == 42
+
+
+def test_f64_math():
+    text = """
+    (module
+      (func $hyp (export "hyp") (param f64 f64) (result f64)
+        (f64.sqrt (f64.add
+          (f64.mul (local.get 0) (local.get 0))
+          (f64.mul (local.get 1) (local.get 1))))))
+    """
+    assert run(text, "hyp", 3.0, 4.0) == pytest.approx(5.0)
+
+
+def test_fuel_metering():
+    text = """
+    (module
+      (func $spin (export "spin")
+        (loop $top (br $top))))
+    """
+    inst = instantiate(parse_module(text), fuel=10_000)
+    with pytest.raises(OutOfFuel):
+        inst.invoke("spin")
+    assert inst.fuel == 0
+    assert inst.instructions_executed >= 10_000
+
+
+def test_memory_grow_and_size():
+    text = """
+    (module
+      (memory 1 3)
+      (func $grow (export "grow") (param i32) (result i32)
+        (memory.grow (local.get 0)))
+      (func $size (export "size") (result i32)
+        memory.size))
+    """
+    inst = instantiate(parse_module(text))
+    assert inst.invoke("size") == 1
+    assert inst.invoke("grow", 1) == 1
+    assert inst.invoke("size") == 2
+    assert inst.invoke("grow", 5) == -1  # beyond max
+    assert inst.invoke("size") == 2
+
+
+def test_select_and_drop():
+    text = """
+    (module
+      (func $pick (export "pick") (param i32) (result i32)
+        (i32.const 1)
+        (drop)
+        (select (i32.const 10) (i32.const 20) (local.get 0))))
+    """
+    assert run(text, "pick", 1) == 10
+    assert run(text, "pick", 0) == 20
+
+
+def test_start_function_runs():
+    text = """
+    (module
+      (global $g (mut i32) (i32.const 0))
+      (func $init (global.set $g (i32.const 99)))
+      (func $get (export "get") (result i32) (global.get $g))
+      (start $init))
+    """
+    inst = instantiate(parse_module(text))
+    assert inst.invoke("get") == 99
+
+
+def test_i64_ops():
+    text = """
+    (module
+      (func $f (export "f") (param i64 i64) (result i64)
+        (i64.mul (local.get 0) (local.get 1))))
+    """
+    assert run(text, "f", 1 << 40, 3) == 3 << 40
+
+
+def test_conversions():
+    text = """
+    (module
+      (func $f (export "f") (param f64) (result i32)
+        (i32.trunc_f64_s (local.get 0))))
+    """
+    assert run(text, "f", 3.99) == 3
+    assert run(text, "f", -3.99) == -3

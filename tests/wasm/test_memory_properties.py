@@ -1,0 +1,149 @@
+"""Property-based tests of linear memory against a flat-bytearray model.
+
+The page table (with COW and shared pages) must be observationally
+equivalent to one contiguous byte array — this is the invariant the whole
+SFI story rests on.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faaslet.sharing import SharedRegion
+from repro.wasm import LinearMemory, OutOfBoundsMemoryAccess
+from repro.wasm.types import PAGE_SIZE, Limits, MemoryType
+
+MEM_PAGES = 3
+MEM_BYTES = MEM_PAGES * PAGE_SIZE
+
+
+def fresh_memory() -> LinearMemory:
+    return LinearMemory(MemoryType(Limits(MEM_PAGES, MEM_PAGES + 4)))
+
+
+# One operation: (op, addr, payload/size)
+_ops = st.one_of(
+    st.tuples(
+        st.just("write"),
+        st.integers(0, MEM_BYTES - 1),
+        st.binary(min_size=1, max_size=300),
+    ),
+    st.tuples(
+        st.just("read"),
+        st.integers(0, MEM_BYTES - 1),
+        st.integers(1, 300),
+    ),
+    st.tuples(
+        st.just("store_int"),
+        st.integers(0, MEM_BYTES - 8),
+        st.integers(0, 2**64 - 1),
+    ),
+    st.tuples(
+        st.just("fill"),
+        st.integers(0, MEM_BYTES - 1),
+        st.integers(0, 255),
+    ),
+)
+
+
+@given(st.lists(_ops, max_size=60))
+@settings(max_examples=120, deadline=None)
+def test_memory_matches_flat_model(ops):
+    mem = fresh_memory()
+    model = bytearray(MEM_BYTES)
+    for op, addr, arg in ops:
+        if op == "write":
+            data = arg
+            if addr + len(data) > MEM_BYTES:
+                with pytest.raises(OutOfBoundsMemoryAccess):
+                    mem.write(addr, data)
+                continue
+            mem.write(addr, data)
+            model[addr : addr + len(data)] = data
+        elif op == "read":
+            size = arg
+            if addr + size > MEM_BYTES:
+                with pytest.raises(OutOfBoundsMemoryAccess):
+                    mem.read(addr, size)
+                continue
+            assert mem.read(addr, size) == bytes(model[addr : addr + size])
+        elif op == "store_int":
+            mem.store_int(addr, arg, 8)
+            model[addr : addr + 8] = (arg & (2**64 - 1)).to_bytes(8, "little")
+        elif op == "fill":
+            mem.fill(addr, arg, min(64, MEM_BYTES - addr))
+            size = min(64, MEM_BYTES - addr)
+            model[addr : addr + size] = bytes([arg]) * size
+    assert mem.read(0, MEM_BYTES) == bytes(model)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, MEM_BYTES - 65), st.binary(min_size=1, max_size=64)),
+        max_size=30,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_cow_restore_preserves_snapshot(writes):
+    """Writes to a COW-restored memory must never leak into the frozen
+    snapshot or into sibling restores."""
+    base = fresh_memory()
+    base.write(0, b"\xAA" * MEM_BYTES)
+    frozen = base.freeze_pages()
+    snapshot_bytes = b"".join(bytes(v) for v in frozen)
+
+    a = LinearMemory.from_frozen_pages(frozen, base.memtype)
+    b = LinearMemory.from_frozen_pages(frozen, base.memtype)
+    model_a = bytearray(snapshot_bytes)
+    for addr, data in writes:
+        a.write(addr, data)
+        model_a[addr : addr + len(data)] = data
+    assert a.read(0, MEM_BYTES) == bytes(model_a)
+    # Sibling and snapshot untouched.
+    assert b.read(0, MEM_BYTES) == snapshot_bytes
+    assert b"".join(bytes(v) for v in frozen) == snapshot_bytes
+
+
+@given(st.integers(1, 4), st.lists(st.tuples(st.integers(0, 2**15), st.binary(min_size=1, max_size=64)), max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_shared_region_visible_to_all_mappers(n_mappers, writes):
+    """A write through any mapping (or the host) is visible everywhere."""
+    region = SharedRegion("r", 2 * PAGE_SIZE)
+    memories = [fresh_memory() for _ in range(n_mappers)]
+    bases = [region.map_into(m) for m in memories]
+    model = bytearray(2 * PAGE_SIZE)
+    for i, (offset, data) in enumerate(writes):
+        offset = offset % (2 * PAGE_SIZE - len(data))
+        writer = i % (n_mappers + 1)
+        if writer == n_mappers:
+            region.write(data, offset)
+        else:
+            memories[writer].write(bases[writer] + offset, data)
+        model[offset : offset + len(data)] = data
+    for mem, base in zip(memories, bases):
+        assert mem.read(base, 2 * PAGE_SIZE) == bytes(model)
+    assert region.read(0, 2 * PAGE_SIZE) == bytes(model)
+
+
+def test_grow_respects_maximum():
+    mem = fresh_memory()
+    assert mem.grow(4) == MEM_PAGES
+    assert mem.grow(1) == -1  # past maximum
+    assert mem.size_pages == MEM_PAGES + 4
+
+
+def test_freeze_rejects_shared_pages():
+    mem = fresh_memory()
+    region = SharedRegion("r", PAGE_SIZE)
+    region.map_into(mem)
+    with pytest.raises(ValueError):
+        mem.freeze_pages()
+
+
+def test_resident_private_bytes_accounting():
+    base = fresh_memory()
+    frozen = base.freeze_pages()
+    restored = LinearMemory.from_frozen_pages(frozen, base.memtype)
+    assert restored.resident_private_bytes() == 0
+    restored.write(0, b"x")  # faults one page
+    assert restored.resident_private_bytes() == PAGE_SIZE
+    assert restored.cow_faults == 1

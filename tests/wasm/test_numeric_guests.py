@@ -1,0 +1,144 @@
+"""End-to-end numeric coverage: f32, i64 widths, bit ops through guests."""
+
+import math
+import struct
+
+import pytest
+
+from repro.wasm import instantiate, parse_module
+
+
+def run(text, name, *args):
+    return instantiate(parse_module(text)).invoke(name, *args)
+
+
+def test_f32_arithmetic_rounds_through_single_precision():
+    text = """
+    (module
+      (func $f (export "f") (param f32 f32) (result f32)
+        (f32.add (local.get 0) (local.get 1))))
+    """
+    result = run(text, "f", 0.1, 0.2)
+    expected = struct.unpack(
+        "<f", struct.pack("<f", struct.unpack("<f", struct.pack("<f", 0.1))[0]
+                          + struct.unpack("<f", struct.pack("<f", 0.2))[0])
+    )[0]
+    assert result == expected
+    assert result != 0.1 + 0.2  # f32 differs from f64 here
+
+
+def test_f32_memory_roundtrip_loses_precision():
+    text = """
+    (module
+      (memory 1)
+      (func $f (export "f") (param f64) (result f64)
+        (f32.store (i32.const 0) (f32.demote_f64 (local.get 0)))
+        (f64.promote_f32 (f32.load (i32.const 0)))))
+    """
+    value = 1.0 + 2**-30
+    result = run(text, "f", value)
+    assert result == struct.unpack("<f", struct.pack("<f", value))[0]
+
+
+def test_i64_partial_width_loads():
+    text = """
+    (module
+      (memory 1)
+      (func $f (export "f") (param i64) (result i64 i64 i64)
+        (i64.store (i32.const 0) (local.get 0))
+        (i64.load32_u (i32.const 0))
+        (i64.load32_s (i32.const 0))
+        (i64.load (i32.const 0))))
+    """
+    value = -2  # 0xFFFF...FE
+    unsigned32, signed32, full = run(text, "f", value)
+    assert unsigned32 == 0xFFFFFFFE
+    assert signed32 == -2
+    assert full == -2
+
+
+def test_i64_store32_truncates():
+    text = """
+    (module
+      (memory 1)
+      (func $f (export "f") (param i64) (result i64)
+        (i64.store (i32.const 0) (i64.const 0))
+        (i64.store32 (i32.const 0) (local.get 0))
+        (i64.load (i32.const 0))))
+    """
+    assert run(text, "f", 0x1_2345_6789) == 0x2345_6789
+
+
+def test_i32_partial_width_sign_extension():
+    text = """
+    (module
+      (memory 1)
+      (func $f (export "f") (param i32) (result i32 i32 i32 i32)
+        (i32.store (i32.const 0) (local.get 0))
+        (i32.load8_u (i32.const 0))
+        (i32.load8_s (i32.const 0))
+        (i32.load16_u (i32.const 0))
+        (i32.load16_s (i32.const 0))))
+    """
+    u8, s8, u16, s16 = run(text, "f", 0xFFFF_FF80 - 2**32)
+    assert u8 == 0x80
+    assert s8 == -128
+    assert u16 == 0xFF80
+    assert s16 == -128
+
+
+def test_rotation_and_popcount_in_guest():
+    text = """
+    (module
+      (func $f (export "f") (param i32 i32) (result i32 i32 i32)
+        (i32.rotl (local.get 0) (local.get 1))
+        (i32.rotr (local.get 0) (local.get 1))
+        (i32.popcnt (local.get 0))))
+    """
+    rotl, rotr, pop = run(text, "f", 0x80000001 - 2**32, 1)
+    assert rotl == 3
+    assert rotr & 0xFFFFFFFF == 0xC0000000
+    assert pop == 2
+
+
+def test_f64_special_values_through_memory():
+    text = """
+    (module
+      (memory 1)
+      (func $f (export "f") (param f64) (result f64)
+        (f64.store (i32.const 8) (local.get 0))
+        (f64.load (i32.const 8))))
+    """
+    assert run(text, "f", math.inf) == math.inf
+    assert run(text, "f", -math.inf) == -math.inf
+    assert math.isnan(run(text, "f", math.nan))
+    assert math.copysign(1.0, run(text, "f", -0.0)) == -1.0
+
+
+def test_reinterpret_preserves_bits():
+    text = """
+    (module
+      (func $f (export "f") (param f64) (result i64)
+        (i64.reinterpret_f64 (local.get 0)))
+      (func $g (export "g") (param i64) (result f64)
+        (f64.reinterpret_i64 (local.get 0))))
+    """
+    inst = instantiate(parse_module(text))
+    bits = inst.invoke("f", -1.5)
+    assert inst.invoke("g", bits) == -1.5
+
+
+def test_trunc_sat_behaviour_is_trapping():
+    """Our trunc ops follow the MVP trapping semantics (no _sat variants)."""
+    from repro.wasm import IntegerOverflow
+
+    text = """
+    (module
+      (func $f (export "f") (param f64) (result i32)
+        (i32.trunc_f64_u (local.get 0))))
+    """
+    assert run(text, "f", 4294967295.0) == -1  # 0xFFFFFFFF as signed
+    with pytest.raises(IntegerOverflow):
+        run(text, "f", 4294967296.0)
+    with pytest.raises(IntegerOverflow):
+        run(text, "f", -1.0)

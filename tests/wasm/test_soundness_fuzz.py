@@ -1,0 +1,107 @@
+"""Soundness fuzzing: validation implies safe execution.
+
+WebAssembly's safety story is a type-soundness theorem: a module that
+passes validation cannot get the interpreter into an undefined state —
+execution either completes or raises a well-defined :class:`Trap`. We test
+that empirically: random instruction sequences are thrown at the validator;
+whatever it accepts is executed, and anything other than a clean result or
+a Trap (stack corruption, IndexError, TypeError...) fails the test.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.wasm import (
+    BlockType,
+    FuncType,
+    I32,
+    F64,
+    Instr,
+    ModuleBuilder,
+    Trap,
+    ValidationError,
+    instantiate,
+    validate_module,
+)
+
+# A pool of instruction makers with plausible-but-unchecked immediates.
+_SIMPLE_OPS = [
+    "i32.add", "i32.sub", "i32.mul", "i32.div_s", "i32.rem_u", "i32.and",
+    "i32.xor", "i32.shl", "i32.eq", "i32.lt_s", "i32.eqz", "i32.clz",
+    "f64.add", "f64.mul", "f64.div", "f64.sqrt", "f64.lt",
+    "i32.trunc_f64_s", "f64.convert_i32_s", "i64.extend_i32_u",
+    "i32.wrap_i64", "drop", "select", "nop", "unreachable", "return",
+    "memory.size", "memory.grow", "i32.load", "i32.store", "f64.load",
+    "f64.store", "i32.load8_u",
+]
+
+_instr = st.one_of(
+    st.sampled_from(_SIMPLE_OPS).map(
+        lambda op: Instr(op, (0,)) if "load" in op or "store" in op else Instr(op)
+    ),
+    st.integers(-10, 2**33).map(lambda v: Instr("i32.const", (v,))),
+    st.floats(allow_nan=False).map(lambda v: Instr("f64.const", (v,))),
+    st.integers(0, 4).map(lambda i: Instr("local.get", (i,))),
+    st.integers(0, 4).map(lambda i: Instr("local.set", (i,))),
+    st.integers(0, 4).map(lambda i: Instr("local.tee", (i,))),
+    st.integers(0, 2).map(lambda i: Instr("global.get", (i,))),
+    st.integers(0, 2).map(lambda i: Instr("global.set", (i,))),
+    st.integers(0, 3).map(lambda d: Instr("br", (d,))),
+    st.integers(0, 3).map(lambda d: Instr("br_if", (d,))),
+    st.integers(0, 2).map(lambda f: Instr("call", (f,))),
+)
+
+
+def _blocks(children):
+    return st.one_of(
+        st.tuples(st.sampled_from(["block", "loop"]), st.lists(children, max_size=5)).map(
+            lambda t: Instr(t[0], (BlockType(), t[1]))
+        ),
+        st.tuples(st.lists(children, max_size=4), st.lists(children, max_size=4)).map(
+            lambda t: Instr("if", (BlockType(), t[0], t[1]))
+        ),
+    )
+
+
+_body = st.recursive(_instr, _blocks, max_leaves=25)
+
+
+@given(st.lists(_body, max_size=15), st.sampled_from([(), (I32,)]))
+@settings(max_examples=300, deadline=None)
+def test_validation_implies_safe_execution(body, results):
+    builder = ModuleBuilder()
+    builder.add_memory(1, 2)
+    builder.add_global(I32, 0, mutable=True)
+    builder.add_global(F64, 1.5, mutable=True)
+    builder.add_function(
+        "helper", FuncType((I32,), (I32,)), [], [Instr("local.get", (0,))]
+    )
+    builder.add_function(
+        "fuzz", FuncType((I32, I32), tuple(results)), [I32, F64], body, export=True
+    )
+    module = builder.build()
+
+    try:
+        validate_module(module)
+    except ValidationError:
+        return  # rejected cleanly: fine
+
+    # Accepted: execution must be defined — a result or a Trap, nothing else.
+    inst = instantiate(module, validated=True, fuel=50_000)
+    try:
+        inst.invoke("fuzz", 7, -3)
+    except Trap:
+        pass
+
+
+@given(st.lists(_body, max_size=15))
+@settings(max_examples=150, deadline=None)
+def test_validator_never_crashes(body):
+    """The validator itself must only ever raise ValidationError."""
+    builder = ModuleBuilder()
+    builder.add_memory(1)
+    builder.add_function("fuzz", FuncType((I32,), ()), [I32], body)
+    try:
+        validate_module(builder.build())
+    except ValidationError:
+        pass

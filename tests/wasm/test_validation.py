@@ -1,0 +1,236 @@
+"""Validator tests: well-typed modules pass, ill-typed modules are
+rejected *before* execution — the static half of SFI (§3.4)."""
+
+import pytest
+
+from repro.wasm import (
+    BlockType,
+    FuncType,
+    I32,
+    F64,
+    Instr,
+    ModuleBuilder,
+    ValidationError,
+    parse_module,
+    validate_module,
+)
+from repro.wasm.module import Export
+
+
+def build_func(body, params=(), results=(), locals_=(), with_memory=False, with_table=False):
+    builder = ModuleBuilder()
+    if with_memory:
+        builder.add_memory(1)
+    if with_table:
+        builder.add_table(2)
+    builder.add_function(
+        "f", FuncType(tuple(params), tuple(results)), list(locals_), body, export=True
+    )
+    return builder.build()
+
+
+def assert_rejects(module, match=None):
+    with pytest.raises(ValidationError, match=match):
+        validate_module(module)
+
+
+def test_stack_underflow_rejected():
+    assert_rejects(build_func([Instr("i32.add")]), match="underflow")
+
+
+def test_type_mismatch_rejected():
+    body = [Instr("i32.const", (1,)), Instr("f64.const", (1.0,)), Instr("i32.add")]
+    assert_rejects(build_func(body), match="type mismatch")
+
+
+def test_leftover_values_rejected():
+    body = [Instr("i32.const", (1,)), Instr("i32.const", (2,))]
+    assert_rejects(build_func(body, results=(I32,)), match="extra value")
+
+
+def test_missing_result_rejected():
+    assert_rejects(build_func([], results=(I32,)))
+
+
+def test_bad_local_index_rejected():
+    assert_rejects(build_func([Instr("local.get", (3,))]), match="local")
+
+
+def test_bad_global_index_rejected():
+    assert_rejects(build_func([Instr("global.get", (0,))]), match="global")
+
+
+def test_write_to_immutable_global_rejected():
+    builder = ModuleBuilder()
+    builder.add_global(I32, 5, mutable=False)
+    builder.add_function(
+        "f", FuncType(), [],
+        [Instr("i32.const", (1,)), Instr("global.set", (0,))],
+    )
+    assert_rejects(builder.build(), match="immutable")
+
+
+def test_bad_call_index_rejected():
+    assert_rejects(build_func([Instr("call", (9,))]), match="invalid index")
+
+
+def test_call_argument_type_checked():
+    builder = ModuleBuilder()
+    builder.add_function("g", FuncType((F64,), ()), [], [])
+    builder.add_function(
+        "f", FuncType(), [],
+        [Instr("i32.const", (1,)), Instr("call", (0,))],
+    )
+    assert_rejects(builder.build(), match="type mismatch")
+
+
+def test_wrong_drop_on_empty_stack():
+    assert_rejects(build_func([Instr("drop")]))
+
+
+def test_memory_op_without_memory_rejected():
+    body = [Instr("i32.const", (0,)), Instr("i32.load", (0,))]
+    assert_rejects(build_func(body, results=(I32,)), match="requires a memory")
+
+
+def test_call_indirect_without_table_rejected():
+    body = [
+        Instr("i32.const", (0,)),
+        Instr("call_indirect", (FuncType((), ()),)),
+    ]
+    assert_rejects(build_func(body, with_memory=True), match="table")
+
+
+def test_branch_depth_out_of_range_rejected():
+    assert_rejects(build_func([Instr("br", (5,))]), match="branch depth")
+
+
+def test_branch_arity_enforced():
+    # br to a block expecting a result, with an empty stack.
+    body = [
+        Instr(
+            "block",
+            (BlockType((), (I32,)), [Instr("br", (0,))]),
+        ),
+        Instr("drop"),
+    ]
+    assert_rejects(build_func(body))
+
+
+def test_if_without_else_but_results_rejected():
+    body = [
+        Instr("i32.const", (1,)),
+        Instr("if", (BlockType((), (I32,)), [Instr("i32.const", (1,))])),
+        Instr("drop"),
+    ]
+    assert_rejects(build_func(body), match="else")
+
+
+def test_br_table_arity_mismatch_rejected():
+    body = [
+        Instr(
+            "block",
+            (
+                BlockType((), (I32,)),
+                [
+                    Instr(
+                        "block",
+                        (
+                            BlockType(),
+                            [
+                                Instr("i32.const", (1,)),
+                                Instr("i32.const", (0,)),
+                                Instr("br_table", ((0,), 1)),
+                            ],
+                        ),
+                    ),
+                    Instr("i32.const", (7,)),
+                ],
+            ),
+        ),
+        Instr("drop"),
+    ]
+    assert_rejects(build_func(body), match="arity")
+
+
+def test_unreachable_makes_stack_polymorphic():
+    # After unreachable, anything type-checks (spec behaviour).
+    body = [Instr("unreachable"), Instr("i32.add"), Instr("drop")]
+    validate_module(build_func(body))
+
+
+def test_code_after_br_is_polymorphic():
+    # Dead code must still type-check; pops below the frame are polymorphic
+    # but pushed values are real and must be consumed.
+    body = [
+        Instr(
+            "block",
+            (BlockType(), [Instr("br", (0,)), Instr("i32.add"), Instr("drop")]),
+        ),
+    ]
+    validate_module(build_func(body))
+
+
+def test_dead_code_with_leftover_value_rejected():
+    body = [
+        Instr("block", (BlockType(), [Instr("br", (0,)), Instr("i32.const", (1,))])),
+    ]
+    assert_rejects(build_func(body))
+
+
+def test_duplicate_export_names_rejected():
+    builder = ModuleBuilder()
+    builder.add_function("f", FuncType(), [], [], export=True)
+    builder.module.exports.append(Export("f", "func", 0))
+    assert_rejects(builder.build(), match="duplicate export")
+
+
+def test_start_function_signature_checked():
+    builder = ModuleBuilder()
+    builder.add_function("f", FuncType((I32,), ()), [], [Instr("drop")])
+    builder.set_start(0)
+    assert_rejects(builder.build(), match="start")
+
+
+def test_element_segment_bad_index_rejected():
+    builder = ModuleBuilder()
+    builder.add_table(2)
+    builder.add_element(0, [7])
+    assert_rejects(builder.build(), match="element")
+
+
+def test_data_segment_without_memory_rejected():
+    builder = ModuleBuilder()
+    builder.add_data(0, b"hi")
+    with pytest.raises(Exception):
+        validate_module(builder.build())
+
+
+def test_valid_complex_module_passes():
+    text = """
+    (module
+      (memory 1)
+      (table funcref (elem $h))
+      (global $g (mut i64) (i64.const 9))
+      (data (i32.const 0) "ok")
+      (func $h (param i32) (result i32) (local.get 0))
+      (func $f (export "f") (param i32) (result i32)
+        (block $b (result i32)
+          (loop $l (result i32)
+            (if (result i32) (i32.gt_s (local.get 0) (i32.const 3))
+              (then (br $b (i32.const 99)))
+              (else (local.get 0)))))
+        (call_indirect (param i32) (result i32) (i32.const 0))))
+    """
+    validate_module(parse_module(text))
+
+
+def test_select_requires_matching_types():
+    body = [
+        Instr("i32.const", (1,)),
+        Instr("f64.const", (2.0,)),
+        Instr("i32.const", (0,)),
+        Instr("select"),
+        Instr("drop"),
+    ]
+    assert_rejects(build_func(body), match="type mismatch")

@@ -1,0 +1,165 @@
+"""Property-based tests of the numeric semantics in ``repro.wasm.values``
+and the operator tables, checked against Python big-int reference math."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.wasm import IntegerDivideByZero, IntegerOverflow
+from repro.wasm.ops import BINOPS, UNOPS
+from repro.wasm import values as v
+
+u32 = st.integers(0, 2**32 - 1)
+u64 = st.integers(0, 2**64 - 1)
+f64 = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+@given(u32, u32)
+def test_i32_add_sub_mul_wrap(a, b):
+    assert BINOPS["i32.add"](a, b) == (a + b) % 2**32
+    assert BINOPS["i32.sub"](a, b) == (a - b) % 2**32
+    assert BINOPS["i32.mul"](a, b) == (a * b) % 2**32
+
+
+@given(u64, u64)
+def test_i64_add_mul_wrap(a, b):
+    assert BINOPS["i64.add"](a, b) == (a + b) % 2**64
+    assert BINOPS["i64.mul"](a, b) == (a * b) % 2**64
+
+
+@given(u32, u32)
+def test_i32_div_s_truncates_toward_zero(a, b):
+    sa, sb = v.to_signed32(a), v.to_signed32(b)
+    if sb == 0:
+        with pytest.raises(IntegerDivideByZero):
+            BINOPS["i32.div_s"](a, b)
+    elif sa == -(2**31) and sb == -1:
+        with pytest.raises(IntegerOverflow):
+            BINOPS["i32.div_s"](a, b)
+    else:
+        expected = int(sa / sb)  # C-style truncation
+        assert v.to_signed32(BINOPS["i32.div_s"](a, b)) == expected
+
+
+@given(u32, u32)
+def test_i32_rem_s_sign_of_dividend(a, b):
+    sa, sb = v.to_signed32(a), v.to_signed32(b)
+    assume(sb != 0)
+    result = v.to_signed32(BINOPS["i32.rem_s"](a, b))
+    assert result == sa - sb * int(sa / sb)
+
+
+@given(u32, st.integers(0, 2**32 - 1))
+def test_i32_shifts_mod_32(a, shift):
+    assert BINOPS["i32.shl"](a, shift) == (a << (shift % 32)) % 2**32
+    assert BINOPS["i32.shr_u"](a, shift) == a >> (shift % 32)
+
+
+@given(u32, st.integers(0, 63))
+def test_i32_rotl_rotr_inverse(a, n):
+    assert BINOPS["i32.rotr"](BINOPS["i32.rotl"](a, n), n) == a
+
+
+@given(u32)
+def test_i32_clz_ctz_popcnt(a):
+    bits = format(a, "032b")
+    assert UNOPS["i32.clz"](a) == (32 if a == 0 else len(bits) - len(bits.lstrip("0")))
+    assert UNOPS["i32.ctz"](a) == (32 if a == 0 else len(bits) - len(bits.rstrip("0")))
+    assert UNOPS["i32.popcnt"](a) == bits.count("1")
+
+
+@given(u32, u32)
+def test_i32_comparisons(a, b):
+    sa, sb = v.to_signed32(a), v.to_signed32(b)
+    assert BINOPS["i32.lt_s"](a, b) == int(sa < sb)
+    assert BINOPS["i32.lt_u"](a, b) == int(a < b)
+    assert BINOPS["i32.ge_s"](a, b) == int(sa >= sb)
+    assert BINOPS["i32.ge_u"](a, b) == int(a >= b)
+
+
+@given(f64)
+def test_f32_reinterpret_roundtrip(x):
+    x32 = v.to_f32(x)
+    assume(not math.isinf(x32))
+    bits = v.reinterpret_f32_as_i32(x32)
+    assert v.reinterpret_i32_as_f32(bits) == x32 or (
+        math.isnan(x32) and math.isnan(v.reinterpret_i32_as_f32(bits))
+    )
+
+
+@given(f64)
+def test_f64_reinterpret_roundtrip(x):
+    bits = v.reinterpret_f64_as_i64(x)
+    assert v.reinterpret_i64_as_f64(bits) == x
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False, min_value=-2.0**31 + 1, max_value=2.0**31 - 1))
+def test_trunc_f64_to_i32_matches_int(x):
+    assert v.to_signed32(v.trunc_to_int(x, 32, True)) == int(x)
+
+
+@given(st.floats(allow_nan=True, allow_infinity=True))
+def test_trunc_traps_exactly_when_out_of_range(x):
+    if math.isnan(x):
+        with pytest.raises(Exception):
+            v.trunc_to_int(x, 32, True)
+    elif math.isinf(x) or not (-(2.0**31) - 1 < x < 2.0**31):
+        # Outside the exactly-representable window: must trap or be valid
+        # right at the boundary.
+        try:
+            result = v.trunc_to_int(x, 32, True)
+            assert -(2**31) <= v.to_signed32(result) <= 2**31 - 1
+        except IntegerOverflow:
+            pass
+    else:
+        v.trunc_to_int(x, 32, True)  # must not raise
+
+
+@given(f64, f64)
+def test_float_min_max_ordering(a, b):
+    lo, hi = v.float_min(a, b), v.float_max(a, b)
+    assert lo <= hi
+    assert {lo, hi} <= {a, b} or (a == b == 0.0)
+
+
+def test_float_min_max_nan_propagates():
+    assert math.isnan(v.float_min(math.nan, 1.0))
+    assert math.isnan(v.float_max(1.0, math.nan))
+
+
+def test_float_min_max_signed_zero():
+    assert math.copysign(1.0, v.float_min(0.0, -0.0)) == -1.0
+    assert math.copysign(1.0, v.float_max(-0.0, 0.0)) == 1.0
+
+
+@given(f64)
+def test_nearest_ties_to_even(x):
+    assume(abs(x) < 2**52)
+    result = v.nearest(x)
+    assert result == float(round(x))
+
+
+def test_fdiv_by_zero_semantics():
+    assert BINOPS["f64.div"](1.0, 0.0) == math.inf
+    assert BINOPS["f64.div"](-1.0, 0.0) == -math.inf
+    assert math.isnan(BINOPS["f64.div"](0.0, 0.0))
+    assert BINOPS["f64.div"](1.0, -0.0) == -math.inf
+
+
+@given(st.integers(-(2**31), 2**31 - 1))
+def test_signed_unsigned_roundtrip(x):
+    assert v.to_signed32(v.wrap32(x)) == x
+
+
+@given(st.integers(-(2**63), 2**63 - 1))
+def test_signed_unsigned_roundtrip_64(x):
+    assert v.to_signed64(v.wrap64(x)) == x
+
+
+@given(u32)
+def test_i64_extend_then_wrap_is_identity(a):
+    assert UNOPS["i32.wrap_i64"](UNOPS["i64.extend_i32_u"](a)) == a
+    signed = UNOPS["i32.wrap_i64"](UNOPS["i64.extend_i32_s"](a))
+    assert signed == a
