@@ -110,3 +110,90 @@ def _copy_cost_us(nbytes: int) -> float:
     start = time.perf_counter()
     bytearray(src)
     return (time.perf_counter() - start) * 1e6
+
+
+# ----------------------------------------------------------------------
+# Execution tiers: closure-threaded code vs the reference interpreter
+# ----------------------------------------------------------------------
+
+#: Relative threaded-vs-interpreter floor enforced by the tier-1 smoke
+#: guard (tests/wasm/test_tier_smoke.py reads it from the results JSON).
+SMOKE_FLOOR = 2.0
+
+#: Geomean Polybench speedup the tiered engine must deliver (ISSUE 1).
+GEOMEAN_TARGET = 3.0
+
+
+def _time_kernel(module, tier: str, n: int) -> tuple[float, int, object]:
+    from repro.wasm import instantiate
+
+    inst = instantiate(module, tier=tier)
+    inst.invoke("kernel", 4)  # warm-up: triggers lazy threading
+    before = inst.instructions_executed
+    start = time.perf_counter()
+    result = inst.invoke("kernel", n)
+    elapsed = time.perf_counter() - start
+    return elapsed, inst.instructions_executed - before, result
+
+
+def test_tiered_throughput_polybench():
+    """Polybench on both tiers: per-kernel speedup and the geomean the
+    tentpole promises (≥3×), recorded for EXPERIMENTS.md."""
+    import math
+
+    from repro.apps.kernels import KERNELS
+
+    rows = []
+    speedups = []
+    for name in sorted(KERNELS):
+        kernel = KERNELS[name]
+        module = build(kernel.source)
+        n = kernel.default_n
+        t_interp, instrs, r_interp = _time_kernel(module, "interp", n)
+        t_threaded, instrs_t, r_threaded = _time_kernel(module, "threaded", n)
+        assert r_threaded == r_interp, f"{name}: tier results diverge"
+        assert instrs_t == instrs, f"{name}: tier instruction counts diverge"
+        speedup = t_interp / t_threaded
+        speedups.append(speedup)
+        rows.append(
+            {
+                "kernel": name,
+                "interp_ms": round(t_interp * 1e3, 2),
+                "threaded_ms": round(t_threaded * 1e3, 2),
+                "interp_mips": round(instrs / t_interp / 1e6, 2),
+                "threaded_mips": round(instrs / t_threaded / 1e6, 2),
+                "speedup": round(speedup, 2),
+            }
+        )
+    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    rows.append(
+        {
+            "kernel": "geomean",
+            "speedup": round(geomean, 2),
+            "smoke_floor": SMOKE_FLOOR,
+        }
+    )
+    report("vm_throughput_tiered", "Execution tiers: Polybench", rows)
+    assert geomean >= GEOMEAN_TARGET, (
+        f"threaded tier geomean speedup {geomean:.2f}x below "
+        f"{GEOMEAN_TARGET}x target"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run only the fast tier-regression guard (the tier-1 smoke "
+        "marker) instead of the full benchmark suite",
+    )
+    opts = parser.parse_args()
+    if opts.smoke:
+        target = ["-m", "smoke", "tests/wasm/test_tier_smoke.py"]
+    else:
+        target = [__file__]
+    raise SystemExit(pytest.main(["-x", "-q", "-s", *target]))

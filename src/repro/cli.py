@@ -3,8 +3,15 @@
 Commands::
 
     run <file.ml|file.wat> [--entry NAME] [--input TEXT] [--arg N ...]
+        [--tier threaded|interp]
         Compile (minilang) or assemble (WAT), validate, and execute the
         module inside a Faaslet; prints output/result and exit code.
+
+    profile <file.ml|file.wat|file.obj> [--entry NAME] [--arg N ...]
+        [--top N]
+        Execute on the reference interpreter with per-opcode dispatch
+        counters and print the hottest opcodes and opcode pairs — the
+        data that picks the threaded tier's next fusion candidates.
 
     disasm <file.ml|file.wat|file.obj>
         Print the module's text-format disassembly.
@@ -56,7 +63,7 @@ def cmd_run(args) -> int:
         compiled=compiled if compiled is not None else compile_module(module),
         entry=args.entry or meta.get("entry", "main"),
     )
-    faaslet = Faaslet(definition, StandaloneEnvironment())
+    faaslet = Faaslet(definition, StandaloneEnvironment(), tier=args.tier)
     start = time.perf_counter()
     if args.arg:
         result = faaslet.invoke_export(definition.entry, *args.arg)
@@ -77,6 +84,43 @@ def cmd_run(args) -> int:
         file=sys.stderr,
     )
     return code
+
+
+def cmd_profile(args) -> int:
+    """``repro profile``: per-opcode dispatch counts for a guest run."""
+    from repro.faaslet import Faaslet, FunctionDefinition
+    from repro.host import StandaloneEnvironment
+    from repro.wasm.codegen import compile_module
+
+    module, compiled, meta = _load_module(args.file)
+    definition = FunctionDefinition(
+        name=args.file,
+        module=module,
+        compiled=compiled if compiled is not None else compile_module(module),
+        entry=args.entry or meta.get("entry", "main"),
+    )
+    faaslet = Faaslet(definition, StandaloneEnvironment(), profile=True)
+    if args.arg:
+        result = faaslet.invoke_export(definition.entry, *args.arg)
+        print(f"result: {result}", file=sys.stderr)
+    else:
+        code, _ = faaslet.call((args.input or "").encode())
+        print(f"exit code: {code}", file=sys.stderr)
+
+    inst = faaslet.instance
+    total = inst.instructions_executed or 1
+    top = args.top or 20
+    print(f"{total:,} instructions dispatched; top {top} opcodes:")
+    print(f"{'opcode':<24}{'count':>14}{'share':>9}")
+    for op, count in inst.dispatch_report(top):
+        print(f"{op:<24}{count:>14,}{count / total:>8.1%}")
+    pairs = inst.pair_counts.most_common(top)
+    if pairs:
+        print(f"\ntop {top} opcode pairs (fusion candidates):")
+        print(f"{'pair':<40}{'count':>14}{'share':>9}")
+        for (a, b), count in pairs:
+            print(f"{a + ' ; ' + b:<40}{count:>14,}{count / total:>8.1%}")
+    return 0
 
 
 def cmd_disasm(args) -> int:
@@ -149,7 +193,24 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--input", help="call input passed to the guest")
     p_run.add_argument("--arg", type=int, action="append",
                        help="invoke entry with integer args instead of call I/O")
+    from repro.wasm import TIERS
+
+    p_run.add_argument("--tier", choices=TIERS,
+                       help="execution tier (default: threaded, or "
+                            "$REPRO_WASM_TIER)")
     p_run.set_defaults(fn=cmd_run)
+
+    p_prof = sub.add_parser(
+        "profile", help="run with per-opcode dispatch counters"
+    )
+    p_prof.add_argument("file")
+    p_prof.add_argument("--entry", help="exported function (default: main)")
+    p_prof.add_argument("--input", help="call input passed to the guest")
+    p_prof.add_argument("--arg", type=int, action="append",
+                        help="invoke entry with integer args instead of call I/O")
+    p_prof.add_argument("--top", type=int, default=20,
+                        help="number of opcodes/pairs to print (default 20)")
+    p_prof.set_defaults(fn=cmd_profile)
 
     p_dis = sub.add_parser("disasm", help="print text-format disassembly")
     p_dis.add_argument("file")

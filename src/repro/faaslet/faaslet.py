@@ -23,7 +23,8 @@ import logging
 from dataclasses import dataclass, field
 
 from repro.wasm import Trap
-from repro.wasm.codegen import CompiledFunction, compile_module
+from repro.wasm.codecache import GLOBAL_CODE_CACHE
+from repro.wasm.codegen import CompiledFunction
 from repro.wasm.instance import Instance
 from repro.wasm.memory import LinearMemory
 from repro.wasm.module import Module
@@ -71,9 +72,14 @@ class FunctionDefinition:
 
     @classmethod
     def build(cls, name: str, module: Module, **kwargs) -> "FunctionDefinition":
-        """Validate and code-generate ``module`` (the trusted phases)."""
+        """Validate and code-generate ``module`` (the trusted phases).
+
+        Codegen goes through the cluster-wide code cache, so re-uploading
+        the same module text (or spawning from a re-parsed copy) reuses
+        the existing compiled — and closure-threaded — function list.
+        """
         validate_module(module)
-        return cls(name, module, compile_module(module), **kwargs)
+        return cls(name, module, GLOBAL_CODE_CACHE.get_or_compile(module), **kwargs)
 
 
 class FaasletExecutionError(RuntimeError):
@@ -90,6 +96,8 @@ class Faaslet:
         *,
         proto=None,
         fuel: int | None = None,
+        tier: str | None = None,
+        profile: bool = False,
     ):
         self.definition = definition
         self.env = env
@@ -123,11 +131,16 @@ class Faaslet:
         self.proto = proto
         #: Number of calls served by this (warm) Faaslet.
         self.calls_served = 0
+        #: Execution tier pinned at spawn (None = session default); reset()
+        #: restores onto the same tier.
+        self.tier = tier
 
         module = definition.module
         imports = _host_imports(self)
         if proto is not None:
-            self.instance = proto.make_instance(imports, fuel=fuel)
+            self.instance = proto.make_instance(imports, fuel=fuel, tier=tier)
+            if profile:
+                raise ValueError("profiling requires a cold (non-proto) spawn")
         else:
             min_pages = module.memory.limits.minimum if module.memory else 1
             memory = LinearMemory(
@@ -140,6 +153,8 @@ class Faaslet:
                 fuel=fuel,
                 validated=True,
                 precompiled=definition.compiled,
+                tier=tier,
+                profile=profile,
             )
         self._brk = self.instance.memory.size_bytes if self.instance.memory else 0
 
@@ -275,7 +290,7 @@ class Faaslet:
             raise RuntimeError(f"{self.name} has no Proto-Faaslet to reset from")
         imports = _host_imports(self)
         fuel = self.instance.fuel
-        self.instance = self.proto.make_instance(imports, fuel=fuel)
+        self.instance = self.proto.make_instance(imports, fuel=fuel, tier=self.tier)
         self._brk = self.instance.memory.size_bytes
         self._state_mappings.clear()
         self._dl_handles.clear()

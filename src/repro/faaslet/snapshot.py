@@ -103,9 +103,18 @@ class ProtoFaaslet:
     # ------------------------------------------------------------------
     # Restore
     # ------------------------------------------------------------------
-    def make_instance(self, imports: dict, fuel: int | None = None) -> Instance:
+    def make_instance(
+        self,
+        imports: dict,
+        fuel: int | None = None,
+        tier: str | None = None,
+    ) -> Instance:
         """Build a wasm instance from the snapshot (the restore fast path:
-        no validation, no codegen, no data copies — COW page aliasing)."""
+        no validation, no codegen, no data copies — COW page aliasing).
+
+        The restored instance shares ``definition.compiled`` — and with it
+        any closure-threaded code already attached to those functions — so
+        restores never re-run codegen or re-threading."""
         module = self.definition.module
         funcs: list = []
         for imp in module.imports:
@@ -122,11 +131,15 @@ class ProtoFaaslet:
         ]
         table = list(self.table_snapshot) if self.table_snapshot is not None else None
         self.restore_count += 1
-        return Instance.from_parts(module, funcs, memory, globals_, table, fuel=fuel)
+        return Instance.from_parts(
+            module, funcs, memory, globals_, table, fuel=fuel, tier=tier
+        )
 
-    def restore(self, env, fuel: int | None = None) -> Faaslet:
+    def restore(
+        self, env, fuel: int | None = None, tier: str | None = None
+    ) -> Faaslet:
         """Spawn a fresh Faaslet from this snapshot."""
-        return Faaslet(self.definition, env, proto=self, fuel=fuel)
+        return Faaslet(self.definition, env, proto=self, fuel=fuel, tier=tier)
 
     # ------------------------------------------------------------------
     # Cross-host serialisation

@@ -159,6 +159,17 @@ class FunctionRegistry:
         if data is None:
             raise KeyError(f"no object file for {name!r}")
         module, compiled, meta = read_object(data)
+        # Seed the cluster-wide code cache keyed by the object file's own
+        # bytes (restored modules carry no bodies, so printed text cannot
+        # key them). Repeated loads of the same artifact then share one
+        # compiled list — and its lazily-built closure-threaded code —
+        # instead of re-running codegen or re-threading.
+        import hashlib
+
+        from repro.wasm.codecache import GLOBAL_CODE_CACHE
+
+        obj_key = "obj:" + hashlib.sha256(data).hexdigest()
+        compiled = GLOBAL_CODE_CACHE.seed_with_key(module, obj_key, compiled)
         definition = FunctionDefinition(
             name,
             module,
@@ -186,3 +197,12 @@ class FunctionRegistry:
     def names(self) -> list[str]:
         with self._mutex:
             return sorted(self._functions)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def code_cache_stats() -> dict[str, int]:
+        """Hit/miss/seed counters of the cluster-wide compiled-module cache
+        (the analogue of §3.4's shared object-code measurements)."""
+        from repro.wasm.codecache import GLOBAL_CODE_CACHE
+
+        return GLOBAL_CODE_CACHE.stats()

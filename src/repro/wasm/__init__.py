@@ -36,7 +36,7 @@ from .errors import (
     ValidationError,
     WasmError,
 )
-from .instance import HostFunc, Instance, instantiate
+from .instance import TIERS, HostFunc, Instance, default_tier, instantiate
 from .instructions import BlockType, Instr, instr
 from .memory import LinearMemory, Page
 from .module import (
@@ -51,6 +51,7 @@ from .module import (
 )
 from .printer import print_module
 from .text import parse_module
+from .threaded import ThreadedCode, thread_function
 from .types import (
     F32,
     F64,
@@ -101,7 +102,9 @@ __all__ = [
     "PAGE_SIZE",
     "Page",
     "ParseError",
+    "TIERS",
     "TableType",
+    "ThreadedCode",
     "Trap",
     "UndefinedElement",
     "UnreachableExecuted",
@@ -110,9 +113,11 @@ __all__ = [
     "WasmError",
     "compile_function",
     "compile_module",
+    "default_tier",
     "instantiate",
     "instr",
     "parse_module",
     "print_module",
+    "thread_function",
     "validate_module",
 ]

@@ -27,7 +27,7 @@ normalised values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from .instructions import CONST_OPS, Instr
 from .module import Function, Module
@@ -45,6 +45,10 @@ class CompiledFunction:
     code: list[tuple]
     #: Total number of locals including parameters.
     n_locals: int = 0
+    #: Lazily-built closure-threaded form (see :mod:`repro.wasm.threaded`).
+    #: Runtime-only: instance-independent, shared across every instance of
+    #: the module, and deliberately excluded from object-file serialisation.
+    threaded: object | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.n_locals = len(self.type.params) + len(self.local_types)

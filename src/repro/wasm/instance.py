@@ -9,10 +9,13 @@ call depth and — for CPU accounting by the cgroup layer — fuel metering.
 
 from __future__ import annotations
 
+import os
+from collections import Counter
 from dataclasses import dataclass
 from typing import Callable
 
-from .codegen import CompiledFunction, compile_module
+from .codecache import GLOBAL_CODE_CACHE
+from .codegen import CompiledFunction
 from .errors import (
     CallStackExhausted,
     IndirectCallTypeMismatch,
@@ -27,12 +30,23 @@ from .instructions import LOAD_OPS, STORE_OPS
 from .memory import LinearMemory
 from .module import Module
 from .ops import BINOPS, UNOPS
+from .threaded import Frame, thread_function
 from .types import FuncType, ValType
 from .validation import validate_module
 from .values import MASK32, MASK64, to_f32, to_signed32, to_signed64
 
 #: Default guest call-depth limit (Python recursion bounds this from above).
 DEFAULT_CALL_DEPTH = 220
+
+#: Available execution tiers: "threaded" (closure-threaded code with
+#: block-level fuel batching, the default) and "interp" (the reference
+#: tuple interpreter, retained as the semantics oracle).
+TIERS = ("threaded", "interp")
+
+
+def default_tier() -> str:
+    """Session default tier; override with ``REPRO_WASM_TIER=interp``."""
+    return os.environ.get("REPRO_WASM_TIER", "threaded")
 
 
 @dataclass
@@ -94,12 +108,22 @@ class Instance:
         apply_data: bool = True,
         run_start: bool = True,
         precompiled: list[CompiledFunction] | None = None,
+        tier: str | None = None,
+        profile: bool = False,
     ):
         if not validated:
             validate_module(module)
         self.module = module
         self.call_depth_limit = call_depth_limit
         self._fuel = fuel
+        self.tier = tier if tier is not None else default_tier()
+        if self.tier not in TIERS:
+            raise ValueError(f"unknown execution tier {self.tier!r}")
+        # Opt-in per-opcode dispatch profiling. Profiling runs on the
+        # reference interpreter (counters are per flat opcode, the unit
+        # the next superinstruction would fuse), whatever the tier.
+        self.op_counts: Counter | None = Counter() if profile else None
+        self.pair_counts: Counter | None = Counter() if profile else None
         #: Total instructions executed; the cgroup layer reads this as the
         #: Faaslet's consumed "CPU cycles".
         self.instructions_executed = 0
@@ -117,8 +141,14 @@ class Instance:
                     f"module wants {imp.type}, host provides {host.type}"
                 )
             self.funcs.append(host)
+        # Without explicit precompiled code, go through the cluster-wide
+        # code cache: repeated instantiations of structurally identical
+        # modules (spawn churn, dlopen, re-parsed uploads) share one
+        # compiled — and threaded — function list.
         self.funcs.extend(
-            precompiled if precompiled is not None else compile_module(module)
+            precompiled
+            if precompiled is not None
+            else GLOBAL_CODE_CACHE.get_or_compile(module)
         )
 
         if memory is not None:
@@ -171,6 +201,8 @@ class Instance:
         *,
         fuel: int | None = None,
         call_depth_limit: int = DEFAULT_CALL_DEPTH,
+        tier: str | None = None,
+        profile: bool = False,
     ) -> "Instance":
         """Assemble an instance from pre-built parts without validation,
         code generation, data-segment copies or running the start function.
@@ -183,6 +215,11 @@ class Instance:
         inst.module = module
         inst.call_depth_limit = call_depth_limit
         inst._fuel = fuel
+        inst.tier = tier if tier is not None else default_tier()
+        if inst.tier not in TIERS:
+            raise ValueError(f"unknown execution tier {inst.tier!r}")
+        inst.op_counts = Counter() if profile else None
+        inst.pair_counts = Counter() if profile else None
         inst.instructions_executed = 0
         inst.funcs = funcs
         inst.memory = memory
@@ -276,7 +313,53 @@ class Instance:
                     f"{len(results)} values, expected {len(fn.type.results)}"
                 )
             return [_canon(r, t) for r, t in zip(results, fn.type.results)]
+        if self.tier == "threaded" and self.op_counts is None:
+            return self._exec_threaded(fn, args, depth)
         return self._exec(fn, args, depth)
+
+    def _exec_threaded(self, fn: CompiledFunction, args: list, depth: int) -> list:
+        """Tier-2 dispatch: run the function's closure-threaded form.
+
+        Observationally identical to :meth:`_exec` — same results, traps,
+        memory effects, ``fuel`` and ``instructions_executed`` — but fuel is
+        charged per basic block and each superinstruction is a pre-bound
+        closure (see :mod:`repro.wasm.threaded`).
+        """
+        if depth >= self.call_depth_limit:
+            raise CallStackExhausted(
+                f"call depth exceeded {self.call_depth_limit}"
+            )
+        tc = fn.threaded
+        if tc is None:
+            tc = thread_function(fn, self.module)
+            fn.threaded = tc
+        locals_ = args + [
+            0.0 if t in (ValType.F32, ValType.F64) else 0 for t in fn.local_types
+        ]
+        stack: list = []
+        frame = Frame(self, depth)
+        ops = tc.ops
+        pc = 0
+        while pc >= 0:
+            pc = ops[pc](stack, locals_, frame)
+        # Normal exit: flush the frame-local meters. Traps propagate
+        # without flushing, matching the reference tier exactly.
+        self._fuel = frame.fuel
+        self.instructions_executed += frame.executed
+        n_results = len(fn.type.results)
+        return stack[len(stack) - n_results :] if n_results else []
+
+    def dispatch_report(self, top: int | None = None) -> list[tuple[str, int]]:
+        """Hottest flat opcodes recorded by ``profile=True``, descending.
+
+        The companion ``pair_counts`` attribute holds adjacent-opcode pair
+        frequencies — the data that justifies the next superinstruction in
+        the threaded tier's fusion table.
+        """
+        if self.op_counts is None:
+            raise ValueError("instance was not created with profile=True")
+        ranked = self.op_counts.most_common(top)
+        return ranked
 
     def _exec(self, fn: CompiledFunction, args: list, depth: int) -> list:
         if depth >= self.call_depth_limit:
@@ -297,10 +380,18 @@ class Instance:
         executed = 0
         fuel = self._fuel
         metered = fuel is not None
+        prof = self.op_counts
+        pairs = self.pair_counts
+        prev_op: str | None = None
 
         while True:
             ins = code[pc]
             op = ins[0]
+            if prof is not None:
+                prof[op] += 1
+                if prev_op is not None:
+                    pairs[(prev_op, op)] += 1
+                prev_op = op
             executed += 1
             if metered:
                 fuel -= 1

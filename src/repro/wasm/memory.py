@@ -34,6 +34,14 @@ _STRUCTS = {
     ("f64", 8): struct.Struct("<d"),
 }
 
+_U16 = struct.Struct("<H")
+_I16 = struct.Struct("<h")
+_U32 = struct.Struct("<I")
+_I32 = struct.Struct("<i")
+_U64 = struct.Struct("<Q")
+_F32 = struct.Struct("<f")
+_F64 = struct.Struct("<d")
+
 
 @dataclass
 class Page:
@@ -252,6 +260,156 @@ class LinearMemory:
             self.write(addr, st.pack(value))
 
     # ------------------------------------------------------------------
+    # Contiguous-page fast paths (threaded-tier API)
+    # ------------------------------------------------------------------
+    # Each accessor handles the common case — a well-aligned access that
+    # falls inside a single page — with one divmod, one bounds comparison
+    # and a pre-compiled struct (un)packer, and falls back to the generic
+    # bounds-checked path for page-straddling or out-of-range addresses
+    # (which re-raises :class:`OutOfBoundsMemoryAccess` with the exact
+    # semantics of the reference interpreter). Values are canonical: loads
+    # return unsigned ints / Python floats, stores accept canonical values.
+
+    def load_i32(self, addr: int) -> int:
+        if addr >= 0:
+            page_idx, offset = divmod(addr, PAGE_SIZE)
+            if offset <= PAGE_SIZE - 4 and page_idx < len(self.pages):
+                return _U32.unpack_from(self.pages[page_idx].view, offset)[0]
+        return self.load_int(addr, 4, False)
+
+    def load_i64(self, addr: int) -> int:
+        if addr >= 0:
+            page_idx, offset = divmod(addr, PAGE_SIZE)
+            if offset <= PAGE_SIZE - 8 and page_idx < len(self.pages):
+                return _U64.unpack_from(self.pages[page_idx].view, offset)[0]
+        return self.load_int(addr, 8, False)
+
+    def load_f32(self, addr: int) -> float:
+        if addr >= 0:
+            page_idx, offset = divmod(addr, PAGE_SIZE)
+            if offset <= PAGE_SIZE - 4 and page_idx < len(self.pages):
+                return _F32.unpack_from(self.pages[page_idx].view, offset)[0]
+        return self.load_float(addr, 4)
+
+    def load_f64(self, addr: int) -> float:
+        if addr >= 0:
+            page_idx, offset = divmod(addr, PAGE_SIZE)
+            if offset <= PAGE_SIZE - 8 and page_idx < len(self.pages):
+                return _F64.unpack_from(self.pages[page_idx].view, offset)[0]
+        return self.load_float(addr, 8)
+
+    def load_i32_8s(self, addr: int) -> int:
+        if 0 <= addr < len(self.pages) * PAGE_SIZE:
+            page_idx, offset = divmod(addr, PAGE_SIZE)
+            b = self.pages[page_idx].view[offset]
+            return b if b < 0x80 else 0xFFFFFF00 + b
+        return self.load_int(addr, 1, True) & 0xFFFFFFFF
+
+    def load_i32_8u(self, addr: int) -> int:
+        if 0 <= addr < len(self.pages) * PAGE_SIZE:
+            page_idx, offset = divmod(addr, PAGE_SIZE)
+            return self.pages[page_idx].view[offset]
+        return self.load_int(addr, 1, False)
+
+    def load_i32_16s(self, addr: int) -> int:
+        if addr >= 0:
+            page_idx, offset = divmod(addr, PAGE_SIZE)
+            if offset <= PAGE_SIZE - 2 and page_idx < len(self.pages):
+                return _I16.unpack_from(self.pages[page_idx].view, offset)[0] & 0xFFFFFFFF
+        return self.load_int(addr, 2, True) & 0xFFFFFFFF
+
+    def load_i32_16u(self, addr: int) -> int:
+        if addr >= 0:
+            page_idx, offset = divmod(addr, PAGE_SIZE)
+            if offset <= PAGE_SIZE - 2 and page_idx < len(self.pages):
+                return _U16.unpack_from(self.pages[page_idx].view, offset)[0]
+        return self.load_int(addr, 2, False)
+
+    def load_i64_32s(self, addr: int) -> int:
+        if addr >= 0:
+            page_idx, offset = divmod(addr, PAGE_SIZE)
+            if offset <= PAGE_SIZE - 4 and page_idx < len(self.pages):
+                value = _I32.unpack_from(self.pages[page_idx].view, offset)[0]
+                return value & 0xFFFFFFFFFFFFFFFF
+        return self.load_int(addr, 4, True) & 0xFFFFFFFFFFFFFFFF
+
+    def load_i64_32u(self, addr: int) -> int:
+        if addr >= 0:
+            page_idx, offset = divmod(addr, PAGE_SIZE)
+            if offset <= PAGE_SIZE - 4 and page_idx < len(self.pages):
+                return _U32.unpack_from(self.pages[page_idx].view, offset)[0]
+        return self.load_int(addr, 4, False)
+
+    def store_i32(self, addr: int, value: int) -> None:
+        if addr >= 0:
+            page_idx, offset = divmod(addr, PAGE_SIZE)
+            if offset <= PAGE_SIZE - 4 and page_idx < len(self.pages):
+                page = self.pages[page_idx]
+                if page.writable:
+                    _U32.pack_into(page.view, offset, value)
+                    return
+        self.store_int(addr, value, 4)
+
+    def store_i64(self, addr: int, value: int) -> None:
+        if addr >= 0:
+            page_idx, offset = divmod(addr, PAGE_SIZE)
+            if offset <= PAGE_SIZE - 8 and page_idx < len(self.pages):
+                page = self.pages[page_idx]
+                if page.writable:
+                    _U64.pack_into(page.view, offset, value)
+                    return
+        self.store_int(addr, value, 8)
+
+    def store_f32(self, addr: int, value: float) -> None:
+        if addr >= 0:
+            page_idx, offset = divmod(addr, PAGE_SIZE)
+            if offset <= PAGE_SIZE - 4 and page_idx < len(self.pages):
+                page = self.pages[page_idx]
+                if page.writable:
+                    _F32.pack_into(page.view, offset, value)
+                    return
+        self.store_float(addr, value, 4)
+
+    def store_f64(self, addr: int, value: float) -> None:
+        if addr >= 0:
+            page_idx, offset = divmod(addr, PAGE_SIZE)
+            if offset <= PAGE_SIZE - 8 and page_idx < len(self.pages):
+                page = self.pages[page_idx]
+                if page.writable:
+                    _F64.pack_into(page.view, offset, value)
+                    return
+        self.store_float(addr, value, 8)
+
+    def store_i32_8(self, addr: int, value: int) -> None:
+        if 0 <= addr < len(self.pages) * PAGE_SIZE:
+            page_idx, offset = divmod(addr, PAGE_SIZE)
+            page = self.pages[page_idx]
+            if page.writable:
+                page.view[offset] = value & 0xFF
+                return
+        self.store_int(addr, value, 1)
+
+    def store_i32_16(self, addr: int, value: int) -> None:
+        if addr >= 0:
+            page_idx, offset = divmod(addr, PAGE_SIZE)
+            if offset <= PAGE_SIZE - 2 and page_idx < len(self.pages):
+                page = self.pages[page_idx]
+                if page.writable:
+                    _U16.pack_into(page.view, offset, value & 0xFFFF)
+                    return
+        self.store_int(addr, value, 2)
+
+    def store_i64_32(self, addr: int, value: int) -> None:
+        if addr >= 0:
+            page_idx, offset = divmod(addr, PAGE_SIZE)
+            if offset <= PAGE_SIZE - 4 and page_idx < len(self.pages):
+                page = self.pages[page_idx]
+                if page.writable:
+                    _U32.pack_into(page.view, offset, value & 0xFFFFFFFF)
+                    return
+        self.store_int(addr, value, 4)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def resident_private_bytes(self) -> int:
@@ -263,3 +421,29 @@ class LinearMemory:
         return sum(
             PAGE_SIZE for p in self.pages if p.writable and not p.shared
         )
+
+
+#: op mnemonic -> unbound fast-path accessor, consumed by the threaded
+#: code generator (closures capture the function once, at compile time).
+TYPED_LOADS = {
+    "i32.load": LinearMemory.load_i32,
+    "i64.load": LinearMemory.load_i64,
+    "f32.load": LinearMemory.load_f32,
+    "f64.load": LinearMemory.load_f64,
+    "i32.load8_s": LinearMemory.load_i32_8s,
+    "i32.load8_u": LinearMemory.load_i32_8u,
+    "i32.load16_s": LinearMemory.load_i32_16s,
+    "i32.load16_u": LinearMemory.load_i32_16u,
+    "i64.load32_s": LinearMemory.load_i64_32s,
+    "i64.load32_u": LinearMemory.load_i64_32u,
+}
+
+TYPED_STORES = {
+    "i32.store": LinearMemory.store_i32,
+    "i64.store": LinearMemory.store_i64,
+    "f32.store": LinearMemory.store_f32,
+    "f64.store": LinearMemory.store_f64,
+    "i32.store8": LinearMemory.store_i32_8,
+    "i32.store16": LinearMemory.store_i32_16,
+    "i64.store32": LinearMemory.store_i64_32,
+}

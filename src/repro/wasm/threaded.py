@@ -1,0 +1,986 @@
+"""Tier-2 execution: closure-threaded basic blocks with fuel batching.
+
+This is the repo's stand-in for WAVM's ahead-of-time code generation
+(§3.4): instead of dispatching one ``(op, ...)`` tuple at a time through
+the reference interpreter's ``if/elif`` chain, each
+:class:`~repro.wasm.codegen.CompiledFunction` is lowered **once** into a
+list of pre-bound Python closures — one per basic block — and executed by
+a trivial dispatch loop::
+
+    while pc >= 0:
+        pc = ops[pc](stack, locals_, frame)
+
+Three techniques carry the speedup:
+
+* **Closure threading** — every block closure captures its immediates,
+  operator callables (from :data:`~repro.wasm.ops.BINOPS`/``UNOPS``),
+  float constants and typed single-page memory accessors (the struct
+  packers from :mod:`repro.wasm.memory`) as pre-bound default arguments,
+  so the hot path performs no dict lookups, no opcode tests and no
+  immediate decoding.
+
+* **Superinstruction fusion, generalised** — within a block the compiler
+  runs a symbolic operand stack: ``local.get``/``const``/pure-operator
+  results stay as Python *expressions* and are folded into their
+  consumers, so ``local.get local.get i32.mul local.get i32.add i32.const
+  i32.shl i32.add f64.load`` collapses into a single bound statement
+  ``t0 = LD(mem, L[a] + (((L[i] * L[n] + L[j]) << 3) & M))`` with no
+  operand-stack traffic at all. Anything that can trap or touch shared
+  state (loads, stores, div/rem, float→int truncation, globals,
+  ``memory.*``) is materialised eagerly, in flat-code order, so the
+  sequence of observable effects and the trap points are identical to the
+  reference tier.
+
+* **Block-level fuel batching** — a prologue in each block closure charges
+  the whole block's flat instruction count against the fuel budget in one
+  step. When the remaining fuel cannot cover the block, it falls back to
+  per-instruction metering over single-op closures so ``OutOfFuel`` fires
+  at exactly the same instruction — with the same partial side effects and
+  the same ``instructions_executed`` — as the reference tier.
+
+Threaded code depends only on the *module* (function types for calls),
+never on instance state: memory, globals, table and fuel arrive through
+the per-call :class:`Frame`. One threaded body is therefore shared by
+every instance of the module — the property the cluster-wide compiled
+module cache relies on.
+
+Trap semantics note: the reference interpreter does **not** flush its
+local fuel/instruction counters when a trap propagates (only ``OutOfFuel``
+and call boundaries flush). The threaded tier reproduces this exactly by
+keeping counters in the frame and flushing only at the OutOfFuel path,
+call boundaries and normal function exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import (
+    IndirectCallTypeMismatch,
+    OutOfBoundsTableAccess,
+    OutOfFuel,
+    UndefinedElement,
+    UnreachableExecuted,
+)
+from .instructions import CONST_OPS, LOAD_OPS, STORE_OPS
+from .memory import TYPED_LOADS, TYPED_STORES
+from .ops import BINOPS, UNOPS
+from .values import MASK32
+
+
+class Frame:
+    """Per-call execution state handed to every threaded closure.
+
+    Pure arithmetic never touches the frame; memory/global/control code
+    reaches instance state through it, which is what keeps the threaded
+    code itself instance-independent and shareable.
+    """
+
+    __slots__ = ("inst", "mem", "glb", "labels", "depth", "fuel", "executed")
+
+    def __init__(self, inst, depth: int):
+        self.inst = inst
+        self.mem = inst.memory
+        self.glb = inst.globals
+        self.labels = []
+        self.depth = depth
+        self.fuel = inst._fuel
+        self.executed = 0
+
+
+@dataclass
+class ThreadedCode:
+    """One function's closure-threaded form."""
+
+    #: One closure per basic block; index = threaded pc. Entry is pc 0.
+    ops: list
+    #: Flat-instruction count charged by each block's fuel prologue.
+    costs: list
+    #: ``blk@<flat_start>+<n>`` labels (profiling / debugging aid).
+    mnemonics: list
+    #: Number of flat instructions this code was threaded from.
+    n_flat: int
+
+
+# ----------------------------------------------------------------------
+# Static control-flow analysis over flat code
+# ----------------------------------------------------------------------
+
+
+def _static_branch_targets(code) -> dict:
+    """Resolve every br/br_if/br_table to its static flat-pc target(s).
+
+    The label a branch refers to is fixed by the nesting of block/loop/if
+    around it, so a single linear scan with a control stack resolves all
+    targets (-1 = branch out of the function, i.e. return).
+    """
+    ctrl: list[int] = []
+    targets: dict[int, tuple] = {}
+    for pc, ins in enumerate(code):
+        op = ins[0]
+        if op == "block":
+            ctrl.append(ins[1] + 1)
+        elif op == "loop":
+            ctrl.append(ins[1])
+        elif op == "if":
+            ctrl.append(ins[2] + 1)
+        elif op == "end":
+            ctrl.pop()
+        elif op == "br" or op == "br_if":
+            d = ins[1]
+            targets[pc] = (ctrl[-1 - d] if d < len(ctrl) else -1,)
+        elif op == "br_table":
+            depths, default = ins[1], ins[2]
+            targets[pc] = tuple(
+                ctrl[-1 - d] if d < len(ctrl) else -1
+                for d in tuple(depths) + (default,)
+            )
+    return targets
+
+
+#: Opcodes that may divert control or re-enter the runtime; they always
+#: terminate the basic block they appear in (the instruction after them
+#: is a leader), so a block's pre-charged fuel never covers skipped code
+#: and fuel is always synced to the instance around calls.
+_BLOCK_ENDERS = frozenset(
+    ["if", "else", "br", "br_if", "br_table", "call", "call_indirect",
+     "return", "unreachable"]
+)
+
+
+def _find_leaders(code, targets: dict) -> set:
+    n = len(code)
+    leaders = {0}
+    for pc, ins in enumerate(code):
+        op = ins[0]
+        if op == "block":
+            leaders.add(ins[1] + 1)
+        elif op == "loop":
+            leaders.add(ins[1])
+        elif op == "if":
+            leaders.add(ins[1])
+            leaders.add(ins[2] + 1)
+        elif op == "else":
+            leaders.add(ins[1])
+        elif op in ("br", "br_if", "br_table"):
+            for t in targets.get(pc, ()):
+                if t >= 0:
+                    leaders.add(t)
+        if op in _BLOCK_ENDERS:
+            leaders.add(pc + 1)
+    return {l for l in leaders if l < n}
+
+
+# ----------------------------------------------------------------------
+# Single-instruction closures (metered slow path)
+#
+# Each builder returns a closure (stack, locals_, frame) -> next_pc with
+# immediates bound as default arguments. These mirror the reference
+# interpreter one flat instruction at a time; the fuel fallback steps
+# through them when a block cannot be charged wholesale.
+# ----------------------------------------------------------------------
+
+
+def _b_local_get(ins, nxt, ctx):
+    def op(stack, locals_, frame, a=ins[1], nxt=nxt):
+        stack.append(locals_[a])
+        return nxt
+
+    return op
+
+
+def _b_local_set(ins, nxt, ctx):
+    def op(stack, locals_, frame, a=ins[1], nxt=nxt):
+        locals_[a] = stack.pop()
+        return nxt
+
+    return op
+
+
+def _b_local_tee(ins, nxt, ctx):
+    def op(stack, locals_, frame, a=ins[1], nxt=nxt):
+        locals_[a] = stack[-1]
+        return nxt
+
+    return op
+
+
+def _b_const(ins, nxt, ctx):
+    def op(stack, locals_, frame, k=ins[1], nxt=nxt):
+        stack.append(k)
+        return nxt
+
+    return op
+
+
+def _b_bin(ins, nxt, ctx):
+    def op(stack, locals_, frame, fn=BINOPS[ins[0]], nxt=nxt):
+        rhs = stack.pop()
+        stack[-1] = fn(stack[-1], rhs)
+        return nxt
+
+    return op
+
+
+def _b_un(ins, nxt, ctx):
+    def op(stack, locals_, frame, fn=UNOPS[ins[0]], nxt=nxt):
+        stack[-1] = fn(stack[-1])
+        return nxt
+
+    return op
+
+
+def _b_load(ins, nxt, ctx):
+    def op(stack, locals_, frame, loader=TYPED_LOADS[ins[0]], off=ins[1], nxt=nxt):
+        stack[-1] = loader(frame.mem, stack[-1] + off)
+        return nxt
+
+    return op
+
+
+def _b_store(ins, nxt, ctx):
+    def op(stack, locals_, frame, storer=TYPED_STORES[ins[0]], off=ins[1], nxt=nxt):
+        value = stack.pop()
+        storer(frame.mem, stack.pop() + off, value)
+        return nxt
+
+    return op
+
+
+def _b_drop(ins, nxt, ctx):
+    def op(stack, locals_, frame, nxt=nxt):
+        stack.pop()
+        return nxt
+
+    return op
+
+
+def _b_select(ins, nxt, ctx):
+    def op(stack, locals_, frame, nxt=nxt):
+        cond = stack.pop()
+        b = stack.pop()
+        if not cond:
+            stack[-1] = b
+        return nxt
+
+    return op
+
+
+def _b_global_get(ins, nxt, ctx):
+    def op(stack, locals_, frame, g=ins[1], nxt=nxt):
+        stack.append(frame.glb[g].value)
+        return nxt
+
+    return op
+
+
+def _b_global_set(ins, nxt, ctx):
+    def op(stack, locals_, frame, g=ins[1], nxt=nxt):
+        frame.glb[g].value = stack.pop()
+        return nxt
+
+    return op
+
+
+def _b_memory_size(ins, nxt, ctx):
+    def op(stack, locals_, frame, nxt=nxt):
+        stack.append(frame.mem.size_pages)
+        return nxt
+
+    return op
+
+
+def _b_memory_grow(ins, nxt, ctx):
+    def op(stack, locals_, frame, nxt=nxt):
+        stack.append(frame.mem.grow(stack.pop()) & MASK32)
+        return nxt
+
+    return op
+
+
+def _b_nop(ins, nxt, ctx):
+    def op(stack, locals_, frame, nxt=nxt):
+        return nxt
+
+    return op
+
+
+def _b_unreachable(ins, nxt, ctx):
+    def op(stack, locals_, frame):
+        raise UnreachableExecuted("unreachable executed")
+
+    return op
+
+
+def _b_return(ins, nxt, ctx):
+    def op(stack, locals_, frame):
+        return -1
+
+    return op
+
+
+def _b_block(ins, nxt, ctx):
+    # ("block", end_pc, results_arity, params_arity)
+    def op(stack, locals_, frame, tgt=ctx.flat2t[ins[1] + 1], arity=ins[2],
+           params=ins[3], nxt=nxt):
+        frame.labels.append((tgt, arity, len(stack) - params))
+        return nxt
+
+    return op
+
+
+def _b_loop(ins, nxt, ctx):
+    # ("loop", self_pc, params_arity) — the branch target is the loop
+    # head's own block, so every iteration re-runs its fuel prologue.
+    def op(stack, locals_, frame, tgt=ctx.flat2t[ins[1]], params=ins[2], nxt=nxt):
+        frame.labels.append((tgt, params, len(stack) - params))
+        return nxt
+
+    return op
+
+
+def _b_if(ins, nxt, ctx):
+    # ("if", false_pc, end_pc, results_arity, params_arity)
+    def op(stack, locals_, frame, false_t=ctx.flat2t[ins[1]],
+           tgt=ctx.flat2t[ins[2] + 1], arity=ins[3], params=ins[4], nxt=nxt):
+        cond = stack.pop()
+        frame.labels.append((tgt, arity, len(stack) - params))
+        if cond:
+            return nxt
+        return false_t
+
+    return op
+
+
+def _b_else(ins, nxt, ctx):
+    def op(stack, locals_, frame, end_t=ctx.flat2t[ins[1]]):
+        return end_t
+
+    return op
+
+
+def _b_end(ins, nxt, ctx):
+    def op(stack, locals_, frame, nxt=nxt):
+        frame.labels.pop()
+        return nxt
+
+    return op
+
+
+def _do_branch(stack, labels, d):
+    target, arity, height = labels[-1 - d]
+    if arity:
+        transferred = stack[-arity:]
+        del stack[height:]
+        stack.extend(transferred)
+    else:
+        del stack[height:]
+    del labels[len(labels) - 1 - d:]
+    return target
+
+
+def _b_br(ins, nxt, ctx):
+    def op(stack, locals_, frame, d=ins[1]):
+        labels = frame.labels
+        if d >= len(labels):
+            return -1
+        return _do_branch(stack, labels, d)
+
+    return op
+
+
+def _b_br_if(ins, nxt, ctx):
+    def op(stack, locals_, frame, d=ins[1], nxt=nxt):
+        if not stack.pop():
+            return nxt
+        labels = frame.labels
+        if d >= len(labels):
+            return -1
+        return _do_branch(stack, labels, d)
+
+    return op
+
+
+def _b_br_table(ins, nxt, ctx):
+    def op(stack, locals_, frame, depths=ins[1], default=ins[2]):
+        i = stack.pop()
+        d = depths[i] if i < len(depths) else default
+        labels = frame.labels
+        if d >= len(labels):
+            return -1
+        return _do_branch(stack, labels, d)
+
+    return op
+
+
+def _b_call(ins, nxt, ctx):
+    callee = ins[1]
+
+    def op(stack, locals_, frame, callee=callee,
+           n=len(ctx.module.func_type(callee).params), nxt=nxt):
+        inst = frame.inst
+        inst._fuel = frame.fuel
+        inst.instructions_executed += frame.executed
+        frame.executed = 0
+        if n:
+            call_args = stack[-n:]
+            del stack[-n:]
+        else:
+            call_args = []
+        stack.extend(inst._call(callee, call_args, frame.depth + 1))
+        frame.fuel = inst._fuel
+        return nxt
+
+    return op
+
+
+def _b_call_indirect(ins, nxt, ctx):
+    expected = ins[1]
+
+    def op(stack, locals_, frame, expected=expected, n=len(expected.params), nxt=nxt):
+        inst = frame.inst
+        i = stack.pop()
+        table = inst.table
+        if table is None or i >= len(table):
+            raise OutOfBoundsTableAccess(f"table index {i} out of bounds")
+        callee = table[i]
+        if callee is None:
+            raise UndefinedElement(f"uninitialised table element {i}")
+        if isinstance(callee, tuple):
+            actual = callee[1].module.func_type(callee[2])
+        else:
+            actual = inst.module.func_type(callee)
+        if actual != expected:
+            raise IndirectCallTypeMismatch(
+                f"indirect call type mismatch: {actual} != {expected}"
+            )
+        if n:
+            call_args = stack[-n:]
+            del stack[-n:]
+        else:
+            call_args = []
+        inst._fuel = frame.fuel
+        inst.instructions_executed += frame.executed
+        frame.executed = 0
+        if isinstance(callee, tuple):
+            stack.extend(callee[1]._call(callee[2], call_args, frame.depth + 1))
+        else:
+            stack.extend(inst._call(callee, call_args, frame.depth + 1))
+        frame.fuel = inst._fuel
+        return nxt
+
+    return op
+
+
+_CONTROL_BUILDERS = {
+    "block": _b_block,
+    "loop": _b_loop,
+    "if": _b_if,
+    "else": _b_else,
+    "end": _b_end,
+    "br": _b_br,
+    "br_if": _b_br_if,
+    "br_table": _b_br_table,
+    "call": _b_call,
+    "call_indirect": _b_call_indirect,
+}
+
+_MISC_BUILDERS = {
+    "local.get": _b_local_get,
+    "local.set": _b_local_set,
+    "local.tee": _b_local_tee,
+    "drop": _b_drop,
+    "select": _b_select,
+    "global.get": _b_global_get,
+    "global.set": _b_global_set,
+    "memory.size": _b_memory_size,
+    "memory.grow": _b_memory_grow,
+    "nop": _b_nop,
+    "unreachable": _b_unreachable,
+    "return": _b_return,
+}
+
+
+def _build_sub(ins, nxt, ctx):
+    op = ins[0]
+    b = _MISC_BUILDERS.get(op) or _CONTROL_BUILDERS.get(op)
+    if b is not None:
+        return b(ins, nxt, ctx)
+    if op in CONST_OPS:
+        return _b_const(ins, nxt, ctx)
+    if op in BINOPS:
+        return _b_bin(ins, nxt, ctx)
+    if op in UNOPS:
+        return _b_un(ins, nxt, ctx)
+    if op in LOAD_OPS:
+        return _b_load(ins, nxt, ctx)
+    if op in STORE_OPS:
+        return _b_store(ins, nxt, ctx)
+    raise NotImplementedError(f"cannot thread opcode {op!r}")
+
+
+def _make_slow(subs):
+    """Per-instruction metering fallback for a block.
+
+    Entered only when ``0 <= frame.fuel < block cost``, so it always ends
+    in ``OutOfFuel`` before the block's last instruction runs, reproducing
+    the reference tier's charge-then-execute accounting: the failing
+    instruction is counted, its effects never happen, and every effectful
+    instruction before it ran in flat order. Sub-closure return values are
+    ignored — control transfers only sit at block ends, which this loop
+    can never reach.
+    """
+
+    def slow(stack, locals_, frame, subs=subs):
+        inst = frame.inst
+        i = 0
+        while True:
+            frame.executed += 1
+            frame.fuel -= 1
+            if frame.fuel < 0:
+                inst._fuel = 0
+                inst.instructions_executed += frame.executed
+                raise OutOfFuel("instance ran out of fuel")
+            subs[i](stack, locals_, frame)
+            i += 1
+
+    return slow
+
+
+# ----------------------------------------------------------------------
+# Block compiler: symbolic operand stack → one closure per basic block
+# ----------------------------------------------------------------------
+
+_M32 = "4294967295"
+_M64 = "18446744073709551615"
+_S32 = "2147483648"
+_S64 = "9223372036854775808"
+
+
+def _signed(e: str, bias: str) -> str:
+    return f"(({e} ^ {bias}) - {bias})"
+
+
+def _cmp(a: str, b: str, sym: str) -> str:
+    return f"(1 if {a} {sym} {b} else 0)"
+
+
+def _int_templates(mask: str, sbias: str, shift: int) -> dict:
+    # Exact transliterations of ops.py: operands are canonical unsigned
+    # ints, so `% bits` on shift counts equals `& (bits-1)`.
+    return {
+        "add": lambda a, b: f"(({a} + {b}) & {mask})",
+        "sub": lambda a, b: f"(({a} - {b}) & {mask})",
+        "mul": lambda a, b: f"(({a} * {b}) & {mask})",
+        "and": lambda a, b: f"({a} & {b})",
+        "or": lambda a, b: f"({a} | {b})",
+        "xor": lambda a, b: f"({a} ^ {b})",
+        "shl": lambda a, b: f"(({a} << ({b} & {shift})) & {mask})",
+        "shr_u": lambda a, b: f"({a} >> ({b} & {shift}))",
+        "eq": lambda a, b: _cmp(a, b, "=="),
+        "ne": lambda a, b: _cmp(a, b, "!="),
+        "lt_u": lambda a, b: _cmp(a, b, "<"),
+        "gt_u": lambda a, b: _cmp(a, b, ">"),
+        "le_u": lambda a, b: _cmp(a, b, "<="),
+        "ge_u": lambda a, b: _cmp(a, b, ">="),
+        "lt_s": lambda a, b: _cmp(_signed(a, sbias), _signed(b, sbias), "<"),
+        "gt_s": lambda a, b: _cmp(_signed(a, sbias), _signed(b, sbias), ">"),
+        "le_s": lambda a, b: _cmp(_signed(a, sbias), _signed(b, sbias), "<="),
+        "ge_s": lambda a, b: _cmp(_signed(a, sbias), _signed(b, sbias), ">="),
+    }
+
+
+#: op → callable(expr, ...) -> expr. Only ops whose semantics are an exact
+#: transliteration of ops.py are inlined; everything else calls the bound
+#: BINOPS/UNOPS function.
+_INLINE_BINOPS: dict = {}
+for _name, _tpl in _int_templates(_M32, _S32, 31).items():
+    _INLINE_BINOPS[f"i32.{_name}"] = _tpl
+for _name, _tpl in _int_templates(_M64, _S64, 63).items():
+    _INLINE_BINOPS[f"i64.{_name}"] = _tpl
+for _name, _sym in (("eq", "=="), ("ne", "!="), ("lt", "<"), ("gt", ">"),
+                    ("le", "<="), ("ge", ">=")):
+    # Comparisons never round, so f32 and f64 share the inline form.
+    _INLINE_BINOPS[f"f32.{_name}"] = (
+        lambda a, b, _sym=_sym: _cmp(a, b, _sym)
+    )
+    _INLINE_BINOPS[f"f64.{_name}"] = _INLINE_BINOPS[f"f32.{_name}"]
+for _name, _sym in (("add", "+"), ("sub", "-"), ("mul", "*")):
+    # f64 arithmetic is raw IEEE double — exactly Python float arithmetic.
+    # f32 needs the to_f32 rounding call, so it is not inlined; f64.div
+    # has zero-divisor special cases, ditto.
+    _INLINE_BINOPS[f"f64.{_name}"] = (
+        lambda a, b, _sym=_sym: f"({a} {_sym} {b})"
+    )
+
+_INLINE_UNOPS: dict = {
+    "i32.eqz": lambda a: f"(0 if {a} else 1)",
+    "i64.eqz": lambda a: f"(0 if {a} else 1)",
+    "f32.neg": lambda a: f"(-{a})",
+    "f64.neg": lambda a: f"(-{a})",
+    "f32.abs": lambda a: f"abs({a})",
+    "f64.abs": lambda a: f"abs({a})",
+    "i32.wrap_i64": lambda a: f"({a} & {_M32})",
+    "i64.extend_i32_u": lambda a: f"({a} & {_M32})",
+    "i64.extend_i32_s": lambda a: f"({_signed(a, _S32)} & {_M64})",
+    "f64.convert_i32_s": lambda a: f"float({_signed(a, _S32)})",
+    "f64.convert_i32_u": lambda a: f"float({a} & {_M32})",
+    "f64.convert_i64_s": lambda a: f"float({_signed(a, _S64)})",
+    "f64.convert_i64_u": lambda a: f"float({a} & {_M64})",
+    "f64.promote_f32": lambda a: f"({a})",
+}
+
+#: Operators that can trap; their results are materialised eagerly so the
+#: trap fires in flat-code order relative to stores and other effects.
+_TRAPPING_OPS = frozenset(
+    [f"{t}.{o}" for t in ("i32", "i64")
+     for o in ("div_s", "div_u", "rem_s", "rem_u")]
+    + [f"{t}.trunc_f{s}_{g}" for t in ("i32", "i64")
+       for s in (32, 64) for g in ("s", "u")]
+)
+
+
+class _Ctx:
+    __slots__ = ("flat2t", "module")
+
+    def __init__(self, flat2t, module):
+        self.flat2t = flat2t
+        self.module = module
+
+
+class _BlockCompiler:
+    """Compile one basic block's flat instructions to Python source.
+
+    Maintains a symbolic operand stack of (pure) expression strings; the
+    real list-based stack is only touched for values crossing block
+    boundaries and around control instructions, and the invariant is that
+    real entries always sit *below* every symbolic entry. Each symbolic
+    entry tracks which local indices it references so a ``local.set`` can
+    spill (materialise) entries that would otherwise read the new value.
+    """
+
+    def __init__(self, bind, ctx, next_block):
+        self.bind = bind  # obj -> bound parameter name
+        self.ctx = ctx
+        self.next_block = next_block
+        self.lines: list[str] = []
+        self.sym: list[tuple[str, frozenset]] = []
+        self.n_temp = 0
+        self.uses_mem = False
+        self.uses_lab = False
+        self.uses_glb = False
+
+    # -- helpers -------------------------------------------------------
+    def emit(self, line: str) -> None:
+        self.lines.append(line)
+
+    def temp(self) -> str:
+        name = f"_t{self.n_temp}"
+        self.n_temp += 1
+        return name
+
+    def push(self, expr: str, locals_used: frozenset = frozenset()) -> None:
+        self.sym.append((expr, locals_used))
+
+    def pop(self) -> tuple[str, frozenset]:
+        if self.sym:
+            return self.sym.pop()
+        t = self.temp()
+        self.emit(f"{t} = stack.pop()")
+        return (t, frozenset())
+
+    def materialize(self, expr: str) -> str:
+        """Evaluate ``expr`` now into a temp (effects happen in order)."""
+        t = self.temp()
+        self.emit(f"{t} = {expr}")
+        return t
+
+    def spill_local(self, index: int) -> None:
+        """Materialise pending entries that read local ``index`` before it
+        is overwritten."""
+        for i, (expr, used) in enumerate(self.sym):
+            if index in used:
+                self.sym[i] = (self.materialize(expr), frozenset())
+
+    def flush(self) -> None:
+        """Push all symbolic entries onto the real stack, in order."""
+        if not self.sym:
+            return
+        if len(self.sym) == 1:
+            self.emit(f"stack.append({self.sym[0][0]})")
+        else:
+            self.emit(f"stack.extend(({', '.join(e for e, _ in self.sym)}))")
+        self.sym.clear()
+
+    def addr(self, base: str, off: int) -> str:
+        return f"{base} + {off}" if off else base
+
+    def label_height(self, params: int) -> str:
+        return f"len(stack) - {params}" if params else "len(stack)"
+
+    # -- per-instruction lowering --------------------------------------
+    def lower(self, ins) -> bool:
+        """Lower one flat instruction; returns True if it emitted the
+        block's return (i.e. it was a control transfer)."""
+        op = ins[0]
+        if op == "local.get":
+            self.push(f"L[{ins[1]}]", frozenset((ins[1],)))
+        elif op == "local.set":
+            e, _ = self.pop()
+            self.spill_local(ins[1])
+            self.emit(f"L[{ins[1]}] = {e}")
+        elif op == "local.tee":
+            e, used = self.pop()
+            self.spill_local(ins[1])
+            if e.startswith("_t"):
+                self.emit(f"L[{ins[1]}] = {e}")
+                self.push(e, used)
+            else:
+                t = self.materialize(e)
+                self.emit(f"L[{ins[1]}] = {t}")
+                self.push(t, frozenset())
+        elif op in CONST_OPS:
+            k = ins[1]
+            if isinstance(k, float):
+                # Bind float objects instead of repr-ing them: exact for
+                # every value including nan, -0.0 and inf.
+                self.push(self.bind(k))
+            else:
+                self.push(repr(k))
+        elif op in BINOPS:
+            b, bu = self.pop()
+            a, au = self.pop()
+            tpl = _INLINE_BINOPS.get(op)
+            if tpl is not None:
+                self.push(tpl(a, b), au | bu)
+            elif op in _TRAPPING_OPS:
+                self.push(self.materialize(f"{self.bind(BINOPS[op])}({a}, {b})"))
+            else:
+                self.push(f"{self.bind(BINOPS[op])}({a}, {b})", au | bu)
+        elif op in UNOPS:
+            a, au = self.pop()
+            tpl = _INLINE_UNOPS.get(op)
+            if tpl is not None:
+                self.push(tpl(a), au)
+            elif op in _TRAPPING_OPS:
+                self.push(self.materialize(f"{self.bind(UNOPS[op])}({a})"))
+            else:
+                self.push(f"{self.bind(UNOPS[op])}({a})", au)
+        elif op in LOAD_OPS:
+            self.uses_mem = True
+            a, _ = self.pop()
+            self.push(self.materialize(
+                f"{self.bind(TYPED_LOADS[op])}(mem, {self.addr(a, ins[1])})"
+            ))
+        elif op in STORE_OPS:
+            self.uses_mem = True
+            v, _ = self.pop()
+            a, _ = self.pop()
+            self.emit(
+                f"{self.bind(TYPED_STORES[op])}(mem, {self.addr(a, ins[1])}, {v})"
+            )
+        elif op == "drop":
+            if self.sym:
+                self.sym.pop()
+            else:
+                self.emit("del stack[-1]")
+        elif op == "select":
+            c, cu = self.pop()
+            b, bu = self.pop()
+            a, au = self.pop()
+            self.push(f"({a} if {c} else {b})", au | bu | cu)
+        elif op == "global.get":
+            self.uses_glb = True
+            self.push(self.materialize(f"G[{ins[1]}].value"))
+        elif op == "global.set":
+            self.uses_glb = True
+            e, _ = self.pop()
+            self.emit(f"G[{ins[1]}].value = {e}")
+        elif op == "memory.size":
+            self.uses_mem = True
+            self.push(self.materialize("mem.size_pages"))
+        elif op == "memory.grow":
+            self.uses_mem = True
+            e, _ = self.pop()
+            self.push(self.materialize(f"mem.grow({e}) & {_M32}"))
+        elif op == "nop":
+            pass
+        elif op == "block":
+            self.uses_lab = True
+            self.flush()
+            tgt = self.ctx.flat2t[ins[1] + 1]
+            self.emit(f"lab.append(({tgt}, {ins[2]}, {self.label_height(ins[3])}))")
+        elif op == "loop":
+            self.uses_lab = True
+            self.flush()
+            tgt = self.ctx.flat2t[ins[1]]
+            self.emit(f"lab.append(({tgt}, {ins[2]}, {self.label_height(ins[2])}))")
+        elif op == "end":
+            self.uses_lab = True
+            self.emit("lab.pop()")
+        elif op == "if":
+            self.uses_lab = True
+            c, _ = self.pop()
+            self.flush()
+            tgt = self.ctx.flat2t[ins[2] + 1]
+            self.emit(f"lab.append(({tgt}, {ins[3]}, {self.label_height(ins[4])}))")
+            self.emit(
+                f"return {self.next_block} if {c} else {self.ctx.flat2t[ins[1]]}"
+            )
+            return True
+        elif op == "else":
+            self.flush()
+            self.emit(f"return {self.ctx.flat2t[ins[1]]}")
+            return True
+        elif op == "br":
+            self.uses_lab = True
+            self.flush()
+            self.emit(f"if len(lab) <= {ins[1]}: return -1")
+            self.emit(f"return {self.bind(_do_branch)}(stack, lab, {ins[1]})")
+            return True
+        elif op == "br_if":
+            self.uses_lab = True
+            c, _ = self.pop()
+            self.flush()
+            self.emit(f"if {c}:")
+            self.emit(f"    if len(lab) <= {ins[1]}: return -1")
+            self.emit(f"    return {self.bind(_do_branch)}(stack, lab, {ins[1]})")
+            self.emit(f"return {self.next_block}")
+            return True
+        elif op == "br_table":
+            self.uses_lab = True
+            idx, _ = self.pop()
+            self.flush()
+            depths = tuple(ins[1])
+            self.emit(f"_i = {idx}")
+            self.emit(
+                f"_d = {self.bind(depths)}[_i] if _i < {len(depths)} else {ins[2]}"
+            )
+            self.emit("if len(lab) <= _d: return -1")
+            self.emit(f"return {self.bind(_do_branch)}(stack, lab, _d)")
+            return True
+        elif op == "return":
+            self.flush()
+            self.emit("return -1")
+            return True
+        elif op == "unreachable":
+            self.emit(
+                f"raise {self.bind(UnreachableExecuted)}('unreachable executed')"
+            )
+            return True
+        elif op == "call":
+            n = len(self.ctx.module.func_type(ins[1]).params)
+            self.emit("inst = frame.inst")
+            self.emit("inst._fuel = frame.fuel")
+            self.emit("inst.instructions_executed += frame.executed")
+            self.emit("frame.executed = 0")
+            if len(self.sym) >= n:
+                # Arguments are still symbolic: pass them straight to the
+                # callee without a round trip through the operand stack.
+                args = "[" + ", ".join(
+                    e for e, _ in self.sym[len(self.sym) - n:]
+                ) + "]"
+                del self.sym[len(self.sym) - n:]
+                self.flush()
+            else:
+                self.flush()
+                if n:
+                    self.emit(f"_a = stack[-{n}:]")
+                    self.emit(f"del stack[-{n}:]")
+                    args = "_a"
+                else:
+                    args = "[]"
+            self.emit(
+                f"stack.extend(inst._call({ins[1]}, {args}, frame.depth + 1))"
+            )
+            self.emit("frame.fuel = inst._fuel")
+            self.emit(f"return {self.next_block}")
+            return True
+        elif op == "call_indirect":
+            # Rare and heavyweight: delegate to the single-op closure,
+            # which performs the table/type checks and the fuel handshake.
+            self.flush()
+            sub = _b_call_indirect(ins, self.next_block, self.ctx)
+            self.emit(f"return {self.bind(sub)}(stack, L, frame)")
+            return True
+        else:  # pragma: no cover - validation admits only known ops
+            raise NotImplementedError(f"cannot thread opcode {op!r}")
+        return False
+
+
+def _compile_block(block_id, code, start, end, ctx, intern):
+    """Generate source for one basic block closure named ``_blk<id>``."""
+    bound: dict[int, str] = {}  # id(obj) -> local param name
+    params: list[str] = []
+
+    def bind(obj) -> str:
+        key = id(obj)
+        name = bound.get(key)
+        if name is None:
+            gname = intern(obj)
+            name = f"_c{len(bound)}"
+            bound[key] = name
+            params.append(f"{name}={gname}")
+        return name
+
+    cost = end - start
+    next_block = ctx.flat2t.get(end, -1)  # -1: the block ends in a transfer
+    bc = _BlockCompiler(bind, ctx, next_block)
+    ended = False
+    for pc in range(start, end):
+        ended = bc.lower(code[pc])
+    if not ended:
+        bc.flush()
+        bc.emit(f"return {next_block}")
+
+    subs = [_build_sub(code[pc], 0, ctx) for pc in range(start, end)]
+    slow_name = bind(_make_slow(subs))
+
+    header = [
+        f"def _blk{block_id}(stack, L, frame, {', '.join(params)}):",
+        "    fuel = frame.fuel",
+        "    if fuel is None:",
+        f"        frame.executed += {cost}",
+        f"    elif fuel >= {cost}:",
+        f"        frame.fuel = fuel - {cost}",
+        f"        frame.executed += {cost}",
+        "    else:",
+        f"        return {slow_name}(stack, L, frame)",
+    ]
+    if bc.uses_mem:
+        header.append("    mem = frame.mem")
+    if bc.uses_lab:
+        header.append("    lab = frame.labels")
+    if bc.uses_glb:
+        header.append("    G = frame.glb")
+    return "\n".join(header + ["    " + line for line in bc.lines])
+
+
+def thread_function(fn, module) -> ThreadedCode:
+    """Lower one flat-compiled function to closure-threaded block code."""
+    code = fn.code
+    n = len(code)
+    targets = _static_branch_targets(code)
+    leaders = sorted(_find_leaders(code, targets))
+    flat2t = {flat_pc: block_id for block_id, flat_pc in enumerate(leaders)}
+    ctx = _Ctx(flat2t, module)
+
+    ns: dict = {}
+
+    def intern(obj) -> str:
+        name = f"_g{len(ns)}"
+        ns[name] = obj
+        return name
+
+    sources = []
+    costs = []
+    mnemonics = []
+    for block_id, start in enumerate(leaders):
+        end = leaders[block_id + 1] if block_id + 1 < len(leaders) else n
+        sources.append(_compile_block(block_id, code, start, end, ctx, intern))
+        costs.append(end - start)
+        mnemonics.append(f"blk@{start}+{end - start}")
+
+    exec(compile("\n\n".join(sources), f"<threaded:{fn.name}>", "exec"), ns)
+    ops = [ns[f"_blk{block_id}"] for block_id in range(len(leaders))]
+    return ThreadedCode(ops, costs, mnemonics, n)

@@ -1,0 +1,134 @@
+"""The cluster-wide compiled-module cache (§3.4/§5.2 object-code sharing).
+
+Codegen — and the lazily-attached closure-threaded tier — must run once
+per distinct module text per process, no matter how many uploads, spawns
+or object-store loads reference it; these tests pin the identity-sharing
+and counter behaviour the registry and Faaslet paths rely on.
+"""
+
+from repro.minilang import build
+from repro.wasm import Instance, parse_module
+from repro.wasm.codecache import (
+    GLOBAL_CODE_CACHE,
+    ModuleCodeCache,
+    module_key,
+)
+
+_WAT = """
+(module
+  (func $double (export "double") (param i32) (result i32)
+    (i32.add (local.get 0) (local.get 0))))
+"""
+
+
+def test_structural_key_is_identity_independent():
+    m1 = parse_module(_WAT)
+    m2 = parse_module(_WAT)
+    assert m1 is not m2
+    assert module_key(m1) == module_key(m2)
+    m3 = parse_module(_WAT.replace("i32.add", "i32.sub"))
+    assert module_key(m3) != module_key(m1)
+
+
+def test_get_or_compile_shares_and_counts():
+    cache = ModuleCodeCache()
+    m1 = parse_module(_WAT)
+    m2 = parse_module(_WAT)
+    c1 = cache.get_or_compile(m1)
+    c2 = cache.get_or_compile(m2)
+    assert c1 is c2
+    assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1, "seeded": 0}
+    assert cache.lookup(m1) is c1
+    assert len(cache) == 1
+    cache.clear()
+    assert cache.stats() == {"entries": 0, "hits": 0, "misses": 0, "seeded": 0}
+
+
+def test_seed_existing_entry_wins():
+    cache = ModuleCodeCache()
+    m1 = parse_module(_WAT)
+    c1 = cache.get_or_compile(m1)
+    from repro.wasm import compile_module
+
+    cache.seed(parse_module(_WAT), compile_module(parse_module(_WAT)))
+    assert cache.lookup(m1) is c1  # first entry kept
+    assert cache.stats()["seeded"] == 0
+
+
+def test_seed_with_key_binds_module_and_first_wins():
+    cache = ModuleCodeCache()
+    from repro.wasm import compile_module
+
+    m1, m2 = parse_module(_WAT), parse_module(_WAT)
+    c1, c2 = compile_module(m1), compile_module(m2)
+    kept = cache.seed_with_key(m1, "obj:deadbeef", c1)
+    assert kept is c1
+    # Same artifact loaded again: the canonical list comes back and the
+    # fresh duplicate is discarded.
+    shared = cache.seed_with_key(m2, "obj:deadbeef", c2)
+    assert shared is c1
+    # The explicit key is bound to both modules, overriding the text hash.
+    assert module_key(m1) == module_key(m2) == "obj:deadbeef"
+    assert cache.stats()["seeded"] == 1
+    assert cache.stats()["hits"] == 1
+
+
+def test_instance_uses_global_cache():
+    """Two instances of separately parsed, identical modules share one
+    compiled function list — spawn never re-runs codegen."""
+    i1 = Instance(parse_module(_WAT))
+    i2 = Instance(parse_module(_WAT))
+    assert i1.funcs[-1] is i2.funcs[-1]
+    assert i1.invoke("double", 21) == 42
+    assert i2.invoke("double", 21) == 42
+    # The threaded code attached by the first call is shared too.
+    assert i1.funcs[-1].threaded is not None
+
+
+def test_registry_object_store_loads_share_compiled(tmp_path):
+    from repro.runtime.registry import FunctionRegistry
+
+    reg = FunctionRegistry()
+    src = """
+    export int kernel() {
+        int s = 0;
+        for (int i = 0; i < 10; i = i + 1) { s = s + i; }
+        return s;
+    }
+    """
+    uploaded = reg.upload("cachedemo", src, snapshot=False, entry="kernel")
+    before = reg.code_cache_stats()
+    d1 = reg.load_from_object_store("cachedemo")
+    d2 = reg.load_from_object_store("cachedemo")
+    after = reg.code_cache_stats()
+    assert d1.compiled is d2.compiled
+    assert after["seeded"] == before["seeded"] + 1
+    assert after["hits"] == before["hits"] + 1
+    assert uploaded.module is not d1.module  # distinct objects, shared code
+
+
+def test_proto_restore_shares_threaded_code():
+    """Proto-Faaslet restores reuse the definition's compiled functions, so
+    threaded code built in any restored instance is visible to all."""
+    from repro.faaslet import Faaslet, FunctionDefinition, ProtoFaaslet
+    from repro.host.environment import StandaloneEnvironment
+
+    module = build(
+        """
+        export int kernel() {
+            int s = 0;
+            for (int i = 0; i < 50; i = i + 1) { s = s + i; }
+            return s;
+        }
+        """
+    )
+    definition = FunctionDefinition.build("shared", module, entry="kernel")
+    env = StandaloneEnvironment()
+    proto = ProtoFaaslet.capture(definition, env)
+    f1 = Faaslet(definition, env, proto=proto)
+    assert f1.invoke_export("kernel") == 1225
+    threaded = [fn.threaded for fn in definition.compiled if fn.threaded]
+    assert threaded, "first call should have attached threaded code"
+    f2 = Faaslet(definition, env, proto=proto)
+    assert f2.instance.funcs[-1] is f1.instance.funcs[-1]
+    assert f2.instance.funcs[-1].threaded is f1.instance.funcs[-1].threaded
