@@ -38,6 +38,8 @@ def print_table(title: str, rows: list[dict], columns: list[str] | None = None) 
 
 
 def _fmt(value) -> str:
+    if value is None:
+        return ""
     if isinstance(value, float):
         if value == 0:
             return "0"

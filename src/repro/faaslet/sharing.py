@@ -36,6 +36,44 @@ class SharedRegion:
         self._lock = threading.Lock()
         #: Number of linear memories this region is currently mapped into.
         self.mapping_count = 0
+        #: Write listeners (the state tier's dirty tracking, §4.2): each is
+        #: called with the [start, end) byte range of a tracked write.
+        self._write_listeners: list = []
+        #: Pages this region is mapped through while a listener is armed;
+        #: kept so pushes can re-protect every mapper (dirty-flush reset).
+        self._mapped_pages: list = []
+
+    # ------------------------------------------------------------------
+    # Write tracking (delta-sync data plane)
+    # ------------------------------------------------------------------
+    def add_write_listener(self, fn) -> None:
+        """Arm write tracking: ``fn(start, end)`` fires for host writes via
+        :meth:`write` and (page-granular) for guest stores into mapped
+        pages. The local tier's replicas use this to maintain their dirty
+        interval sets."""
+        with self._lock:
+            self._write_listeners.append(fn)
+
+    def _notify_write(self, start: int, end: int) -> None:
+        end = min(end, self.size)
+        if end <= start:
+            return
+        for fn in self._write_listeners:
+            fn(start, end)
+
+    def reprotect_mappings(self) -> None:
+        """Re-arm page-granular write tracking on every mapping.
+
+        Called after a dirty flush (push): the next guest store to each
+        shared page takes one slow-path fault, re-marking the page dirty —
+        the reset step of Faasm's dirty-page tracking cycle. Writes racing
+        with the reset may go unrecorded until the page faults again; the
+        eventually-consistent DDOs this path serves tolerate that
+        (HOGWILD-style, §4.1/§6.2).
+        """
+        with self._lock:
+            for page in self._mapped_pages:
+                page.writable = False
 
     # ------------------------------------------------------------------
     def map_into(self, memory: LinearMemory) -> int:
@@ -43,9 +81,17 @@ class SharedRegion:
 
         The guest sees the region as ordinary linear memory starting at the
         returned offset; loads and stores are bounds-checked as usual.
+        While a write listener is armed the new pages start write-protected
+        so guest stores are dirty-tracked page-granularly.
         """
         with self._lock:
-            base = memory.map_shared_pages(self.backing)
+            on_write = self._notify_write if self._write_listeners else None
+            base = memory.map_shared_pages(self.backing, on_write=on_write)
+            if on_write is not None:
+                first = base // PAGE_SIZE
+                self._mapped_pages.extend(
+                    memory.pages[first : first + self.n_pages]
+                )
             self.mapping_count += 1
             return base
 
@@ -60,9 +106,18 @@ class SharedRegion:
     def write(self, data: bytes | bytearray | memoryview, offset: int = 0) -> None:
         self._check(offset, len(data))
         self.backing[offset : offset + len(data)] = data
+        self._notify_write(offset, offset + len(data))
 
     def view(self, offset: int = 0, length: int | None = None) -> memoryview:
-        """A zero-copy writable view (host-side fast path for numpy DDOs)."""
+        """A zero-copy writable view (host-side fast path for numpy DDOs).
+
+        Writes through a view are *not* write-tracked: the state tier uses
+        views for pulls (bytes arriving from the global tier are present,
+        not dirty), and callers mutating state through a view must report
+        their writes via :class:`~repro.state.local.Replica.mark_dirty`
+        (or accept a conservative whole-value dirty mark, as
+        ``StateAPI.get_state`` applies).
+        """
         length = self.size - offset if length is None else length
         self._check(offset, length)
         return memoryview(self.backing)[offset : offset + length]

@@ -145,12 +145,16 @@ def build_host_imports(faaslet) -> dict[tuple[str, str], HostFunc]:
 
     @export("set_state", (I32, I32, I32, I32), ())
     def set_state(kptr, klen, vptr, vlen):
-        env.state.set_state(_key(kptr, klen), _read_bytes(faaslet, vptr, vlen))
+        # Zero-copy: guest pages stream straight into the replica's shared
+        # region (no intermediate bytes object for the whole value).
+        env.state.set_state_from_memory(
+            _key(kptr, klen), faaslet.instance.memory, vptr, vlen, size=vlen
+        )
 
     @export("set_state_offset", (I32, I32, I32, I32, I32), ())
     def set_state_offset(kptr, klen, vptr, vlen, offset):
-        env.state.set_state_offset(
-            _key(kptr, klen), _read_bytes(faaslet, vptr, vlen), offset
+        env.state.set_state_from_memory(
+            _key(kptr, klen), faaslet.instance.memory, vptr, vlen, offset=offset
         )
 
     @export("push_state", (I32, I32), ())

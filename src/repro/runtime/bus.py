@@ -33,6 +33,8 @@ class Shutdown:
 
 @dataclass
 class BusStats:
+    """Delivery counters; mutated only under the bus's stats lock."""
+
     sent: int = 0
     shared: int = 0
 
@@ -43,6 +45,7 @@ class MessageBus:
     def __init__(self) -> None:
         self._queues: dict[str, "queue.Queue"] = {}
         self._mutex = threading.Lock()
+        self._stats_mutex = threading.Lock()
         self.stats = BusStats()
 
     def register(self, host: str) -> None:
@@ -60,9 +63,10 @@ class MessageBus:
 
     def send(self, host: str, message) -> None:
         self._queue_for(host).put(message)
-        self.stats.sent += 1
-        if isinstance(message, ExecuteCall) and message.shared:
-            self.stats.shared += 1
+        with self._stats_mutex:
+            self.stats.sent += 1
+            if isinstance(message, ExecuteCall) and message.shared:
+                self.stats.shared += 1
 
     def receive(self, host: str, timeout: float | None = None):
         """Blocking receive; returns None on timeout."""

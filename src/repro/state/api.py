@@ -23,7 +23,9 @@ class StateAPI:
     # ------------------------------------------------------------------
     # get/set (local tier)
     # ------------------------------------------------------------------
-    def get_state(self, key: str, size: int | None = None) -> memoryview:
+    def get_state(
+        self, key: str, size: int | None = None, mark_dirty: bool = True
+    ) -> memoryview:
         """Pointer (zero-copy view) to the local replica of ``key``.
 
         Per §4.2, a replica is created (and pulled from the global tier)
@@ -31,6 +33,11 @@ class StateAPI:
         as-is, preserving local writes that have not been pushed yet. With
         an explicit ``size`` a key missing everywhere yields a zeroed local
         value, as when a function creates state it will later push.
+
+        Because the returned view is writable and untracked, the whole
+        value is conservatively marked dirty (the next push behaves like a
+        classic full push). Callers that report their own writes precisely
+        — the DDOs' delta paths — pass ``mark_dirty=False``.
         """
         if self.tier.has_replica(key):
             rep = self.tier.replica(key, size)
@@ -40,11 +47,19 @@ class StateAPI:
                 rep.present.add(0, size)
         else:
             rep = self.tier.pull(key)
+        if mark_dirty:
+            rep.mark_dirty(0, rep.size)
         return rep.region.view(0, rep.size)
 
-    def get_state_offset(self, key: str, offset: int, length: int) -> memoryview:
-        """Pointer to a chunk of the replica, pulling only that chunk."""
+    def get_state_offset(
+        self, key: str, offset: int, length: int, mark_dirty: bool = True
+    ) -> memoryview:
+        """Pointer to a chunk of the replica, pulling only that chunk (the
+        chunk is conservatively marked dirty unless the caller opts out and
+        tracks its own writes)."""
         rep = self.tier.pull_chunk(key, offset, length)
+        if mark_dirty:
+            rep.mark_dirty(offset, offset + length)
         return rep.region.view(offset, length)
 
     def set_state(self, key: str, value: bytes) -> None:
@@ -53,6 +68,17 @@ class StateAPI:
 
     def set_state_offset(self, key: str, value: bytes, offset: int) -> None:
         self.tier.write_local(key, value, offset)
+
+    def set_state_from_memory(
+        self, key: str, memory, addr: int, length: int,
+        offset: int = 0, size: int | None = None,
+    ) -> None:
+        """Zero-copy ``set_state`` for the host interface: bytes move from
+        the guest's linear memory pages straight into the replica's shared
+        region, no intermediate ``bytes`` object."""
+        self.tier.write_local_from_memory(
+            key, memory, addr, length, offset=offset, size=size
+        )
 
     # ------------------------------------------------------------------
     # push/pull (tier movement)
@@ -116,6 +142,9 @@ class StateAPI:
                 self.pull_state(key)
             rep = self.tier.replica(key)
             yield rep.region.view(0, rep.size)
+            # The caller wrote through an untracked view: mark the whole
+            # value dirty so the push flushes it.
+            rep.mark_dirty(0, rep.size)
             self.push_state(key)
         finally:
             self.unlock_state_global_write(key)

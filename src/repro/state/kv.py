@@ -5,16 +5,30 @@ into their local tier and push updates back. The store supports the byte-
 oriented operations the state API needs (whole values, ranges, appends) plus
 per-key distributed read/write locks.
 
+Concurrency: keys are spread over a fixed set of **lock stripes** (per-key
+striping instead of one store-wide mutex), so operations on different keys
+from different hosts' dispatcher threads proceed in parallel — the Python
+analogue of Redis's per-connection pipelining plus the paper's observation
+that the global tier must not serialise independent keys.
+
+Data movement is **batched and zero-copy** where it matters: a gap list of
+byte ranges moves in one :meth:`StateClient.pull_ranges` /
+:meth:`StateClient.push_ranges` call (one metered round trip), and the
+``*_into`` variants copy directly between the store's backing bytearray and
+a caller-supplied ``memoryview`` (a shared region), with no intermediate
+``bytes`` objects.
+
 Every byte moved through a :class:`StateClient` is charged to that client's
 :class:`TransferMeter`, which is how the experiments of Figs. 6b and 8b
 account network traffic: in the paper's deployment the global tier is a
-remote Redis, so every pull/push is a network transfer.
+remote Redis, so every pull/push is a network transfer — and every client
+call is one network **round trip**, counted in ``round_trips``.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+import zlib
 
 from .rwlock import RWLock
 
@@ -23,109 +37,219 @@ class StateKeyError(KeyError):
     """The requested state key does not exist in the global tier."""
 
 
-@dataclass
 class TransferMeter:
-    """Counts bytes exchanged with the global tier (per host)."""
+    """Counts bytes and round trips exchanged with the global tier.
 
-    sent_bytes: int = 0
-    received_bytes: int = 0
-    operations: int = 0
+    Thread-safe: dispatcher threads on one host share a meter, so the
+    increments are guarded (an unsynchronised ``+=`` would drop counts
+    under concurrency and corrupt the Fig. 6b/8b accounting).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.sent_bytes = 0
+        self.received_bytes = 0
+        #: Client calls to the global tier — each is one network round trip
+        #: in the paper's deployment, regardless of how many byte ranges it
+        #: batches.
+        self.round_trips = 0
 
     def record_sent(self, nbytes: int) -> None:
-        self.sent_bytes += nbytes
-        self.operations += 1
+        """Charge one outbound round trip carrying ``nbytes``."""
+        with self._lock:
+            self.sent_bytes += nbytes
+            self.round_trips += 1
 
     def record_received(self, nbytes: int) -> None:
-        self.received_bytes += nbytes
-        self.operations += 1
+        """Charge one inbound round trip carrying ``nbytes``."""
+        with self._lock:
+            self.received_bytes += nbytes
+            self.round_trips += 1
+
+    @property
+    def operations(self) -> int:
+        """Historic alias for :attr:`round_trips`."""
+        return self.round_trips
 
     @property
     def total_bytes(self) -> int:
+        """All bytes moved, either direction."""
         return self.sent_bytes + self.received_bytes
 
     def reset(self) -> None:
-        self.sent_bytes = 0
-        self.received_bytes = 0
-        self.operations = 0
+        """Zero every counter."""
+        with self._lock:
+            self.sent_bytes = 0
+            self.received_bytes = 0
+            self.round_trips = 0
+
+
+#: Default number of lock stripes: enough that 16 dispatcher threads on
+#: distinct keys rarely collide, small enough to stay cache-friendly.
+DEFAULT_STRIPES = 16
 
 
 class GlobalStateStore:
-    """Thread-safe authoritative store for all state keys in a cluster."""
+    """Thread-safe authoritative store for all state keys in a cluster.
 
-    def __init__(self) -> None:
+    Per-key operations take only the key's *stripe* lock, so concurrent
+    accesses to different keys do not serialise behind one mutex (the
+    multi-key throughput measured by ``bench_state_plane.py``). Whole-store
+    snapshots (``keys``/``total_bytes``) read the dict atomically under the
+    GIL without stopping writers.
+    """
+
+    def __init__(self, n_stripes: int = DEFAULT_STRIPES) -> None:
+        if n_stripes < 1:
+            raise ValueError("need at least one lock stripe")
         self._values: dict[str, bytearray] = {}
         self._locks: dict[str, RWLock] = {}
-        self._mutex = threading.Lock()
+        self._stripes = [threading.Lock() for _ in range(n_stripes)]
+        #: Guards the distributed-lock registry (not the values).
+        self._meta = threading.Lock()
+
+    def _stripe(self, key: str) -> threading.Lock:
+        return self._stripes[zlib.crc32(key.encode()) % len(self._stripes)]
 
     # ------------------------------------------------------------------
     # Value operations
     # ------------------------------------------------------------------
     def set_value(self, key: str, value: bytes | bytearray | memoryview) -> None:
-        with self._mutex:
+        """Replace (or create) ``key``'s full value."""
+        with self._stripe(key):
             self._values[key] = bytearray(value)
 
     def get_value(self, key: str) -> bytes:
-        with self._mutex:
+        """The full value of ``key`` (a copy)."""
+        with self._stripe(key):
             value = self._values.get(key)
             if value is None:
                 raise StateKeyError(key)
             return bytes(value)
 
     def get_range(self, key: str, offset: int, length: int) -> bytes:
-        with self._mutex:
+        """Bytes ``[offset, offset+length)`` of ``key`` (a copy)."""
+        with self._stripe(key):
             value = self._values.get(key)
             if value is None:
                 raise StateKeyError(key)
-            if offset < 0 or offset + length > len(value):
-                raise IndexError(
-                    f"range [{offset}, {offset + length}) outside value of "
-                    f"size {len(value)} for key {key!r}"
-                )
+            self._check_range(key, value, offset, length)
             return bytes(value[offset : offset + length])
 
-    def set_range(self, key: str, offset: int, data: bytes) -> None:
-        with self._mutex:
+    def get_ranges_into(
+        self, key: str, dests: list[tuple[int, memoryview]]
+    ) -> int:
+        """Copy several ranges of ``key`` straight into caller views.
+
+        ``dests`` is a list of ``(offset, view)`` pairs; each view receives
+        ``value[offset : offset+len(view)]`` with no intermediate ``bytes``
+        copy. Returns the total bytes copied. This is the batched, zero-copy
+        read path pulls into shared regions use (one round trip for a whole
+        gap list).
+        """
+        with self._stripe(key):
             value = self._values.get(key)
             if value is None:
                 raise StateKeyError(key)
-            end = offset + len(data)
-            if end > len(value):
-                value.extend(b"\x00" * (end - len(value)))
-            value[offset:end] = data
+            total = 0
+            for offset, view in dests:
+                length = len(view)
+                self._check_range(key, value, offset, length)
+                view[:] = memoryview(value)[offset : offset + length]
+                total += length
+            return total
+
+    def set_range(self, key: str, offset: int, data: bytes) -> None:
+        """Overwrite ``[offset, offset+len(data))``, growing if needed."""
+        with self._stripe(key):
+            value = self._values.get(key)
+            if value is None:
+                raise StateKeyError(key)
+            self._apply_range(value, offset, data)
+
+    def set_ranges(
+        self,
+        key: str,
+        parts: list[tuple[int, bytes | bytearray | memoryview]],
+        truncate_to: int | None = None,
+    ) -> int:
+        """Apply a batch of ``(offset, data)`` writes in one call.
+
+        Creates the key if missing (unwritten gaps read as zeros) — a push
+        of a locally created value must not require a separate create RPC.
+        With ``truncate_to`` the value's final length is forced to exactly
+        that many bytes (a delta push of a shrunk/grown value carries its
+        new logical size). Returns the payload bytes applied.
+        """
+        with self._stripe(key):
+            value = self._values.get(key)
+            if value is None:
+                value = self._values[key] = bytearray()
+            total = 0
+            for offset, data in parts:
+                self._apply_range(value, offset, data)
+                total += len(data)
+            if truncate_to is not None:
+                if truncate_to < len(value):
+                    del value[truncate_to:]
+                elif truncate_to > len(value):
+                    value.extend(b"\x00" * (truncate_to - len(value)))
+            return total
 
     def append(self, key: str, data: bytes) -> None:
-        with self._mutex:
+        """Append ``data`` to ``key`` (created empty if missing)."""
+        with self._stripe(key):
             self._values.setdefault(key, bytearray()).extend(data)
 
     def delete(self, key: str) -> None:
-        with self._mutex:
+        """Drop the value and its distributed lock."""
+        with self._stripe(key):
             self._values.pop(key, None)
+        with self._meta:
             self._locks.pop(key, None)
 
     def exists(self, key: str) -> bool:
-        with self._mutex:
-            return key in self._values
+        """Whether ``key`` has a value."""
+        return key in self._values
 
     def size(self, key: str) -> int:
-        with self._mutex:
+        """Length of ``key``'s value in bytes."""
+        with self._stripe(key):
             value = self._values.get(key)
             if value is None:
                 raise StateKeyError(key)
             return len(value)
 
     def keys(self) -> list[str]:
-        with self._mutex:
-            return sorted(self._values)
+        """All keys, sorted (an atomic snapshot)."""
+        return sorted(self._values)
 
     def total_bytes(self) -> int:
-        with self._mutex:
-            return sum(len(v) for v in self._values.values())
+        """Bytes stored across all keys."""
+        return sum(len(v) for v in list(self._values.values()))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _apply_range(value: bytearray, offset: int, data) -> None:
+        end = offset + len(data)
+        if end > len(value):
+            value.extend(b"\x00" * (end - len(value)))
+        value[offset:end] = data
+
+    @staticmethod
+    def _check_range(key: str, value: bytearray, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > len(value):
+            raise IndexError(
+                f"range [{offset}, {offset + length}) outside value of "
+                f"size {len(value)} for key {key!r}"
+            )
 
     # ------------------------------------------------------------------
     # Distributed locks
     # ------------------------------------------------------------------
     def lock_for(self, key: str) -> RWLock:
-        with self._mutex:
+        """The per-key distributed read/write lock (Tab. 2)."""
+        with self._meta:
             lock = self._locks.get(key)
             if lock is None:
                 lock = self._locks[key] = RWLock()
@@ -136,7 +260,7 @@ class GlobalStateStore:
     # ------------------------------------------------------------------
     def atomic_update(self, key: str, fn) -> bytes:
         """Atomically apply ``fn(old_value | None) -> bytes`` to a key."""
-        with self._mutex:
+        with self._stripe(key):
             old = self._values.get(key)
             new = fn(bytes(old) if old is not None else None)
             self._values[key] = bytearray(new)
@@ -147,8 +271,10 @@ class StateClient:
     """A host's metered connection to the global tier.
 
     All local-tier pull/push traffic flows through one of these, so the
-    per-host :class:`TransferMeter` reflects exactly the bytes that would
-    cross the network to Redis in the paper's deployment.
+    per-host :class:`TransferMeter` reflects exactly the bytes — and round
+    trips — that would cross the network to Redis in the paper's
+    deployment. The ranged calls batch an arbitrary gap list into a single
+    round trip (Fig. 4's chunked values without a per-chunk RPC tax).
     """
 
     def __init__(self, store: GlobalStateStore, meter: TransferMeter | None = None):
@@ -156,35 +282,71 @@ class StateClient:
         self.meter = meter or TransferMeter()
 
     def pull(self, key: str) -> bytes:
+        """Fetch the whole value; one round trip."""
         value = self.store.get_value(key)
         self.meter.record_received(len(value))
         return value
 
     def pull_range(self, key: str, offset: int, length: int) -> bytes:
+        """Fetch one byte range; one round trip."""
         value = self.store.get_range(key, offset, length)
         self.meter.record_received(len(value))
         return value
 
+    def pull_ranges(
+        self, key: str, ranges: list[tuple[int, int]]
+    ) -> list[bytes]:
+        """Fetch several ``(offset, length)`` ranges in ONE round trip."""
+        out = [self.store.get_range(key, offset, length) for offset, length in ranges]
+        self.meter.record_received(sum(len(b) for b in out))
+        return out
+
+    def pull_ranges_into(self, key: str, dests: list[tuple[int, memoryview]]) -> int:
+        """Fetch several ranges straight into caller views (e.g. a shared
+        region) in ONE round trip, with no intermediate copies."""
+        total = self.store.get_ranges_into(key, dests)
+        self.meter.record_received(total)
+        return total
+
     def push(self, key: str, value: bytes) -> None:
+        """Replace the whole value; one round trip."""
         self.meter.record_sent(len(value))
         self.store.set_value(key, value)
 
     def push_range(self, key: str, offset: int, data: bytes) -> None:
+        """Overwrite one byte range; one round trip."""
         self.meter.record_sent(len(data))
         self.store.set_range(key, offset, data)
 
+    def push_ranges(
+        self,
+        key: str,
+        parts: list[tuple[int, bytes | bytearray | memoryview]],
+        truncate_to: int | None = None,
+    ) -> None:
+        """Write several ``(offset, data)`` ranges — a delta push's dirty
+        spans — in ONE round trip; ``truncate_to`` forces the value's final
+        length (size changes travel with the same trip)."""
+        self.meter.record_sent(sum(len(d) for _, d in parts))
+        self.store.set_ranges(key, parts, truncate_to)
+
     def append(self, key: str, data: bytes) -> None:
+        """Append to the value; one round trip."""
         self.meter.record_sent(len(data))
         self.store.append(key, data)
 
     def size(self, key: str) -> int:
+        """Value size (metadata query, not charged as payload)."""
         return self.store.size(key)
 
     def exists(self, key: str) -> bool:
+        """Whether the key exists in the global tier."""
         return self.store.exists(key)
 
     def delete(self, key: str) -> None:
+        """Remove the key from the global tier."""
         self.store.delete(key)
 
     def lock_for(self, key: str) -> RWLock:
+        """The key's distributed read/write lock."""
         return self.store.lock_for(key)

@@ -6,6 +6,17 @@ directly into their linear memories — there is no separate storage service
 (unlike SAND or Cloudburst, as the paper notes). Chunked values (Fig. 4,
 value ``C``) track which byte ranges have been pulled so only the required
 subsets are replicated.
+
+**Delta sync.** Every replica additionally tracks the byte ranges written
+since the last push in a *dirty* :class:`_IntervalSet`, fed by three
+sources: host-side ``write_local`` calls, guest stores into mapped shared
+pages (page-granular, via the write-protect fault hook in
+:mod:`repro.wasm.memory`), and DDO write paths. ``push`` flushes only the
+dirty spans — batched into one round trip — instead of shipping the whole
+value, the Python analogue of Faasm's dirty-page flush. Pulls likewise
+batch all missing gaps into a single ranged round trip and copy straight
+into the region's backing through a ``memoryview`` (no intermediate
+``bytes``).
 """
 
 from __future__ import annotations
@@ -15,7 +26,7 @@ from dataclasses import dataclass, field
 
 from repro.faaslet.sharing import SharedRegion
 
-from .kv import StateClient, StateKeyError
+from .kv import StateClient
 from .rwlock import RWLock
 
 
@@ -45,6 +56,21 @@ class _IntervalSet:
             merged.append((start, end))
         self._spans = merged
 
+    def remove(self, start: int, end: int) -> None:
+        """Subtract [start, end), splitting spans that straddle it."""
+        if end <= start:
+            return
+        out: list[tuple[int, int]] = []
+        for s, e in self._spans:
+            if e <= start or s >= end:
+                out.append((s, e))
+                continue
+            if s < start:
+                out.append((s, start))
+            if e > end:
+                out.append((end, e))
+        self._spans = out
+
     def covers(self, start: int, end: int) -> bool:
         if end <= start:
             return True
@@ -68,6 +94,19 @@ class _IntervalSet:
             gaps.append((cursor, end))
         return gaps
 
+    def intersect(self, start: int, end: int) -> list[tuple[int, int]]:
+        """The parts of the set that fall inside [start, end)."""
+        out: list[tuple[int, int]] = []
+        for s, e in self._spans:
+            lo, hi = max(s, start), min(e, end)
+            if lo < hi:
+                out.append((lo, hi))
+        return out
+
+    def total(self) -> int:
+        """Bytes covered by the set."""
+        return sum(e - s for s, e in self._spans)
+
     def clear(self) -> None:
         self._spans = []
 
@@ -82,21 +121,60 @@ class Replica:
 
     ``value_size`` is the value's logical length; the backing region may be
     larger (page-aligned, or left over from a previously larger value).
+    ``present`` tracks which byte ranges have been materialised locally
+    (pulled or written); ``dirty`` tracks ranges written since the last
+    push, so flushes move only modified bytes. ``synced_size`` is the
+    logical size the global tier was last known to hold — when it differs
+    from ``value_size`` the next push also carries the size change.
     """
 
     key: str
     region: SharedRegion
     lock: RWLock = field(default_factory=RWLock)
     present: _IntervalSet = field(default_factory=_IntervalSet)
+    dirty: _IntervalSet = field(default_factory=_IntervalSet)
     value_size: int = 0
+    synced_size: int | None = None
+    #: Guards ``dirty``: marks arrive from guest write faults on executor
+    #: threads that do not hold the replica lock.
+    _dirty_mutex: threading.Lock = field(default_factory=threading.Lock)
 
     def __post_init__(self) -> None:
         if self.value_size == 0:
             self.value_size = self.region.size
+        # Host writes through region.write() and guest stores into mapped
+        # pages both land here, keeping the dirty set exact without the
+        # writer knowing about replicas.
+        self.region.add_write_listener(self.mark_dirty)
 
     @property
     def size(self) -> int:
         return self.value_size
+
+    # ------------------------------------------------------------------
+    def mark_dirty(self, start: int, end: int) -> None:
+        """Record that [start, end) was modified locally (thread-safe)."""
+        with self._dirty_mutex:
+            self.dirty.add(start, end)
+
+    def take_dirty(self, limit: int) -> list[tuple[int, int]]:
+        """Atomically drain the dirty set, clipped to [0, limit).
+
+        Returns the spans to flush and clears the set, then re-arms
+        page-granular guest tracking; writes racing with the drain re-fault
+        and land in the next flush (HOGWILD-tolerated, §4.1).
+        """
+        with self._dirty_mutex:
+            spans = self.dirty.intersect(0, limit)
+            self.dirty.clear()
+        self.region.reprotect_mappings()
+        return spans
+
+    def discard_dirty(self, start: int, end: int) -> None:
+        """Forget dirty marks inside [start, end) (a forced pull overwrote
+        the local bytes, so they now match the global tier)."""
+        with self._dirty_mutex:
+            self.dirty.remove(start, end)
 
 
 class LocalTier:
@@ -120,12 +198,23 @@ class LocalTier:
                 if size is not None and size > rep.value_size:
                     if size > rep.region.size:
                         rep.region.resize(size)
+                    # The region may hold stale bytes beyond the logical
+                    # end (left by a shrink); a grown value must read as
+                    # zeros there. Written through the view so the zeros
+                    # are not themselves marked dirty — the global tier
+                    # zero-fills the same gap when the value extends.
+                    gap = size - rep.value_size
+                    rep.region.view(rep.value_size, gap)[:] = bytes(gap)
                     rep.value_size = size
                 return rep
+            synced: int | None = None
             if size is None:
                 size = self.client.size(key)  # raises StateKeyError if absent
+                synced = size  # sized from the global tier at this instant
             region = SharedRegion(f"{self.host}/{key}", size)
-            rep = self._replicas[key] = Replica(key, region, value_size=size)
+            rep = self._replicas[key] = Replica(
+                key, region, value_size=size, synced_size=synced
+            )
             return rep
 
     def has_replica(self, key: str) -> bool:
@@ -150,45 +239,81 @@ class LocalTier:
     # Pull / push (local <-> global movement, §4.1)
     # ------------------------------------------------------------------
     def pull(self, key: str, force: bool = False) -> Replica:
-        """Ensure the full value is present locally; fetch it if not."""
+        """Ensure the full value is present locally; fetch it if not.
+
+        The fetch lands directly in the shared region through a view (one
+        copy, global backing → region) and resets the dirty set: after a
+        forced pull the replica is byte-identical to the global tier.
+        """
         rep = self.replica(key)
         with rep.lock.write_locked():
             if force or not rep.present.covers(0, rep.size):
-                value = self.client.pull(key)
-                if len(value) > rep.region.size:
-                    rep.region.resize(len(value))
-                rep.region.write(value, 0)
-                rep.value_size = len(value)
+                size = self.client.size(key)  # raises StateKeyError if absent
+                if size > rep.region.size:
+                    rep.region.resize(size)
+                if size:
+                    self.client.pull_ranges_into(
+                        key, [(0, rep.region.view(0, size))]
+                    )
+                rep.value_size = size
                 rep.present.clear()
-                rep.present.add(0, len(value))
+                rep.present.add(0, size)
+                rep.discard_dirty(0, max(size, rep.region.size))
+                rep.synced_size = size
         return rep
 
     def pull_chunk(self, key: str, offset: int, length: int, force: bool = False) -> Replica:
         """Ensure ``[offset, offset+length)`` is present locally (state
-        chunks, Fig. 4)."""
+        chunks, Fig. 4). All missing gaps move in ONE batched round trip,
+        copied straight into the region."""
         rep = self.replica(key)
         with rep.lock.write_locked():
             if force:
                 gaps = [(offset, offset + length)]
             else:
                 gaps = rep.present.missing(offset, offset + length)
-            for start, end in gaps:
-                data = self.client.pull_range(key, start, end - start)
-                rep.region.write(data, start)
-                rep.present.add(start, end)
+            if gaps:
+                self.client.pull_ranges_into(
+                    key, [(s, rep.region.view(s, e - s)) for s, e in gaps]
+                )
+                for s, e in gaps:
+                    rep.present.add(s, e)
+                    rep.discard_dirty(s, e)
         return rep
 
     def push(self, key: str) -> None:
-        """Write the full local replica to the global tier."""
+        """Flush the replica's dirty byte ranges to the global tier.
+
+        This is the delta push: only ranges actually written since the last
+        sync travel (batched into one round trip), never the whole value —
+        and never bytes that were neither pulled nor written, so a partial
+        replica cannot clobber the authoritative value with stale zeros. A
+        local size change (shrink/grow) is carried by the same trip.
+        """
         rep = self.replica(key)
-        with rep.lock.read_locked():
-            self.client.push(key, rep.region.read(0, rep.size))
-            rep.present.add(0, rep.size)
+        with rep.lock.write_locked():
+            spans = rep.take_dirty(rep.value_size)
+            if not spans and rep.synced_size == rep.value_size:
+                return
+            parts = [(s, rep.region.view(s, e - s)) for s, e in spans]
+            # The trip always carries the local logical size: a push makes
+            # the global value's length match the replica's, exactly as a
+            # full-value push did, so shrinks and grows propagate with the
+            # same round trip (no extra RPC, no extra payload bytes).
+            self.client.push_ranges(key, parts, truncate_to=rep.value_size)
+            for s, e in spans:
+                rep.present.add(s, e)
+            rep.synced_size = rep.value_size
 
     def push_chunk(self, key: str, offset: int, length: int) -> None:
+        """Push one explicit byte range (Tab. 2 ``push_state_offset``)."""
         rep = self.replica(key)
-        with rep.lock.read_locked():
-            self.client.push_range(key, offset, rep.region.read(offset, length))
+        with rep.lock.write_locked():
+            self.client.push_ranges(
+                key, [(offset, rep.region.view(offset, length))]
+            )
+            rep.present.add(offset, offset + length)
+            rep.discard_dirty(offset, offset + length)
 
     # ------------------------------------------------------------------
     # Local reads/writes (no global traffic)
@@ -203,25 +328,48 @@ class LocalTier:
 
         With an explicit ``size`` the value's logical length becomes exactly
         ``size`` (a full replacement may *shrink* the value); without one the
-        value grows as needed.
+        value grows as needed. The written range is marked dirty (via the
+        region's write listener), so the next push flushes exactly it.
         """
         rep = self.replica(key, size=size if size is not None else offset + len(data))
         with rep.lock.write_locked():
-            if offset + len(data) > rep.region.size:
-                rep.region.resize(offset + len(data))
-            if offset > rep.value_size:
-                # Writing past the logical end: the gap reads as zeros.
-                rep.region.write(b"\x00" * (offset - rep.value_size), rep.value_size)
-                rep.present.add(rep.value_size, offset)
+            self._prepare_write(rep, offset, len(data), size)
             rep.region.write(data, offset)
-            if size is not None:
-                new_size = max(size, offset + len(data))
-            else:
-                new_size = max(rep.value_size, offset + len(data))
-            if new_size < rep.value_size:
-                # Shrinking truncates: stale tail bytes must never resurface
-                # if the value later regrows.
-                rep.region.write(b"\x00" * (rep.value_size - new_size), new_size)
-            rep.value_size = new_size
             rep.present.add(offset, offset + len(data))
         return rep
+
+    def write_local_from_memory(
+        self, key: str, memory, addr: int, length: int,
+        offset: int = 0, size: int | None = None,
+    ) -> Replica:
+        """Like :meth:`write_local`, but the data comes straight out of a
+        guest :class:`~repro.wasm.memory.LinearMemory`: pages copy directly
+        into the region's view with no intermediate ``bytes`` (the
+        zero-copy ``set_state`` syscall path)."""
+        rep = self.replica(key, size=size if size is not None else offset + length)
+        with rep.lock.write_locked():
+            self._prepare_write(rep, offset, length, size)
+            memory.read_into(addr, rep.region.view(offset, length))
+            rep.mark_dirty(offset, offset + length)
+            rep.present.add(offset, offset + length)
+        return rep
+
+    @staticmethod
+    def _prepare_write(rep: Replica, offset: int, length: int, size: int | None) -> None:
+        """Shared sizing/zero-fill bookkeeping before a local write (the
+        replica write lock must be held)."""
+        if offset + length > rep.region.size:
+            rep.region.resize(offset + length)
+        if offset > rep.value_size:
+            # Writing past the logical end: the gap reads as zeros.
+            rep.region.write(b"\x00" * (offset - rep.value_size), rep.value_size)
+            rep.present.add(rep.value_size, offset)
+        if size is not None:
+            new_size = max(size, offset + length)
+        else:
+            new_size = max(rep.value_size, offset + length)
+        if new_size < rep.value_size:
+            # Shrinking truncates: stale tail bytes must never resurface
+            # if the value later regrows.
+            rep.region.write(b"\x00" * (rep.value_size - new_size), new_size)
+        rep.value_size = new_size

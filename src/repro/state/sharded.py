@@ -63,8 +63,16 @@ class ShardedStateStore:
     def get_range(self, key, offset, length):
         return self._route(key).get_range(key, offset, length)
 
+    def get_ranges_into(self, key, dests):
+        """Batched zero-copy multi-range read (one routed call)."""
+        return self._route(key).get_ranges_into(key, dests)
+
     def set_range(self, key, offset, data):
         self._route(key).set_range(key, offset, data)
+
+    def set_ranges(self, key, parts, truncate_to=None):
+        """Batched multi-range write (one routed call)."""
+        return self._route(key).set_ranges(key, parts, truncate_to)
 
     def append(self, key, data):
         self._route(key).append(key, data)

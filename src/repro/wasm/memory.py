@@ -43,7 +43,7 @@ _F32 = struct.Struct("<f")
 _F64 = struct.Struct("<d")
 
 
-@dataclass
+@dataclass(slots=True)
 class Page:
     """One 64 KiB page of linear memory.
 
@@ -52,17 +52,33 @@ class Page:
     before the first store). ``shared`` marks pages that alias a
     :class:`~repro.faaslet.sharing.SharedRegion` backing buffer; these are
     never copied, so writes propagate to every mapper.
-    """
 
-    __slots__ = ("view", "writable", "shared")
+    A shared page may additionally be *write-protected* for dirty tracking
+    (``writable`` False with ``notify`` set): the first store after each
+    protection cycle takes the slow path, invokes ``notify`` — which marks
+    the page's byte range dirty in the owning region — and un-protects the
+    page, the software analogue of Faasm's ``mprotect``-based dirty-page
+    tracking. Subsequent stores run at full speed until the next
+    re-protection (state push).
+    """
 
     view: memoryview
     writable: bool
     shared: bool
+    notify: object = None
 
 
 def _fresh_page() -> Page:
     return Page(memoryview(bytearray(PAGE_SIZE)), writable=True, shared=False)
+
+
+def _page_notifier(on_write, start: int, end: int):
+    """Bind one page's region byte range into a zero-argument fault hook."""
+
+    def notify() -> None:
+        on_write(start, end)
+
+    return notify
 
 
 class LinearMemory:
@@ -105,12 +121,18 @@ class LinearMemory:
     # ------------------------------------------------------------------
     # Shared regions and copy-on-write
     # ------------------------------------------------------------------
-    def map_shared_pages(self, backing: bytearray) -> int:
+    def map_shared_pages(self, backing: bytearray, on_write=None) -> int:
         """Map ``backing`` (a multiple of PAGE_SIZE) as shared pages appended
         to the end of memory. Returns the base address of the mapping.
 
         This implements the remap step of §3.3: the function's linear byte
         array is extended and the new pages alias common process memory.
+
+        With ``on_write`` (a callable taking the ``(start, end)`` byte range
+        of a page *within the region*), the mapped pages start
+        write-protected: the first guest store to each page reports that
+        page's range dirty and unprotects it — the dirty-page tracking the
+        local state tier uses for delta pushes (§4.2).
         """
         if len(backing) % PAGE_SIZE != 0:
             raise ValueError("shared region size must be a multiple of PAGE_SIZE")
@@ -122,7 +144,14 @@ class LinearMemory:
         whole = memoryview(backing)
         for i in range(n_pages):
             view = whole[i * PAGE_SIZE : (i + 1) * PAGE_SIZE]
-            self.pages.append(Page(view, writable=True, shared=True))
+            if on_write is None:
+                self.pages.append(Page(view, writable=True, shared=True))
+            else:
+                start = i * PAGE_SIZE
+                notify = _page_notifier(on_write, start, start + PAGE_SIZE)
+                self.pages.append(
+                    Page(view, writable=False, shared=True, notify=notify)
+                )
         return base
 
     def freeze_pages(self) -> list[memoryview]:
@@ -152,8 +181,19 @@ class LinearMemory:
         return mem
 
     def _materialise(self, page_idx: int) -> Page:
-        """Copy a COW page so it can be written (a "page fault")."""
+        """Handle a write to a protected page (a "page fault").
+
+        COW pages are copied before the write. Write-protected *shared*
+        pages are never copied: the fault marks the page dirty in its
+        region (via ``notify``) and lifts the protection, after which
+        stores hit the shared backing directly until re-protection.
+        """
         page = self.pages[page_idx]
+        if page.shared:
+            page.writable = True
+            if page.notify is not None:
+                page.notify()
+            return page
         fresh = memoryview(bytearray(page.view))
         page = Page(fresh, writable=True, shared=False)
         self.pages[page_idx] = page
@@ -182,6 +222,22 @@ class LinearMemory:
             page_idx += 1
             offset = 0
         return b"".join(chunks)
+
+    def read_into(self, addr: int, dest: memoryview) -> None:
+        """Copy ``len(dest)`` bytes starting at ``addr`` straight into
+        ``dest`` (page by page, no intermediate ``bytes`` objects) — the
+        zero-copy path the state syscalls use to move guest data into a
+        shared region."""
+        size = len(dest)
+        self._check(addr, size)
+        page_idx, offset = divmod(addr, PAGE_SIZE)
+        pos = 0
+        while pos < size:
+            take = min(PAGE_SIZE - offset, size - pos)
+            dest[pos : pos + take] = self.pages[page_idx].view[offset : offset + take]
+            pos += take
+            page_idx += 1
+            offset = 0
 
     def write(self, addr: int, data: bytes | bytearray | memoryview) -> None:
         """Write ``data`` starting at ``addr``."""

@@ -84,6 +84,37 @@ def test_state_via_host_interface():
     assert arr[1] == 7.0
 
 
+def test_guest_writes_push_only_dirty_pages():
+    """A guest store into a mapped multi-page value dirties only the
+    faulted page: the subsequent push ships ≤ one page, not the whole
+    value (the mprotect-style dirty tracking of §4.2, here in software)."""
+    size = 4 * 64 * 1024  # four pages
+    src = """
+    extern int get_state(int kptr, int klen, int size);
+    extern void push_state(int kptr, int klen);
+    export int main() {
+        int[] key = new int[2];
+        storeb(ptr(key), 112);  // 'p'
+        int addr = get_state(ptr(key), 1, 262144);
+        float[] vals = farr(addr);
+        vals[0] = 9.25;         // one store, first page only
+        push_state(ptr(key), 1);
+        return 0;
+    }
+    """
+    env = StandaloneEnvironment()
+    faaslet = Faaslet(define(src), env)
+    meter = env.state.tier.client.meter
+    meter.reset()
+    assert faaslet.call()[0] == 0
+    assert np.frombuffer(env.global_state.get_value("p"), dtype=np.float64)[0] == 9.25
+    assert env.global_state.size("p") == size
+    assert 0 < meter.sent_bytes <= 64 * 1024, (
+        f"push shipped {meter.sent_bytes} bytes; dirty tracking should "
+        f"bound it by one 64 KiB page, not the {size}-byte value"
+    )
+
+
 def test_shared_state_between_faaslets_zero_copy():
     """Two Faaslets on the same host share one replica through mapped
     regions — the central claim of §3.3."""

@@ -74,8 +74,12 @@ def test_vector_async_push_pull_roundtrip(values, idx, delta):
     np.testing.assert_allclose(np.asarray(remote.array), expected)
 
 
-def test_vector_async_last_writer_wins():
-    """Concurrent whole-vector pushes race; SGD tolerates this (§4.1)."""
+def test_vector_async_delta_pushes_merge():
+    """Concurrent pushes of *disjoint* elements merge instead of clobbering:
+    each push flushes only its dirty byte ranges (Faasm's dirty-page sync),
+    so b's push of element 1 no longer overwrites a's element 0. Overlapping
+    writes still race (last writer wins per byte), which SGD tolerates
+    (§4.1)."""
     store = GlobalStateStore()
     a = VectorAsync.create(make_api(store, "a"), "w", np.zeros(2))
     b_api = make_api(store, "b")
@@ -84,6 +88,6 @@ def test_vector_async_last_writer_wins():
     a[0] = 1.0
     b[1] = 2.0
     a.push()
-    b.push()  # b never saw a's write: it wins wholesale
+    b.push()  # b pushes only its own dirty range: a's write survives
     final = np.frombuffer(store.get_value("w"), dtype=np.float64)
-    assert final[0] == 0.0 and final[1] == 2.0
+    assert final[0] == 1.0 and final[1] == 2.0

@@ -1,0 +1,145 @@
+"""Property tests for the delta-sync data plane.
+
+Two layers are checked against brute-force models:
+
+* ``_IntervalSet`` — every operation (add/remove/covers/missing/intersect/
+  total) must agree with a byte-granular bitmap model, and the internal
+  span list must stay normalised (sorted, disjoint, adjacent spans merged).
+* Dirty tracking — after an arbitrary sequence of local writes, a push must
+  transfer **exactly** the union of the written byte ranges (not one byte
+  more or less), and leave the global value byte-identical to the local
+  replica.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.state import GlobalStateStore, LocalTier, StateClient
+from repro.state.local import _IntervalSet
+
+UNIVERSE = 64
+
+# An op is (kind, start, end) over a small universe so hypothesis can
+# exercise adjacency/overlap/straddle cases densely.
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove"]),
+        st.integers(0, UNIVERSE),
+        st.integers(0, UNIVERSE),
+    ),
+    max_size=30,
+)
+
+
+def _apply(ops):
+    """Run ops against both the interval set and a byte-bitmap model."""
+    iset = _IntervalSet()
+    model: set[int] = set()
+    for kind, a, b in ops:
+        start, end = min(a, b), max(a, b)
+        if kind == "add":
+            iset.add(start, end)
+            model.update(range(start, end))
+        else:
+            iset.remove(start, end)
+            model.difference_update(range(start, end))
+    return iset, model
+
+
+@given(_ops)
+@settings(max_examples=200, deadline=None)
+def test_interval_set_matches_bitmap_model(ops):
+    """Membership, coverage and gap queries agree with the bitmap model."""
+    iset, model = _apply(ops)
+    # Span list invariants: sorted, disjoint, non-empty, adjacent merged.
+    spans = iset.spans
+    for s, e in spans:
+        assert s < e
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert e1 < s2  # strictly separated: adjacency would have merged
+    # total() is the model's cardinality.
+    assert iset.total() == len(model)
+    # Exact membership, byte by byte.
+    covered = {i for s, e in spans for i in range(s, e)}
+    assert covered == model
+
+
+@given(_ops, st.integers(0, UNIVERSE), st.integers(0, UNIVERSE))
+@settings(max_examples=200, deadline=None)
+def test_interval_set_queries_match_model(ops, a, b):
+    """covers/missing/intersect answer exactly what the bitmap model says."""
+    iset, model = _apply(ops)
+    start, end = min(a, b), max(a, b)
+    window = set(range(start, end))
+    assert iset.covers(start, end) == window.issubset(model)
+    missing = {i for s, e in iset.missing(start, end) for i in range(s, e)}
+    assert missing == window - model
+    hit = {i for s, e in iset.intersect(start, end) for i in range(s, e)}
+    assert hit == window & model
+
+
+def test_adjacent_spans_merge():
+    """Touching spans coalesce into one (a single flush range, not two)."""
+    iset = _IntervalSet()
+    iset.add(0, 5)
+    iset.add(5, 10)
+    assert iset.spans == [(0, 10)]
+    iset.add(20, 25)
+    iset.add(12, 20)
+    assert iset.spans == [(0, 10), (12, 25)]
+    iset.remove(4, 6)
+    assert iset.spans == [(0, 4), (6, 10), (12, 25)]
+
+
+# Writes stay within a 256-byte value; no explicit shrink, so the dirty set
+# must end up as exactly the union of the written ranges.
+_writes = st.lists(
+    st.tuples(st.integers(0, 255), st.integers(1, 64), st.integers(0, 255)),
+    min_size=1,
+    max_size=20,
+)
+
+
+@given(_writes)
+@settings(max_examples=150, deadline=None)
+def test_push_transfers_exactly_the_dirty_union(writes):
+    """A delta push moves precisely the union of written byte ranges."""
+    store = GlobalStateStore()
+    tier = LocalTier("host", StateClient(store))
+    meter = tier.client.meter
+    model = bytearray()
+    dirty: set[int] = set()
+    for offset, length, fill in writes:
+        data = bytes([fill]) * length
+        tier.write_local("k", data, offset)
+        if offset + length > len(model):
+            model.extend(b"\x00" * (offset + length - len(model)))
+        model[offset : offset + length] = data
+        dirty.update(range(offset, offset + length))
+
+    meter.reset()
+    tier.push("k")
+    assert meter.sent_bytes == len(dirty)
+    assert meter.round_trips == 1
+    assert store.get_value("k") == bytes(model)
+
+    # Nothing dirty left: a second push is free (no round trip at all).
+    meter.reset()
+    tier.push("k")
+    assert meter.sent_bytes == 0
+    assert meter.round_trips == 0
+
+
+@given(_writes)
+@settings(max_examples=100, deadline=None)
+def test_pull_discards_dirty_and_matches_global(writes):
+    """A forced pull resyncs: local bytes match global, dirty set empties."""
+    store = GlobalStateStore()
+    store.set_value("k", bytes(range(256)))
+    tier = LocalTier("host", StateClient(store))
+    tier.pull("k")
+    for offset, length, fill in writes:
+        tier.write_local("k", bytes([fill]) * length, offset)
+    tier.pull("k", force=True)
+    rep = tier.replica("k")
+    assert rep.dirty.total() == 0
+    assert tier.read_local("k", 0, rep.size) == store.get_value("k")
