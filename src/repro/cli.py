@@ -8,10 +8,23 @@ Commands::
         module inside a Faaslet; prints output/result and exit code.
 
     profile <file.ml|file.wat|file.obj> [--entry NAME] [--arg N ...]
-        [--top N]
+        [--top N] [--export FILE]
         Execute on the reference interpreter with per-opcode dispatch
         counters and print the hottest opcodes and opcode pairs — the
         data that picks the threaded tier's next fusion candidates.
+        ``--export`` writes the unified telemetry artifact (spans +
+        metrics + dispatch counts) as JSON.
+
+    trace <file.ml|file.wat|file.obj> [--entry NAME] [--arg N ...]
+        [--format tree|chrome|jsonl] [--out FILE] [--profile]
+        Run the guest with span tracing enabled and export the trace:
+        an indented tree + latency table (default), Chrome trace-event
+        JSON (load in chrome://tracing / Perfetto), or JSON-lines.
+
+    metrics <file.ml|file.wat|file.obj> [--entry NAME] [--arg N ...]
+        [--json]
+        Run the guest and dump the metrics registry (span latency
+        histograms, code-cache counters) as a table or JSON.
 
     disasm <file.ml|file.wat|file.obj>
         Print the module's text-format disassembly.
@@ -50,19 +63,37 @@ def _load_module(path: str):
     return module, None, {}
 
 
-def cmd_run(args) -> int:
-    """``repro run``: execute a guest in a Faaslet."""
-    from repro.faaslet import Faaslet, FunctionDefinition
-    from repro.host import StandaloneEnvironment
+def _make_definition(args):
+    """Load ``args.file`` and wrap it as a deployable FunctionDefinition."""
+    from repro.faaslet import FunctionDefinition
     from repro.wasm.codegen import compile_module
 
     module, compiled, meta = _load_module(args.file)
-    definition = FunctionDefinition(
+    return FunctionDefinition(
         name=args.file,
         module=module,
         compiled=compiled if compiled is not None else compile_module(module),
         entry=args.entry or meta.get("entry", "main"),
     )
+
+
+def _invoke(faaslet, args) -> int:
+    """Run the guest the way the flags ask for; returns the exit code."""
+    if args.arg:
+        result = faaslet.invoke_export(faaslet.definition.entry, *args.arg)
+        print(f"result: {result}", file=sys.stderr)
+        return 0
+    code, _ = faaslet.call((args.input or "").encode())
+    print(f"exit code: {code}", file=sys.stderr)
+    return code
+
+
+def cmd_run(args) -> int:
+    """``repro run``: execute a guest in a Faaslet."""
+    from repro.faaslet import Faaslet
+    from repro.host import StandaloneEnvironment
+
+    definition = _make_definition(args)
     faaslet = Faaslet(definition, StandaloneEnvironment(), tier=args.tier)
     start = time.perf_counter()
     if args.arg:
@@ -88,24 +119,20 @@ def cmd_run(args) -> int:
 
 def cmd_profile(args) -> int:
     """``repro profile``: per-opcode dispatch counts for a guest run."""
-    from repro.faaslet import Faaslet, FunctionDefinition
-    from repro.host import StandaloneEnvironment
-    from repro.wasm.codegen import compile_module
+    import json
 
-    module, compiled, meta = _load_module(args.file)
-    definition = FunctionDefinition(
-        name=args.file,
-        module=module,
-        compiled=compiled if compiled is not None else compile_module(module),
-        entry=args.entry or meta.get("entry", "main"),
-    )
-    faaslet = Faaslet(definition, StandaloneEnvironment(), profile=True)
-    if args.arg:
-        result = faaslet.invoke_export(definition.entry, *args.arg)
-        print(f"result: {result}", file=sys.stderr)
-    else:
-        code, _ = faaslet.call((args.input or "").encode())
-        print(f"exit code: {code}", file=sys.stderr)
+    from repro.faaslet import Faaslet
+    from repro.host import StandaloneEnvironment
+    from repro.telemetry import Telemetry, export
+
+    definition = _make_definition(args)
+    # Tracing rides along so --export can emit the unified artifact
+    # (spans + dispatch counts); its overhead is noise next to the
+    # profiled interpreter's.
+    telemetry = Telemetry(enabled=True)
+    with telemetry.tracer.trace("cli.run", host="local", file=args.file):
+        faaslet = Faaslet(definition, StandaloneEnvironment(), profile=True)
+        _invoke(faaslet, args)
 
     inst = faaslet.instance
     total = inst.instructions_executed or 1
@@ -120,7 +147,95 @@ def cmd_profile(args) -> int:
         print(f"{'pair':<40}{'count':>14}{'share':>9}")
         for (a, b), count in pairs:
             print(f"{a + ' ; ' + b:<40}{count:>14,}{count / total:>8.1%}")
+    if args.export:
+        artifact = export.build_artifact(
+            telemetry.spans(),
+            metrics=telemetry.metrics.snapshot(),
+            dispatch=export.dispatch_section(inst),
+        )
+        with open(args.export, "w") as f:
+            json.dump(artifact, f)
+        print(f"wrote telemetry artifact to {args.export}", file=sys.stderr)
     return 0
+
+
+def cmd_trace(args) -> int:
+    """``repro trace``: run a guest with tracing on and export the spans."""
+    import json
+
+    from repro.faaslet import Faaslet
+    from repro.host import StandaloneEnvironment
+    from repro.telemetry import Telemetry, export
+
+    definition = _make_definition(args)
+    telemetry = Telemetry(enabled=True)
+    profile = bool(args.profile)
+    with telemetry.tracer.trace("cli.run", host="local", file=args.file):
+        faaslet = Faaslet(
+            definition,
+            StandaloneEnvironment(),
+            tier=None if profile else args.tier,
+            profile=profile,
+        )
+        code = _invoke(faaslet, args)
+    spans = telemetry.spans()
+    metrics = telemetry.metrics.snapshot()
+    dispatch = export.dispatch_section(faaslet.instance) if profile else None
+    if args.format == "chrome":
+        payload = json.dumps(
+            export.to_chrome_trace(spans, metrics=metrics, dispatch=dispatch)
+        ) + "\n"
+    elif args.format == "jsonl":
+        payload = export.to_jsonl(spans, metrics=metrics, dispatch=dispatch)
+    else:
+        payload = (
+            export.tree_summary(spans) + "\n\n" + export.text_summary(spans) + "\n"
+        )
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(payload)
+        print(
+            f"wrote {len(spans)} spans to {args.out} ({args.format})",
+            file=sys.stderr,
+        )
+    else:
+        sys.stdout.write(payload)
+    return code
+
+
+def cmd_metrics(args) -> int:
+    """``repro metrics``: run a guest and dump the metrics registry."""
+    import json
+
+    from repro.faaslet import Faaslet
+    from repro.host import StandaloneEnvironment
+    from repro.telemetry import Telemetry
+    from repro.wasm.codecache import GLOBAL_CODE_CACHE
+
+    definition = _make_definition(args)
+    telemetry = Telemetry(enabled=True)
+    with telemetry.tracer.trace("cli.run", host="local", file=args.file):
+        faaslet = Faaslet(definition, StandaloneEnvironment(), tier=args.tier)
+        code = _invoke(faaslet, args)
+    snapshot = telemetry.metrics.snapshot()
+    # The code cache keeps its counters in its own (process-global)
+    # registry; fold them in so one dump covers the run.
+    for kind, series in GLOBAL_CODE_CACHE.metrics.snapshot().items():
+        snapshot[kind].update(series)
+    if args.json:
+        print(json.dumps(snapshot, indent=2))
+        return code
+    for kind in ("counters", "gauges"):
+        for series, value in snapshot[kind].items():
+            print(f"{series:<44}{value:>14}")
+    for series, summary in snapshot["histograms"].items():
+        print(
+            f"{series:<44}{summary['count']:>6} obs"
+            f"  mean {summary['mean'] * 1e3:9.3f} ms"
+            f"  p50 {summary['p50'] * 1e3:9.3f} ms"
+            f"  p99 {summary['p99'] * 1e3:9.3f} ms"
+        )
+    return code
 
 
 def cmd_disasm(args) -> int:
@@ -210,7 +325,43 @@ def main(argv: list[str] | None = None) -> int:
                         help="invoke entry with integer args instead of call I/O")
     p_prof.add_argument("--top", type=int, default=20,
                         help="number of opcodes/pairs to print (default 20)")
+    p_prof.add_argument("--export",
+                        help="write the unified telemetry artifact "
+                             "(spans + metrics + dispatch counts) to FILE")
     p_prof.set_defaults(fn=cmd_profile)
+
+    p_tr = sub.add_parser(
+        "trace", help="run with span tracing and export the trace"
+    )
+    p_tr.add_argument("file")
+    p_tr.add_argument("--entry", help="exported function (default: main)")
+    p_tr.add_argument("--input", help="call input passed to the guest")
+    p_tr.add_argument("--arg", type=int, action="append",
+                      help="invoke entry with integer args instead of call I/O")
+    p_tr.add_argument("--tier", choices=TIERS,
+                      help="execution tier (default: threaded)")
+    p_tr.add_argument("--format", choices=("tree", "chrome", "jsonl"),
+                      default="tree",
+                      help="export format (default: tree + latency table)")
+    p_tr.add_argument("--out", help="write the export to FILE instead of stdout")
+    p_tr.add_argument("--profile", action="store_true",
+                      help="also collect opcode-dispatch counters "
+                           "(reference interpreter) and embed them")
+    p_tr.set_defaults(fn=cmd_trace)
+
+    p_met = sub.add_parser(
+        "metrics", help="run a guest and dump the metrics registry"
+    )
+    p_met.add_argument("file")
+    p_met.add_argument("--entry", help="exported function (default: main)")
+    p_met.add_argument("--input", help="call input passed to the guest")
+    p_met.add_argument("--arg", type=int, action="append",
+                       help="invoke entry with integer args instead of call I/O")
+    p_met.add_argument("--tier", choices=TIERS,
+                       help="execution tier (default: threaded)")
+    p_met.add_argument("--json", action="store_true",
+                       help="dump as JSON instead of a table")
+    p_met.set_defaults(fn=cmd_metrics)
 
     p_dis = sub.add_parser("disasm", help="print text-format disassembly")
     p_dis.add_argument("file")

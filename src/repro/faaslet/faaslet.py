@@ -22,6 +22,7 @@ import itertools
 import logging
 from dataclasses import dataclass, field
 
+from repro.telemetry import span
 from repro.wasm import Trap
 from repro.wasm.codecache import GLOBAL_CODE_CACHE
 from repro.wasm.codegen import CompiledFunction
@@ -169,18 +170,40 @@ class Faaslet:
         """
         self.input_data = bytes(input_data)
         self.output_data = b""
-        try:
-            result = self.instance.invoke(entry or self.definition.entry)
-        except Trap as trap:
-            logger.debug("%s trapped: %s", self.name, trap)
-            return 1, self.output_data
+        with span(
+            "guest.exec", function=self.definition.name, runtime="wasm"
+        ) as sp:
+            before = self.instance.instructions_executed
+            try:
+                result = self.instance.invoke(entry or self.definition.entry)
+            except Trap as trap:
+                logger.debug("%s trapped: %s", self.name, trap)
+                sp.set_attr("trapped", True)
+                sp.set_attr(
+                    "fuel_consumed", self.instance.instructions_executed - before
+                )
+                return 1, self.output_data
+            sp.set_attr(
+                "fuel_consumed", self.instance.instructions_executed - before
+            )
         code = int(result) if isinstance(result, int) else 0
         self.calls_served += 1
         return code, self.output_data
 
     def invoke_export(self, name: str, *args):
         """Call an arbitrary export (used by tests and language runtimes)."""
-        return self.instance.invoke(name, *args)
+        with span(
+            "guest.exec",
+            function=self.definition.name,
+            runtime="wasm",
+            entry=name,
+        ) as sp:
+            before = self.instance.instructions_executed
+            result = self.instance.invoke(name, *args)
+            sp.set_attr(
+                "fuel_consumed", self.instance.instructions_executed - before
+            )
+        return result
 
     # ------------------------------------------------------------------
     # Shared state regions (§3.3 / §4.2)

@@ -20,6 +20,7 @@ from __future__ import annotations
 import pickle
 import struct
 
+from repro.telemetry import span
 from repro.wasm.instance import GlobalInstance, Instance
 from repro.wasm.memory import LinearMemory
 from repro.wasm.types import PAGE_SIZE, Limits, MemoryType
@@ -115,25 +116,30 @@ class ProtoFaaslet:
         The restored instance shares ``definition.compiled`` — and with it
         any closure-threaded code already attached to those functions — so
         restores never re-run codegen or re-threading."""
-        module = self.definition.module
-        funcs: list = []
-        for imp in module.imports:
-            funcs.append(imports[(imp.module, imp.name)])
-        funcs.extend(self.definition.compiled)
-        memory = None
-        if self.frozen_pages or module.memory is not None:
-            memtype = MemoryType(
-                Limits(len(self.frozen_pages), self.definition.max_pages)
+        with span(
+            "snapshot.restore",
+            function=self.definition.name,
+            pages=len(self.frozen_pages),
+        ):
+            module = self.definition.module
+            funcs: list = []
+            for imp in module.imports:
+                funcs.append(imports[(imp.module, imp.name)])
+            funcs.extend(self.definition.compiled)
+            memory = None
+            if self.frozen_pages or module.memory is not None:
+                memtype = MemoryType(
+                    Limits(len(self.frozen_pages), self.definition.max_pages)
+                )
+                memory = LinearMemory.from_frozen_pages(self.frozen_pages, memtype)
+            globals_ = [
+                GlobalInstance(vt, mut, val) for vt, mut, val in self.globals_snapshot
+            ]
+            table = list(self.table_snapshot) if self.table_snapshot is not None else None
+            self.restore_count += 1
+            return Instance.from_parts(
+                module, funcs, memory, globals_, table, fuel=fuel, tier=tier
             )
-            memory = LinearMemory.from_frozen_pages(self.frozen_pages, memtype)
-        globals_ = [
-            GlobalInstance(vt, mut, val) for vt, mut, val in self.globals_snapshot
-        ]
-        table = list(self.table_snapshot) if self.table_snapshot is not None else None
-        self.restore_count += 1
-        return Instance.from_parts(
-            module, funcs, memory, globals_, table, fuel=fuel, tier=tier
-        )
 
     def restore(
         self, env, fuel: int | None = None, tier: str | None = None

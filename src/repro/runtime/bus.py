@@ -5,6 +5,13 @@ bus carries function-execution requests (including work shared between
 hosts by the scheduler, Fig. 5's "sharing queue") and shutdown signals.
 Each runtime instance runs a dispatcher that drains its queue and executes
 calls on worker threads.
+
+Telemetry rides the bus two ways: delivery counters live in a
+:class:`~repro.telemetry.metrics.MetricsRegistry` (``BusStats`` is a thin
+view over them), and every :class:`ExecuteCall` can carry a **trace
+context** (:data:`repro.telemetry.trace.Wire`) so the receiving host's
+spans attach to the sender's trace — the in-process analogue of trace
+headers on a cross-host RPC.
 """
 
 from __future__ import annotations
@@ -12,6 +19,8 @@ from __future__ import annotations
 import queue
 import threading
 from dataclasses import dataclass
+
+from repro.telemetry import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -24,6 +33,9 @@ class ExecuteCall:
     origin: str | None = None
     #: Whether this message crossed hosts (work sharing, Fig. 5).
     shared: bool = False
+    #: Propagated trace context: (trace_id, parent span id, sampled,
+    #: sender perf_counter timestamp), or None when tracing is off.
+    trace: tuple | None = None
 
 
 @dataclass(frozen=True)
@@ -31,22 +43,40 @@ class Shutdown:
     """Stop the receiving dispatcher."""
 
 
-@dataclass
 class BusStats:
-    """Delivery counters; mutated only under the bus's stats lock."""
+    """Delivery counters — a view over the bus's metrics registry, kept
+    so existing ``bus.stats.sent`` consumers are unaffected."""
 
-    sent: int = 0
-    shared: int = 0
+    def __init__(self, metrics: MetricsRegistry):
+        self._sent = metrics.counter("bus.messages_sent")
+        self._shared = metrics.counter("bus.messages_shared")
+
+    @property
+    def sent(self) -> int:
+        return self._sent.value
+
+    @property
+    def shared(self) -> int:
+        return self._shared.value
+
+    def record(self, message) -> None:
+        self._sent.inc()
+        if isinstance(message, ExecuteCall) and message.shared:
+            self._shared.inc()
+
+    def __repr__(self) -> str:  # keeps the old dataclass-ish repr
+        return f"BusStats(sent={self.sent}, shared={self.shared})"
 
 
 class MessageBus:
     """Per-host FIFO queues with simple delivery accounting."""
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
         self._queues: dict[str, "queue.Queue"] = {}
         self._mutex = threading.Lock()
-        self._stats_mutex = threading.Lock()
-        self.stats = BusStats()
+        # `is None`, not truthiness: an empty registry has len() == 0.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stats = BusStats(self.metrics)
 
     def register(self, host: str) -> None:
         with self._mutex:
@@ -63,10 +93,7 @@ class MessageBus:
 
     def send(self, host: str, message) -> None:
         self._queue_for(host).put(message)
-        with self._stats_mutex:
-            self.stats.sent += 1
-            if isinstance(message, ExecuteCall) and message.shared:
-                self.stats.shared += 1
+        self.stats.record(message)
 
     def receive(self, host: str, timeout: float | None = None):
         """Blocking receive; returns None on timeout."""

@@ -16,6 +16,7 @@ import threading
 
 from repro.host.filesystem import GlobalObjectStore
 from repro.state.kv import GlobalStateStore
+from repro.telemetry import Telemetry, export as telemetry_export
 
 from .bus import ExecuteCall, MessageBus, Shutdown
 from .calls import CallRecord, CallRegistry
@@ -39,7 +40,12 @@ class FaasmCluster:
         n_hosts: int = 2,
         capacity: int = DEFAULT_CAPACITY,
         reset_between_calls: bool = False,
+        telemetry: Telemetry | None = None,
     ):
+        #: Unified telemetry: span tracer + metrics registry. Disabled by
+        #: default (the tracing-off path is a no-op fast path); pass
+        #: ``Telemetry(enabled=True, sample_rate=...)`` to record traces.
+        self.telemetry = telemetry or Telemetry()
         self.global_state = GlobalStateStore()
         self.object_store = GlobalObjectStore()
         self.registry = FunctionRegistry(self.object_store)
@@ -47,7 +53,7 @@ class FaasmCluster:
         self.warm_sets = WarmSetRegistry(self.global_state)
         #: Shared endpoint registry for Faaslet virtual NICs.
         self.endpoints: dict = {}
-        self.bus = MessageBus()
+        self.bus = MessageBus(metrics=self.telemetry.metrics)
         self.instances = [
             FaasmRuntimeInstance(
                 f"host-{i}", self, capacity=capacity,
@@ -94,18 +100,32 @@ class FaasmCluster:
             instance = self.instances[next(self._rr) % len(self.instances)]
         else:
             instance = self.instance_for(origin)
-        decision = instance.scheduler.schedule(function)
-        # Deliver over the message bus: locally, or to the warm host the
-        # scheduler shared the work with (Fig. 5's sharing queue).
-        self.bus.send(
-            decision.host,
-            ExecuteCall(
-                record.call_id,
-                function,
-                origin=instance.host,
-                shared=decision.reason == "shared",
-            ),
-        )
+        # The dispatch span roots a new trace for external calls; a
+        # chained call re-entering on an executor thread continues the
+        # caller's trace (its ambient context is still active there).
+        with self.telemetry.tracer.trace(
+            "call.dispatch",
+            host=instance.host,
+            function=function,
+            call_id=record.call_id,
+        ) as sp:
+            decision = instance.scheduler.schedule(function)
+            sp.set_attr("decision", decision.reason)
+            sp.set_attr("target", decision.host)
+            # Deliver over the message bus: locally, or to the warm host
+            # the scheduler shared the work with (Fig. 5's sharing
+            # queue). The wire context makes the receiving executor's
+            # spans children of this dispatch span, across hosts.
+            self.bus.send(
+                decision.host,
+                ExecuteCall(
+                    record.call_id,
+                    function,
+                    origin=instance.host,
+                    shared=decision.reason == "shared",
+                    trace=sp.wire(),
+                ),
+            )
         with self._dispatched_lock:
             self._dispatched.append(record)
         return record.call_id
@@ -140,6 +160,41 @@ class FaasmCluster:
 
     def total_cold_starts(self) -> int:
         return sum(i.metrics.cold_starts for i in self.instances)
+
+    def metrics_snapshot(self) -> dict:
+        """Cluster-aggregated metrics dump: every per-host series (bus,
+        state transfers, instance lifecycle, span latencies) plus
+        cluster-wide sums for the headline counters."""
+        snapshot = self.telemetry.metrics.snapshot()
+        snapshot["aggregates"] = {
+            name: self.telemetry.metrics.aggregate(name)
+            for name in (
+                "instance.calls_executed",
+                "instance.cold_starts",
+                "instance.warm_hits",
+                "state.bytes_sent",
+                "state.bytes_received",
+                "state.round_trips",
+            )
+        }
+        return snapshot
+
+    def trace_spans(self):
+        """All spans recorded by this cluster's tracer."""
+        return self.telemetry.spans()
+
+    def export_chrome_trace(self, path: str | None = None) -> dict:
+        """The cluster's spans as Chrome trace-event JSON (optionally
+        written to ``path``), with the metrics snapshot in ``otherData``."""
+        doc = telemetry_export.to_chrome_trace(
+            self.trace_spans(), metrics=self.metrics_snapshot()
+        )
+        if path is not None:
+            import json
+
+            with open(path, "w") as f:
+                json.dump(doc, f)
+        return doc
 
     def drain(self, timeout: float = 30.0) -> None:
         """Wait for all dispatched calls to finish (tests/benchmarks)."""

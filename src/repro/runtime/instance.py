@@ -12,7 +12,6 @@ from __future__ import annotations
 import logging
 import threading
 import time
-from dataclasses import dataclass, field
 
 from repro.faaslet import CpuCgroup, Faaslet, FunctionDefinition, NetworkNamespace
 from repro.host.environment import FaasletEnvironment
@@ -20,6 +19,7 @@ from repro.host.filesystem import VirtualFilesystem
 from repro.state.api import StateAPI
 from repro.state.kv import StateClient, TransferMeter
 from repro.state.local import LocalTier
+from repro.telemetry import MetricsRegistry, context_from_wire, span
 
 from .calls import CallRecord
 from .pyguest import PythonCallContext
@@ -46,18 +46,52 @@ class RuntimeEnvironment(FaasletEnvironment):
         return self.instance.cluster.dispatch(name, input_data, origin=self.instance.host)
 
     def await_call(self, call_id: int) -> int:
-        return self.instance.cluster.calls.wait(call_id)
+        with span("call.await", call_id=call_id):
+            return self.instance.cluster.calls.wait(call_id)
 
     def get_call_output(self, call_id: int) -> bytes:
         return self.instance.cluster.calls.output(call_id)
 
 
-@dataclass
 class InstanceMetrics:
-    calls_executed: int = 0
-    cold_starts: int = 0
-    warm_hits: int = 0
-    init_time_total: float = 0.0
+    """Per-host lifecycle counters — a view over the cluster's metrics
+    registry (labelled ``host=``), keeping the historic attribute API so
+    ``instance.metrics.cold_starts`` consumers are unaffected while the
+    same series aggregate cluster-wide through the registry."""
+
+    def __init__(self, metrics: MetricsRegistry | None = None, host: str = ""):
+        # `is None`, not truthiness: an empty registry has len() == 0.
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        self._calls = metrics.counter("instance.calls_executed", host=host)
+        self._cold = metrics.counter("instance.cold_starts", host=host)
+        self._warm = metrics.counter("instance.warm_hits", host=host)
+        self._init = metrics.histogram("instance.init_time", host=host)
+
+    def record_call(self) -> None:
+        self._calls.inc()
+
+    def record_cold_start(self, init_time: float) -> None:
+        self._cold.inc()
+        self._init.observe(init_time)
+
+    def record_warm_hit(self) -> None:
+        self._warm.inc()
+
+    @property
+    def calls_executed(self) -> int:
+        return self._calls.value
+
+    @property
+    def cold_starts(self) -> int:
+        return self._cold.value
+
+    @property
+    def warm_hits(self) -> int:
+        return self._warm.value
+
+    @property
+    def init_time_total(self) -> float:
+        return self._init.sum
 
     @property
     def cold_ratio(self) -> float:
@@ -81,7 +115,7 @@ class FaasmRuntimeInstance:
         self.capacity = capacity
         self.reset_between_calls = reset_between_calls
 
-        meter = TransferMeter()
+        meter = TransferMeter(cluster.telemetry.metrics, host=host)
         self.state_client = StateClient(cluster.global_state, meter)
         self.local_tier = LocalTier(host, self.state_client)
         self.state_api = StateAPI(self.local_tier)
@@ -100,7 +134,7 @@ class FaasmRuntimeInstance:
         self._warm: dict[str, list[Faaslet]] = {}
         self._mutex = threading.Lock()
         self._executing = 0
-        self.metrics = InstanceMetrics()
+        self.metrics = InstanceMetrics(cluster.telemetry.metrics, host=host)
         self._dispatcher: threading.Thread | None = None
         #: Calls received over the bus that were shared from another host.
         self.shared_received = 0
@@ -132,18 +166,44 @@ class FaasmRuntimeInstance:
                 # await_call, so calls must not share the dispatcher thread.
                 threading.Thread(
                     target=self._execute_safely,
-                    args=(record,),
+                    args=(record, message),
                     daemon=True,
                     name=f"call-{record.call_id}-{record.function}",
                 ).start()
 
-    def _execute_safely(self, record) -> None:
+    def _execute_safely(self, record, message: "ExecuteCall | None" = None) -> None:
         try:
-            self.execute(record)
+            self._execute_traced(record, message)
         except Exception as exc:  # never kill the host on a bad call
             logger.exception("call %s crashed the executor", record.call_id)
             if not record.done.is_set():
                 self.cluster.calls.fail(record.call_id, str(exc))
+
+    def _execute_traced(self, record, message: "ExecuteCall | None") -> None:
+        """Execute under the trace context carried by the bus message.
+
+        Executor threads start with an empty ambient context, so the
+        sender's context is re-activated here — the receive-side half of
+        cross-host propagation. Without a carried context (tracing off,
+        or the trace was unsampled at its root) this is a plain execute.
+        """
+        wire = message.trace if message is not None else None
+        if wire is None:
+            self.execute(record)
+            return
+        tracer = self.cluster.telemetry.tracer
+        with tracer.activate(context_from_wire(wire), host=self.host):
+            with span(
+                "call.invoke",
+                call_id=record.call_id,
+                function=record.function,
+                shared=bool(message.shared),
+            ) as sp:
+                sp.set_attr("queue_wait_s", time.perf_counter() - wire[3])
+                self.execute(record)
+                if record.return_code is not None:
+                    sp.set_attr("return_code", record.return_code)
+                sp.set_attr("cold_start", record.cold_start)
 
     def join_dispatcher(self, timeout: float = 5.0) -> None:
         if self._dispatcher is not None:
@@ -176,10 +236,11 @@ class FaasmRuntimeInstance:
 
     def _execute_python(self, record: CallRecord, definition) -> None:
         self.cluster.calls.mark_running(record.call_id, self.host, cold_start=False)
-        self.metrics.calls_executed += 1
+        self.metrics.record_call()
         ctx = PythonCallContext(self.env, record.input_data)
         try:
-            result = definition.fn(ctx)
+            with span("guest.exec", function=record.function, runtime="python"):
+                result = definition.fn(ctx)
             code = int(result) if isinstance(result, int) else 0
             self.cluster.calls.complete(record.call_id, code, ctx.output)
         except Exception as exc:  # guest failure must not kill the host
@@ -189,7 +250,7 @@ class FaasmRuntimeInstance:
     def _execute_wasm(self, record: CallRecord, definition: FunctionDefinition) -> None:
         faaslet, cold = self._acquire_faaslet(definition)
         self.cluster.calls.mark_running(record.call_id, self.host, cold_start=cold)
-        self.metrics.calls_executed += 1
+        self.metrics.record_call()
         try:
             code, output = faaslet.call(record.input_data)
             self.cluster.calls.complete(record.call_id, code, output)
@@ -200,17 +261,21 @@ class FaasmRuntimeInstance:
         with self._mutex:
             pool = self._warm.get(definition.name)
             if pool:
-                self.metrics.warm_hits += 1
+                self.metrics.record_warm_hit()
+                with span("faaslet.acquire", function=definition.name) as sp:
+                    sp.set_attr("mode", "warm")
                 return pool.pop(), False
         # Cold start: restore from the Proto-Faaslet when one exists.
-        start = time.perf_counter()
-        proto = self.cluster.registry.proto(definition.name)
-        if proto is not None:
-            faaslet = proto.restore(self.env)
-        else:
-            faaslet = Faaslet(definition, self.env)
-        self.metrics.cold_starts += 1
-        self.metrics.init_time_total += time.perf_counter() - start
+        with span("faaslet.acquire", function=definition.name) as sp:
+            start = time.perf_counter()
+            proto = self.cluster.registry.proto(definition.name)
+            if proto is not None:
+                sp.set_attr("mode", "proto-restore")
+                faaslet = proto.restore(self.env)
+            else:
+                sp.set_attr("mode", "cold-boot")
+                faaslet = Faaslet(definition, self.env)
+            self.metrics.record_cold_start(time.perf_counter() - start)
         self.cgroup.add_member(faaslet.name)
         return faaslet, True
 

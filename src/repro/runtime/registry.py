@@ -22,6 +22,7 @@ from typing import Callable
 from repro.faaslet import FunctionDefinition, ProtoFaaslet
 from repro.host.filesystem import GlobalObjectStore
 from repro.minilang import compile_source
+from repro.telemetry import span
 from repro.wasm import parse_module
 from repro.wasm.module import Module
 
@@ -75,15 +76,17 @@ class FunctionRegistry:
         Proto-Faaslet is captured immediately — running ``init`` if given —
         and stored for cluster-wide cold starts.
         """
-        if isinstance(source, Module):
-            module = source
-        elif lang == "minilang":
-            module = compile_source(source, name)
-        elif lang == "wat":
-            module = parse_module(source)
-        else:
-            raise ValueError(f"unknown language {lang!r}")
-        definition = FunctionDefinition.build(name, module, **definition_kwargs)
+        with span("function.upload", function=name, lang=lang) as sp:
+            if isinstance(source, Module):
+                module = source
+            elif lang == "minilang":
+                module = compile_source(source, name)
+            elif lang == "wat":
+                module = parse_module(source)
+            else:
+                raise ValueError(f"unknown language {lang!r}")
+            definition = FunctionDefinition.build(name, module, **definition_kwargs)
+            sp.set_attr("snapshot", snapshot)
         with self._mutex:
             self._functions[name] = definition
         if isinstance(source, str):
@@ -137,7 +140,9 @@ class FunctionRegistry:
         scratch_env = StandaloneEnvironment(
             object_store=self.object_store, host="upload-service"
         )
-        proto = ProtoFaaslet.capture(definition, scratch_env, init=init)
+        with span("snapshot.capture", function=name) as sp:
+            proto = ProtoFaaslet.capture(definition, scratch_env, init=init)
+            sp.set_attr("pages", len(proto.frozen_pages))
         with self._mutex:
             self._protos[name] = proto
         # Store the serialised snapshot, as the paper stores Proto-Faaslets

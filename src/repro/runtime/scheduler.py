@@ -14,6 +14,7 @@ import json
 from dataclasses import dataclass
 
 from repro.state.kv import GlobalStateStore
+from repro.telemetry import span
 
 _WARM_PREFIX = "faasm/sched/warm/"
 
@@ -73,20 +74,23 @@ class LocalScheduler:
         self.decisions: dict[str, int] = {"warm-local": 0, "shared": 0, "cold-local": 0}
 
     def schedule(self, function: str) -> SchedulingDecision:
-        warm = self.warm_sets.warm_hosts(function)
-        if self.host in warm and self._capacity() > 0:
-            decision = SchedulingDecision(self.host, "warm-local")
-        else:
-            shared_to = None
-            for peer in sorted(warm):
-                if peer != self.host and self._peer_capacity(peer) > 0:
-                    shared_to = peer
-                    break
-            if shared_to is not None:
-                decision = SchedulingDecision(shared_to, "shared")
+        with span("schedule", function=function) as sp:
+            warm = self.warm_sets.warm_hosts(function)
+            if self.host in warm and self._capacity() > 0:
+                decision = SchedulingDecision(self.host, "warm-local")
             else:
-                # Cold start locally and advertise this host as warm.
-                self.warm_sets.add(function, self.host)
-                decision = SchedulingDecision(self.host, "cold-local")
-        self.decisions[decision.reason] += 1
+                shared_to = None
+                for peer in sorted(warm):
+                    if peer != self.host and self._peer_capacity(peer) > 0:
+                        shared_to = peer
+                        break
+                if shared_to is not None:
+                    decision = SchedulingDecision(shared_to, "shared")
+                else:
+                    # Cold start locally and advertise this host as warm.
+                    self.warm_sets.add(function, self.host)
+                    decision = SchedulingDecision(self.host, "cold-local")
+            self.decisions[decision.reason] += 1
+            sp.set_attr("reason", decision.reason)
+            sp.set_attr("warm_hosts", len(warm))
         return decision

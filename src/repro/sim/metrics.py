@@ -11,25 +11,21 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+# One percentile implementation serves the whole repo: this module, the
+# telemetry Histogram and the span exporters all share it (re-exported
+# here because `sim.metrics.percentile` is the historic import path).
+from repro.telemetry.stats import percentile
+
 GB = 1e9
 
-
-def percentile(values: list[float], pct: float) -> float:
-    """Linear-interpolated percentile (pct in [0, 100])."""
-    if not values:
-        raise ValueError("no values")
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = (pct / 100.0) * (len(ordered) - 1)
-    lo = math.floor(rank)
-    hi = math.ceil(rank)
-    if lo == hi:
-        return ordered[lo]
-    frac = rank - lo
-    # This form is exactly bounded by [ordered[lo], ordered[hi]] under
-    # floating point, unlike the a*(1-f) + b*f formulation.
-    return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
+__all__ = [
+    "GB",
+    "BillableMemory",
+    "ExperimentMetrics",
+    "LatencyRecorder",
+    "TransferTotals",
+    "percentile",
+]
 
 
 @dataclass

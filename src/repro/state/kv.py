@@ -30,6 +30,8 @@ from __future__ import annotations
 import threading
 import zlib
 
+from repro.telemetry import MetricsRegistry
+
 from .rwlock import RWLock
 
 
@@ -40,31 +42,47 @@ class StateKeyError(KeyError):
 class TransferMeter:
     """Counts bytes and round trips exchanged with the global tier.
 
-    Thread-safe: dispatcher threads on one host share a meter, so the
-    increments are guarded (an unsynchronised ``+=`` would drop counts
-    under concurrency and corrupt the Fig. 6b/8b accounting).
+    A thin view over metrics-registry counters (``state.bytes_sent`` /
+    ``state.bytes_received`` / ``state.round_trips``): a host's runtime
+    instance passes the cluster registry and a ``host=`` label so the
+    same numbers are visible per host and cluster-aggregated, while the
+    historic attribute API (``meter.sent_bytes`` …) keeps working.
+    Counters are internally locked — dispatcher threads on one host share
+    a meter, and an unsynchronised ``+=`` would drop counts and corrupt
+    the Fig. 6b/8b accounting.
     """
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.sent_bytes = 0
-        self.received_bytes = 0
+    def __init__(self, metrics: MetricsRegistry | None = None, **labels) -> None:
+        # `is None`, not truthiness: an empty registry has len() == 0.
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        self._sent = metrics.counter("state.bytes_sent", **labels)
+        self._received = metrics.counter("state.bytes_received", **labels)
         #: Client calls to the global tier — each is one network round trip
         #: in the paper's deployment, regardless of how many byte ranges it
         #: batches.
-        self.round_trips = 0
+        self._trips = metrics.counter("state.round_trips", **labels)
 
     def record_sent(self, nbytes: int) -> None:
         """Charge one outbound round trip carrying ``nbytes``."""
-        with self._lock:
-            self.sent_bytes += nbytes
-            self.round_trips += 1
+        self._sent.inc(nbytes)
+        self._trips.inc()
 
     def record_received(self, nbytes: int) -> None:
         """Charge one inbound round trip carrying ``nbytes``."""
-        with self._lock:
-            self.received_bytes += nbytes
-            self.round_trips += 1
+        self._received.inc(nbytes)
+        self._trips.inc()
+
+    @property
+    def sent_bytes(self) -> int:
+        return self._sent.value
+
+    @property
+    def received_bytes(self) -> int:
+        return self._received.value
+
+    @property
+    def round_trips(self) -> int:
+        return self._trips.value
 
     @property
     def operations(self) -> int:
@@ -77,11 +95,10 @@ class TransferMeter:
         return self.sent_bytes + self.received_bytes
 
     def reset(self) -> None:
-        """Zero every counter."""
-        with self._lock:
-            self.sent_bytes = 0
-            self.received_bytes = 0
-            self.round_trips = 0
+        """Zero every counter (this meter's labelled series only)."""
+        self._sent.reset()
+        self._received.reset()
+        self._trips.reset()
 
 
 #: Default number of lock stripes: enough that 16 dispatcher threads on

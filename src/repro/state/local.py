@@ -25,6 +25,7 @@ import threading
 from dataclasses import dataclass, field
 
 from repro.faaslet.sharing import SharedRegion
+from repro.telemetry import span
 
 from .kv import StateClient
 from .rwlock import RWLock
@@ -248,18 +249,21 @@ class LocalTier:
         rep = self.replica(key)
         with rep.lock.write_locked():
             if force or not rep.present.covers(0, rep.size):
-                size = self.client.size(key)  # raises StateKeyError if absent
-                if size > rep.region.size:
-                    rep.region.resize(size)
-                if size:
-                    self.client.pull_ranges_into(
-                        key, [(0, rep.region.view(0, size))]
-                    )
-                rep.value_size = size
-                rep.present.clear()
-                rep.present.add(0, size)
-                rep.discard_dirty(0, max(size, rep.region.size))
-                rep.synced_size = size
+                with span("state.pull", key=key, host=self.host) as sp:
+                    size = self.client.size(key)  # raises StateKeyError if absent
+                    if size > rep.region.size:
+                        rep.region.resize(size)
+                    if size:
+                        self.client.pull_ranges_into(
+                            key, [(0, rep.region.view(0, size))]
+                        )
+                    rep.value_size = size
+                    rep.present.clear()
+                    rep.present.add(0, size)
+                    rep.discard_dirty(0, max(size, rep.region.size))
+                    rep.synced_size = size
+                    sp.set_attr("bytes", size)
+                    sp.set_attr("round_trips", 2 if size else 1)
         return rep
 
     def pull_chunk(self, key: str, offset: int, length: int, force: bool = False) -> Replica:
@@ -273,12 +277,15 @@ class LocalTier:
             else:
                 gaps = rep.present.missing(offset, offset + length)
             if gaps:
-                self.client.pull_ranges_into(
-                    key, [(s, rep.region.view(s, e - s)) for s, e in gaps]
-                )
-                for s, e in gaps:
-                    rep.present.add(s, e)
-                    rep.discard_dirty(s, e)
+                with span("state.pull", key=key, host=self.host, chunk=True) as sp:
+                    self.client.pull_ranges_into(
+                        key, [(s, rep.region.view(s, e - s)) for s, e in gaps]
+                    )
+                    for s, e in gaps:
+                        rep.present.add(s, e)
+                        rep.discard_dirty(s, e)
+                    sp.set_attr("bytes", sum(e - s for s, e in gaps))
+                    sp.set_attr("round_trips", 1)
         return rep
 
     def push(self, key: str) -> None:
@@ -295,25 +302,31 @@ class LocalTier:
             spans = rep.take_dirty(rep.value_size)
             if not spans and rep.synced_size == rep.value_size:
                 return
-            parts = [(s, rep.region.view(s, e - s)) for s, e in spans]
-            # The trip always carries the local logical size: a push makes
-            # the global value's length match the replica's, exactly as a
-            # full-value push did, so shrinks and grows propagate with the
-            # same round trip (no extra RPC, no extra payload bytes).
-            self.client.push_ranges(key, parts, truncate_to=rep.value_size)
-            for s, e in spans:
-                rep.present.add(s, e)
-            rep.synced_size = rep.value_size
+            with span("state.push", key=key, host=self.host) as sp:
+                parts = [(s, rep.region.view(s, e - s)) for s, e in spans]
+                # The trip always carries the local logical size: a push makes
+                # the global value's length match the replica's, exactly as a
+                # full-value push did, so shrinks and grows propagate with the
+                # same round trip (no extra RPC, no extra payload bytes).
+                self.client.push_ranges(key, parts, truncate_to=rep.value_size)
+                for s, e in spans:
+                    rep.present.add(s, e)
+                rep.synced_size = rep.value_size
+                sp.set_attr("bytes", sum(e - s for s, e in spans))
+                sp.set_attr("round_trips", 1)
 
     def push_chunk(self, key: str, offset: int, length: int) -> None:
         """Push one explicit byte range (Tab. 2 ``push_state_offset``)."""
         rep = self.replica(key)
         with rep.lock.write_locked():
-            self.client.push_ranges(
-                key, [(offset, rep.region.view(offset, length))]
-            )
-            rep.present.add(offset, offset + length)
-            rep.discard_dirty(offset, offset + length)
+            with span("state.push", key=key, host=self.host, chunk=True) as sp:
+                self.client.push_ranges(
+                    key, [(offset, rep.region.view(offset, length))]
+                )
+                rep.present.add(offset, offset + length)
+                rep.discard_dirty(offset, offset + length)
+                sp.set_attr("bytes", length)
+                sp.set_attr("round_trips", 1)
 
     # ------------------------------------------------------------------
     # Local reads/writes (no global traffic)

@@ -1,0 +1,258 @@
+"""Telemetry exporters: trace trees, JSON-lines, Chrome trace, text.
+
+One invocation's telemetry leaves the process in three shapes:
+
+* **JSON-lines** — one record per span (plus optional ``dispatch`` and
+  ``metrics`` records), the grep-able archival format;
+* **Chrome trace-event JSON** — loadable in ``chrome://tracing`` or
+  Perfetto: hosts map to processes, executor threads to tracks, spans to
+  complete ("X") events;
+* **text summary** — a per-span-name latency table for terminals.
+
+The *unified artifact* (:func:`build_artifact`) bundles spans, a metrics
+snapshot and — when the run was profiled — the interpreter's per-opcode
+dispatch counters, so one file carries everything `repro trace` and
+`repro profile` can measure about a run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .stats import summarize
+from .trace import Span
+
+ARTIFACT_FORMAT = "repro-telemetry/1"
+
+
+# ----------------------------------------------------------------------
+# Trace trees
+# ----------------------------------------------------------------------
+@dataclass
+class SpanNode:
+    """One span with its resolved children, ordered by start time."""
+
+    span: Span
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.span.name
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def build_trees(spans: list[Span]) -> list[SpanNode]:
+    """Assemble spans into per-trace trees (roots ordered by start).
+
+    A span whose parent id is missing from the set (dropped by the
+    span cap, or exported partially) becomes a root, so the result is
+    always a forest covering every span exactly once.
+    """
+    nodes = {s.span_id: SpanNode(s) for s in spans}
+    roots: list[SpanNode] = []
+    for node in nodes.values():
+        parent = nodes.get(node.span.parent_id) if node.span.parent_id else None
+        if parent is None:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda n: n.span.start)
+    roots.sort(key=lambda n: n.span.start)
+    return roots
+
+
+def phase_attribution(node: SpanNode) -> dict[str, float]:
+    """Attribute a span's wall time to its direct child phases.
+
+    Returns ``{child-name: seconds, ..., "self": seconds}`` where
+    ``self`` is the time not covered by any child. Children are clipped
+    to the parent's interval first — a child on another thread can
+    outlive its parent (a ``call.invoke`` outliving the quick
+    ``call.dispatch`` that sent it over the bus), and only the
+    overlapping part is the parent's wall time. With sequential
+    (non-overlapping) children the values sum to the span's duration
+    exactly; overlapping children (concurrent chained calls) are merged
+    before the ``self`` subtraction, so ``self`` never goes negative.
+    """
+    phases: dict[str, float] = {}
+    intervals = []
+    for child in node.children:
+        start = max(child.span.start, node.span.start)
+        end = min(child.span.end, node.span.end)
+        if end <= start:
+            phases.setdefault(child.name, 0.0)
+            continue
+        phases[child.name] = phases.get(child.name, 0.0) + (end - start)
+        intervals.append((start, end))
+    covered = 0.0
+    cursor = None
+    for start, end in sorted(intervals):
+        if cursor is None or start > cursor:
+            covered += end - start
+            cursor = end
+        elif end > cursor:
+            covered += end - cursor
+            cursor = end
+    phases["self"] = max(0.0, node.span.duration - covered)
+    return phases
+
+
+# ----------------------------------------------------------------------
+# Unified artifact
+# ----------------------------------------------------------------------
+def dispatch_section(instance) -> dict:
+    """Opcode-dispatch counters of a ``profile=True`` wasm instance in
+    artifact form (the `repro profile` output, made embeddable)."""
+    if instance.op_counts is None:
+        raise ValueError("instance was not created with profile=True")
+    return {
+        "total": instance.instructions_executed,
+        "opcodes": dict(instance.op_counts.most_common()),
+        "pairs": [
+            [a, b, count] for (a, b), count in instance.pair_counts.most_common()
+        ],
+    }
+
+
+def build_artifact(
+    spans: list[Span],
+    metrics: dict | None = None,
+    dispatch: dict | None = None,
+) -> dict:
+    """The unified telemetry artifact: spans + metrics + dispatch counts."""
+    artifact = {
+        "format": ARTIFACT_FORMAT,
+        "spans": [s.to_dict() for s in spans],
+    }
+    if metrics is not None:
+        artifact["metrics"] = metrics
+    if dispatch is not None:
+        artifact["dispatch"] = dispatch
+    return artifact
+
+
+# ----------------------------------------------------------------------
+# JSON-lines
+# ----------------------------------------------------------------------
+def to_jsonl(
+    spans: list[Span],
+    metrics: dict | None = None,
+    dispatch: dict | None = None,
+) -> str:
+    """One JSON record per line: spans, then optional trailer records."""
+    lines = [json.dumps({"type": "span", **s.to_dict()}) for s in spans]
+    if metrics is not None:
+        lines.append(json.dumps({"type": "metrics", "metrics": metrics}))
+    if dispatch is not None:
+        lines.append(json.dumps({"type": "dispatch", **dispatch}))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format
+# ----------------------------------------------------------------------
+def to_chrome_trace(
+    spans: list[Span],
+    metrics: dict | None = None,
+    dispatch: dict | None = None,
+) -> dict:
+    """Chrome trace-event JSON (the object form with ``traceEvents``).
+
+    Hosts become processes (``pid``), the recording thread becomes the
+    track (``tid``), and every span is a complete ("X") event whose
+    ``ts``/``dur`` are microseconds from the earliest span start.
+    Extra payloads (metrics snapshot, dispatch counters) travel in
+    ``otherData``, which the Chrome loader preserves.
+    """
+    events: list[dict] = []
+    if spans:
+        t0 = min(s.start for s in spans)
+        pids = {s.host or "local" for s in spans}
+        for pid in sorted(pids):
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": pid},
+                }
+            )
+        for s in spans:
+            events.append(
+                {
+                    "name": s.name,
+                    "cat": s.name.split(".", 1)[0],
+                    "ph": "X",
+                    "ts": (s.start - t0) * 1e6,
+                    "dur": s.duration * 1e6,
+                    "pid": s.host or "local",
+                    "tid": s.thread,
+                    "args": {
+                        "trace_id": s.trace_id,
+                        "span_id": s.span_id,
+                        "parent_id": s.parent_id,
+                        **s.attrs,
+                    },
+                }
+            )
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    other: dict = {"format": ARTIFACT_FORMAT}
+    if metrics is not None:
+        other["metrics"] = metrics
+    if dispatch is not None:
+        other["dispatch"] = dispatch
+    doc["otherData"] = other
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Text summary
+# ----------------------------------------------------------------------
+def text_summary(spans: list[Span]) -> str:
+    """Per-span-name latency table (count, total, mean, p50, p99)."""
+    by_name: dict[str, list[float]] = {}
+    for s in spans:
+        by_name.setdefault(s.name, []).append(s.duration)
+    if not by_name:
+        return "(no spans recorded)"
+    header = (
+        f"{'span':<24}{'count':>8}{'total ms':>12}{'mean ms':>10}"
+        f"{'p50 ms':>10}{'p99 ms':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for name in sorted(by_name, key=lambda n: -sum(by_name[n])):
+        stats = summarize(by_name[name])
+        lines.append(
+            f"{name:<24}{stats['count']:>8}"
+            f"{sum(by_name[name]) * 1e3:>12.3f}{stats['mean'] * 1e3:>10.3f}"
+            f"{stats['p50'] * 1e3:>10.3f}{stats['p99'] * 1e3:>10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def tree_summary(spans: list[Span]) -> str:
+    """Indented per-trace tree rendering (used by `repro trace`)."""
+    lines: list[str] = []
+    for root in build_trees(spans):
+        lines.append(f"trace {root.span.trace_id}")
+        _render(root, lines, depth=1)
+    return "\n".join(lines) if lines else "(no spans recorded)"
+
+
+def _render(node: SpanNode, lines: list[str], depth: int) -> None:
+    s = node.span
+    host = f" @{s.host}" if s.host else ""
+    attrs = ", ".join(f"{k}={v}" for k, v in sorted(s.attrs.items()))
+    attrs = f" [{attrs}]" if attrs else ""
+    lines.append(
+        f"{'  ' * depth}{s.name:<22} {s.duration * 1e3:9.3f} ms{host}{attrs}"
+    )
+    for child in node.children:
+        _render(child, lines, depth + 1)

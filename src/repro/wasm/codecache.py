@@ -26,6 +26,8 @@ from __future__ import annotations
 import hashlib
 import threading
 
+from repro.telemetry import MetricsRegistry, span
+
 from .codegen import CompiledFunction, compile_module
 from .module import Module
 
@@ -44,14 +46,37 @@ def module_key(module: Module) -> str:
 
 
 class ModuleCodeCache:
-    """Process-wide map of module hash → compiled function list."""
+    """Process-wide map of module hash → compiled function list.
 
-    def __init__(self) -> None:
+    Hit/miss/seed counters live in a
+    :class:`~repro.telemetry.metrics.MetricsRegistry` (the cache's own by
+    default); the historic ``hits``/``misses``/``seeded`` attributes are
+    views over those counters, so
+    :meth:`~repro.runtime.registry.FunctionRegistry.code_cache_stats`
+    consumers and the churn benchmarks see the same numbers as a
+    registry snapshot does.
+    """
+
+    def __init__(self, metrics=None) -> None:
         self._entries: dict[str, list[CompiledFunction]] = {}
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.seeded = 0
+        # `is None`, not truthiness: an empty registry has len() == 0.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._hits = self.metrics.counter("codecache.hits")
+        self._misses = self.metrics.counter("codecache.misses")
+        self._seeded = self.metrics.counter("codecache.seeded")
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def seeded(self) -> int:
+        return self._seeded.value
 
     def get_or_compile(self, module: Module) -> list[CompiledFunction]:
         """Return the cached compiled functions for ``module``, running
@@ -60,12 +85,14 @@ class ModuleCodeCache:
         with self._lock:
             compiled = self._entries.get(key)
             if compiled is not None:
-                self.hits += 1
+                self._hits.inc()
                 return compiled
-            self.misses += 1
+            self._misses.inc()
         # Compile outside the lock; a racing duplicate is harmless and the
         # first writer wins, keeping threaded code shared.
-        compiled = compile_module(module)
+        with span("module.compile", key=key[:12]) as sp:
+            compiled = compile_module(module)
+            sp.set_attr("functions", len(compiled))
         with self._lock:
             return self._entries.setdefault(key, compiled)
 
@@ -79,7 +106,7 @@ class ModuleCodeCache:
         with self._lock:
             if key not in self._entries:
                 self._entries[key] = compiled
-                self.seeded += 1
+                self._seeded.inc()
 
     def seed_with_key(
         self, module: Module, key: str, compiled: list[CompiledFunction]
@@ -98,10 +125,10 @@ class ModuleCodeCache:
         with self._lock:
             existing = self._entries.get(key)
             if existing is not None:
-                self.hits += 1
+                self._hits.inc()
                 return existing
             self._entries[key] = compiled
-            self.seeded += 1
+            self._seeded.inc()
             return compiled
 
     def lookup(self, module: Module) -> list[CompiledFunction] | None:
@@ -121,7 +148,9 @@ class ModuleCodeCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
-            self.hits = self.misses = self.seeded = 0
+        self._hits.reset()
+        self._misses.reset()
+        self._seeded.reset()
 
     def __len__(self) -> int:
         with self._lock:

@@ -1,0 +1,189 @@
+"""Exporters: Chrome trace-event JSON, JSON-lines, the unified artifact.
+
+The acceptance check from the telemetry issue lives here: a sampled
+multi-host chained invocation must export a Chrome trace-event JSON that
+loads back and whose spans nest correctly.
+"""
+
+import json
+
+import pytest
+
+from repro.runtime import FaasmCluster
+from repro.telemetry import Span, Telemetry, export
+
+
+def _make_span(name, trace_id, span_id, parent_id, start, end, host="h"):
+    return Span(
+        name=name,
+        trace_id=trace_id,
+        span_id=span_id,
+        parent_id=parent_id,
+        host=host,
+        start=start,
+        end=end,
+    )
+
+
+@pytest.fixture(scope="module")
+def chained_trace(tmp_path_factory):
+    """One traced 3-deep chain over two hosts, exported to disk."""
+    cluster = FaasmCluster(n_hosts=2, telemetry=Telemetry(enabled=True))
+
+    def leaf(ctx):
+        ctx.write_output(b"leaf")
+
+    def mid(ctx):
+        cid = ctx.chain("leaf", b"")
+        ctx.await_all([cid])
+        ctx.write_output(b"mid<" + ctx.call_output(cid) + b">")
+
+    def root(ctx):
+        cid = ctx.chain("mid", b"")
+        ctx.await_all([cid])
+        ctx.write_output(b"root<" + ctx.call_output(cid) + b">")
+
+    cluster.register_python("leaf", leaf)
+    cluster.register_python("mid", mid)
+    cluster.register_python("root", root)
+    cluster.warm_sets.add("mid", "host-1")
+    cluster.warm_sets.add("leaf", "host-0")
+    code, output = cluster.invoke("root")
+    assert code == 0 and output == b"root<mid<leaf>>"
+    path = tmp_path_factory.mktemp("trace") / "chain.json"
+    cluster.export_chrome_trace(str(path))
+    spans = cluster.trace_spans()
+    cluster.shutdown()
+    return path, spans
+
+
+def test_chrome_export_loads_and_has_every_span(chained_trace):
+    path, spans = chained_trace
+    doc = json.loads(path.read_text())
+    events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert len(events) == len(spans)
+    assert doc["otherData"]["format"] == export.ARTIFACT_FORMAT
+    # The cluster export embeds the metrics snapshot alongside the spans.
+    metrics = doc["otherData"]["metrics"]
+    assert metrics["aggregates"]["instance.calls_executed"] == 3
+    for event in events:
+        assert event["dur"] >= 0
+        assert event["ts"] >= 0
+        assert "span_id" in event["args"]
+    # Both simulated hosts appear as processes.
+    assert {e["pid"] for e in events} == {"host-0", "host-1"}
+
+
+def test_chrome_export_spans_nest_correctly(chained_trace):
+    """Within every (pid, tid) lane, complete events must be properly
+    nested: any two either disjoint or one containing the other — the
+    invariant the Chrome trace viewer renders flame graphs from."""
+    path, _ = chained_trace
+    doc = json.loads(path.read_text())
+    events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    lanes = {}
+    for e in events:
+        lanes.setdefault((e["pid"], e["tid"]), []).append(e)
+    eps = 1e-3  # µs; ts and ts+dur round independently
+    assert any(len(lane) > 1 for lane in lanes.values())
+    for lane in lanes.values():
+        for i, a in enumerate(lane):
+            for b in lane[i + 1:]:
+                a0, a1 = a["ts"], a["ts"] + a["dur"]
+                b0, b1 = b["ts"], b["ts"] + b["dur"]
+                disjoint = a1 <= b0 + eps or b1 <= a0 + eps
+                a_in_b = b0 <= a0 + eps and a1 <= b1 + eps
+                b_in_a = a0 <= b0 + eps and b1 <= a1 + eps
+                assert disjoint or a_in_b or b_in_a, (
+                    f"events {a['name']} and {b['name']} partially "
+                    f"overlap in lane {a['pid']}/{a['tid']}"
+                )
+
+
+def test_chrome_export_parent_links_resolve(chained_trace):
+    path, _ = chained_trace
+    doc = json.loads(path.read_text())
+    events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    ids = {e["args"]["span_id"] for e in events}
+    roots = [e for e in events if e["args"]["parent_id"] is None]
+    assert len(roots) == 1
+    for e in events:
+        parent = e["args"]["parent_id"]
+        assert parent is None or parent in ids
+
+
+def test_jsonl_round_trips_every_span():
+    telemetry = Telemetry(enabled=True)
+    with telemetry.tracer.trace("outer", host="h"):
+        with telemetry.tracer.trace("inner"):
+            pass
+    text = export.to_jsonl(
+        telemetry.spans(),
+        metrics=telemetry.metrics.snapshot(),
+        dispatch={"total": 0, "opcodes": {}, "pairs": []},
+    )
+    records = [json.loads(line) for line in text.splitlines()]
+    spans = [r for r in records if r["type"] == "span"]
+    assert {s["name"] for s in spans} == {"outer", "inner"}
+    assert all({"trace_id", "span_id", "start", "end"} <= set(s) for s in spans)
+    assert [r["type"] for r in records[-2:]] == ["metrics", "dispatch"]
+
+
+def test_unified_artifact_carries_spans_and_dispatch():
+    from repro.faaslet import Faaslet, FunctionDefinition
+    from repro.host import StandaloneEnvironment
+    from repro.minilang import build
+
+    telemetry = Telemetry(enabled=True)
+    definition = FunctionDefinition.build(
+        "spin", build("export int main() { int a = 0; "
+                      "for (int i = 0; i < 50; i = i + 1) { a = a + i; } "
+                      "return 0; }")
+    )
+    with telemetry.tracer.trace("cli.run", host="local"):
+        faaslet = Faaslet(definition, StandaloneEnvironment(), profile=True)
+        assert faaslet.call(b"")[0] == 0
+    artifact = export.build_artifact(
+        telemetry.spans(),
+        metrics=telemetry.metrics.snapshot(),
+        dispatch=export.dispatch_section(faaslet.instance),
+    )
+    assert artifact["format"] == export.ARTIFACT_FORMAT
+    assert {s["name"] for s in artifact["spans"]} >= {"cli.run", "guest.exec"}
+    assert artifact["dispatch"]["total"] > 0
+    assert artifact["dispatch"]["opcodes"]
+    json.dumps(artifact)  # must be JSON-serialisable as-is
+
+
+def test_text_and_tree_summaries_mention_spans():
+    telemetry = Telemetry(enabled=True)
+    with telemetry.tracer.trace("parent", host="h"):
+        with telemetry.tracer.trace("child"):
+            pass
+    spans = telemetry.spans()
+    assert "parent" in export.text_summary(spans)
+    tree = export.tree_summary(spans)
+    assert tree.index("parent") < tree.index("child")
+    assert export.text_summary([]) == "(no spans recorded)"
+
+
+def test_build_trees_orphans_become_roots():
+    t = "t" * 16
+    parent = _make_span("a", t, "s1", None, 0.0, 1.0)
+    child = _make_span("b", t, "s2", "s1", 0.2, 0.8)
+    orphan = _make_span("c", t, "s3", "missing", 0.1, 0.3)
+    roots = export.build_trees([parent, child, orphan])
+    assert {r.name for r in roots} == {"a", "c"}
+    assert [c.name for c in roots[0].children] == ["b"]
+
+
+def test_phase_attribution_clips_cross_thread_children():
+    t = "t" * 16
+    parent = _make_span("dispatch", t, "p", None, 0.0, 1.0)
+    # The child outlives the parent (other-thread continuation).
+    child = _make_span("invoke", t, "c", "p", 0.5, 3.0)
+    node = export.build_trees([parent, child])[0]
+    phases = export.phase_attribution(node)
+    assert phases["invoke"] == pytest.approx(0.5)
+    assert phases["self"] == pytest.approx(0.5)
+    assert sum(phases.values()) == pytest.approx(node.span.duration)

@@ -1,0 +1,167 @@
+"""Cross-host trace propagation: one chained invocation, one trace tree.
+
+The satellite scenario from the telemetry issue: a 3-deep chain of calls
+spread across two simulated hosts must produce a single trace whose
+parent/child span ids mirror the call structure and whose per-span phase
+attribution sums to the span's wall time.
+"""
+
+import pytest
+
+from repro.runtime import FaasmCluster
+from repro.telemetry import Telemetry, span
+from repro.telemetry.export import build_trees, phase_attribution
+
+
+def _register_chain(cluster):
+    """root -> mid -> leaf, with warm sets forcing cross-host sharing."""
+
+    def leaf(ctx):
+        ctx.write_output(b"leaf")
+
+    def mid(ctx):
+        cid = ctx.chain("leaf", b"")
+        ctx.await_all([cid])
+        ctx.write_output(b"mid<" + ctx.call_output(cid) + b">")
+
+    def root(ctx):
+        cid = ctx.chain("mid", b"")
+        ctx.await_all([cid])
+        ctx.write_output(b"root<" + ctx.call_output(cid) + b">")
+
+    cluster.register_python("leaf", leaf)
+    cluster.register_python("mid", mid)
+    cluster.register_python("root", root)
+    # Pre-seed the shared warm sets so the scheduler *shares* each hop to
+    # the other host: root runs on host-0 (round-robin), mid is "warm" on
+    # host-1, leaf back on host-0 — two genuine bus crossings.
+    cluster.warm_sets.add("mid", "host-1")
+    cluster.warm_sets.add("leaf", "host-0")
+
+
+@pytest.fixture
+def traced_cluster():
+    cluster = FaasmCluster(n_hosts=2, telemetry=Telemetry(enabled=True))
+    _register_chain(cluster)
+    yield cluster
+    cluster.shutdown()
+
+
+def _spans_by_name(spans, name):
+    return [s for s in spans if s.name == name]
+
+
+def _invoke_of(spans, function):
+    matches = [
+        s for s in _spans_by_name(spans, "call.invoke")
+        if s.attrs.get("function") == function
+    ]
+    assert len(matches) == 1, f"expected one call.invoke for {function}"
+    return matches[0]
+
+
+def test_three_deep_chain_yields_single_trace_tree(traced_cluster):
+    cluster = traced_cluster
+    code, output = cluster.invoke("root")
+    assert code == 0
+    assert output == b"root<mid<leaf>>"
+    spans = cluster.trace_spans()
+
+    # Every span of the chained invocation belongs to ONE trace.
+    assert len({s.trace_id for s in spans}) == 1
+    roots = build_trees(spans)
+    assert len(roots) == 1
+    assert roots[0].name == "call.dispatch"
+    assert roots[0].span.attrs["function"] == "root"
+
+    # The chain crossed the bus: mid was shared to host-1, leaf back to
+    # host-0, and the invoke spans carry the executing host.
+    assert _invoke_of(spans, "root").host == "host-0"
+    assert _invoke_of(spans, "mid").host == "host-1"
+    assert _invoke_of(spans, "leaf").host == "host-0"
+
+
+def test_parent_child_span_ids_mirror_the_chain(traced_cluster):
+    cluster = traced_cluster
+    cluster.invoke("root")
+    spans = cluster.trace_spans()
+    by_id = {s.span_id: s for s in spans}
+
+    dispatches = {
+        s.attrs["function"]: s for s in _spans_by_name(spans, "call.dispatch")
+    }
+    assert set(dispatches) == {"root", "mid", "leaf"}
+
+    for function in ("root", "mid", "leaf"):
+        invoke = _invoke_of(spans, function)
+        # Each invoke is the direct child of its dispatch (wire hop).
+        assert invoke.parent_id == dispatches[function].span_id
+        # Each guest.exec is a child of its invoke (ambient nesting).
+        exec_span = next(
+            s for s in _spans_by_name(spans, "guest.exec")
+            if s.attrs.get("function") == function
+        )
+        assert by_id[exec_span.parent_id].span_id == invoke.span_id
+
+    # A chained dispatch nests under the *caller's* guest execution: the
+    # context crossed the bus, then the executor thread continued it.
+    for caller, callee in (("root", "mid"), ("mid", "leaf")):
+        caller_exec = next(
+            s for s in _spans_by_name(spans, "guest.exec")
+            if s.attrs.get("function") == caller
+        )
+        assert dispatches[callee].parent_id == caller_exec.span_id
+
+
+def test_phase_attribution_sums_to_wall_time(traced_cluster):
+    cluster = traced_cluster
+    cluster.invoke("root")
+    spans = cluster.trace_spans()
+    roots = build_trees(spans)
+    assert roots
+    for node in roots[0].walk():
+        phases = phase_attribution(node)
+        assert phases["self"] >= 0.0
+        total = sum(phases.values())
+        assert total == pytest.approx(node.span.duration, abs=1e-9)
+
+
+def test_queue_wait_attributed_on_bus_hops(traced_cluster):
+    cluster = traced_cluster
+    cluster.invoke("root")
+    spans = cluster.trace_spans()
+    for function in ("root", "mid", "leaf"):
+        invoke = _invoke_of(spans, function)
+        assert invoke.attrs["queue_wait_s"] >= 0.0
+        assert invoke.attrs["return_code"] == 0
+    assert _invoke_of(spans, "mid").attrs["shared"] is True
+    assert _invoke_of(spans, "leaf").attrs["shared"] is True
+
+
+def test_tracing_disabled_records_nothing():
+    cluster = FaasmCluster(n_hosts=2)  # default Telemetry: disabled
+    _register_chain(cluster)
+    try:
+        code, output = cluster.invoke("root")
+        assert code == 0 and output == b"root<mid<leaf>>"
+        assert cluster.trace_spans() == []
+        # Instrumentation sites see the no-op fast path outside a trace.
+        handle = span("anything")
+        assert handle.recording is False
+    finally:
+        cluster.shutdown()
+
+
+def test_unsampled_trace_is_uniformly_dropped():
+    cluster = FaasmCluster(
+        n_hosts=2, telemetry=Telemetry(enabled=True, sample_rate=0.0)
+    )
+    _register_chain(cluster)
+    try:
+        code, output = cluster.invoke("root")
+        assert code == 0 and output == b"root<mid<leaf>>"
+        # Head sampling: the root rolled "drop", so no fragment of the
+        # chain was recorded anywhere — not even on the remote host.
+        assert cluster.trace_spans() == []
+    finally:
+        cluster.shutdown()
