@@ -1,0 +1,108 @@
+"""Retry-plane overhead: what fault tolerance costs when nothing fails.
+
+The fault-tolerant invocation plane (attempt records, the attempt-claim
+protocol, the background invocation monitor) is on by default, so its
+no-fault cost is pure overhead on every call. This harness measures
+full-lifecycle invocation throughput (cluster dispatch → schedule → bus →
+Faaslet → guest) for a Polybench kernel under:
+
+* ``managed`` — the default: retry plane on (``RetryPolicy()``);
+* ``legacy`` — ``RetryPolicy.off()``: fire-and-forget dispatch, no
+  attempt records, no monitor (the pre-retry baseline).
+
+The acceptance bound from the chaos issue is **no-fault overhead <= 3 %**.
+It writes ``benchmarks/results/retry_overhead.json`` including the
+``smoke_floor`` (managed calls/s, halved — a generous margin for machine
+variance) that ``tests/chaos/test_retry_overhead_smoke.py`` enforces in
+tier-1.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import report
+from repro.apps.kernels import KERNELS
+from repro.runtime import FaasmCluster, RetryPolicy
+
+KERNEL_SRC = (
+    KERNELS["jacobi-1d"].source
+    + "\nexport int main() { float r = kernel(48); return 0; }\n"
+)
+
+CALLS = 60
+REPEATS = 3
+
+
+def _measure(policy: RetryPolicy | None) -> float:
+    """Invoke the kernel ``CALLS`` times; returns calls/s (best of repeats)."""
+    best = 0.0
+    for _ in range(REPEATS):
+        cluster = FaasmCluster(n_hosts=2, retry_policy=policy)
+        try:
+            cluster.upload("poly", KERNEL_SRC)
+            for _ in range(4):  # warm both hosts' pools and the code cache
+                assert cluster.invoke("poly")[0] == 0
+            start = time.perf_counter()
+            for _ in range(CALLS):
+                assert cluster.invoke("poly")[0] == 0
+            elapsed = time.perf_counter() - start
+        finally:
+            cluster.shutdown()
+        best = max(best, CALLS / elapsed)
+    return best
+
+
+def test_retry_overhead():
+    managed = _measure(None)  # default RetryPolicy(): plane on
+    legacy = _measure(RetryPolicy.off())
+    overhead_pct = (legacy / managed - 1) * 100
+    rows = [
+        {
+            "config": "managed",
+            "calls_per_s": round(managed, 1),
+            "ms_per_call": round(1e3 / managed, 3),
+        },
+        {
+            "config": "legacy",
+            "calls_per_s": round(legacy, 1),
+            "ms_per_call": round(1e3 / legacy, 3),
+        },
+        {"config": "overhead", "overhead_pct": round(overhead_pct, 2)},
+        {"config": "smoke_floor", "smoke_floor": round(managed / 2, 1)},
+    ]
+    report("retry_overhead", "Retry-plane no-fault overhead (Polybench lifecycle)", rows)
+    # The acceptance bound: fault tolerance may cost at most 3% when
+    # nothing fails.
+    assert overhead_pct <= 3.0, (
+        f"retry plane costs {overhead_pct:.2f}% on the no-fault path "
+        f"(managed {managed:.1f} vs legacy {legacy:.1f} calls/s)"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run only the tier-1 throughput-floor guard instead of the "
+        "full managed-vs-legacy measurement",
+    )
+    opts = parser.parse_args()
+    if opts.smoke:
+        import pathlib
+
+        smoke_test = (
+            pathlib.Path(__file__).resolve().parents[1]
+            / "tests"
+            / "chaos"
+            / "test_retry_overhead_smoke.py"
+        )
+        target = ["-m", "smoke", str(smoke_test)]
+    else:
+        target = [__file__]
+    raise SystemExit(pytest.main(["-x", "-q", "-s", *target]))

@@ -1,0 +1,54 @@
+"""``repro.chaos`` — deterministic seeded fault injection.
+
+The chaos plane wraps the cluster's three failure domains — the message
+bus (drop/duplicate/delay/reorder), the runtime instances (host crashes at
+chosen call phases), and the global state tier (lock-stripe outage
+windows) — behind a single seeded :class:`ChaosPlan`. Every injected fault
+is a pure function of the plan and stable identities (never of thread
+timing), so a run's canonical event log replays byte-identically from its
+seed; the fault-tolerant invocation plane in :mod:`repro.runtime` is what
+must survive it.
+
+Example::
+
+    from repro.chaos import build_plan, run_soak
+
+    report = run_soak(seed=7, calls=500, hosts=4)
+    assert report.ok          # every call reached a terminal state
+    print(report.digest)      # same seed => same digest
+"""
+
+from .engine import ChaosEngine
+from .plan import ChaosEventLog, ChaosPlan, CrashSpec, StripeOutage
+from .soak import SOAK_RETRY_POLICY, SoakReport, build_plan, chaos_target, run_soak
+
+
+def __getattr__(name):
+    # ChaosMessageBus / ChaosStateStore import the runtime/state layers;
+    # keep those imports lazy so `import repro.chaos` stays cheap and
+    # cycle-free for consumers that only need plans.
+    if name == "ChaosMessageBus":
+        from .bus import ChaosMessageBus
+
+        return ChaosMessageBus
+    if name == "ChaosStateStore":
+        from .state import ChaosStateStore
+
+        return ChaosStateStore
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "ChaosEngine",
+    "ChaosEventLog",
+    "ChaosMessageBus",
+    "ChaosPlan",
+    "ChaosStateStore",
+    "CrashSpec",
+    "SOAK_RETRY_POLICY",
+    "SoakReport",
+    "StripeOutage",
+    "build_plan",
+    "chaos_target",
+    "run_soak",
+]

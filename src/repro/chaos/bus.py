@@ -1,0 +1,86 @@
+"""A message bus that loses, duplicates, delays and reorders deliveries.
+
+Wraps :class:`~repro.runtime.bus.MessageBus` with the faults a real
+network-backed bus exhibits, as decided by a :class:`ChaosEngine`:
+
+* **drop** — the message is never enqueued (the invocation monitor's
+  attempt timeout is what recovers it);
+* **duplicate** — the message is enqueued twice (the registry's
+  attempt-claim protocol must suppress the second execution);
+* **delay** — the message is enqueued after a seed-derived delay on a
+  timer thread;
+* **reorder** — the message is held back and enqueued *after* the next
+  message sent to the same host (with a timer fallback so a held message
+  on a quiet host is not held forever).
+
+``Shutdown`` messages are never faulted — chaos ends when the cluster
+does.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.runtime.bus import MessageBus, Shutdown
+from repro.telemetry import MetricsRegistry
+
+from .engine import ChaosEngine
+
+#: A held (reordered) message is flushed after this long even if no later
+#: message arrives to overtake it.
+_REORDER_FLUSH_S = 0.05
+
+
+class ChaosMessageBus(MessageBus):
+    """The fault-injecting bus used when a cluster runs under a plan."""
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        engine: ChaosEngine | None = None,
+    ):
+        super().__init__(metrics)
+        self.engine = engine
+        self._held: dict[str, list] = {}
+        self._held_mutex = threading.Lock()
+
+    def send(self, host: str, message) -> None:
+        if self.engine is None or isinstance(message, Shutdown):
+            self._send_with_flush(host, message)
+            return
+        action = self.engine.bus_action(message)
+        if action is None:
+            self._send_with_flush(host, message)
+            return
+        kind, delay_s = action
+        if kind == "drop":
+            return  # lost on the wire; the monitor's timeout recovers it
+        if kind == "duplicate":
+            self._send_with_flush(host, message)
+            super().send(host, message)
+            return
+        if kind == "delay":
+            timer = threading.Timer(delay_s, super().send, args=(host, message))
+            timer.daemon = True
+            timer.start()
+            return
+        # reorder: hold until the next send to this host overtakes it.
+        with self._held_mutex:
+            self._held.setdefault(host, []).append(message)
+        timer = threading.Timer(_REORDER_FLUSH_S, self._flush_held, args=(host,))
+        timer.daemon = True
+        timer.start()
+
+    def _send_with_flush(self, host: str, message) -> None:
+        """Deliver ``message``, then any held messages it overtakes."""
+        super().send(host, message)
+        self._flush_held(host)
+
+    def _flush_held(self, host: str) -> None:
+        with self._held_mutex:
+            held = self._held.pop(host, [])
+        for message in held:
+            try:
+                super().send(host, message)
+            except KeyError:
+                pass  # host deregistered while the message was held

@@ -1,0 +1,115 @@
+"""Chaos plans and the canonical event log.
+
+A :class:`ChaosPlan` is the *complete* description of a fault-injection
+run: the seed, the per-message fault rates, which calls crash their host at
+which lifecycle phase, and which global-tier lock stripes go dark for
+which operation windows. Everything the chaos engine does is a pure
+function of the plan and of stable identities (call ids, stripe indices),
+never of wall-clock time or thread interleaving — so the same plan replays
+byte-identically, which is what makes failures found by a soak run
+debuggable.
+
+The :class:`ChaosEventLog` records every injected fault. Its *canonical*
+form deliberately excludes hosts and timestamps (which legitimately vary
+run to run — a retried call may land on a different host) and sorts the
+lines, leaving exactly the plan-determined content: two runs with the same
+seed must produce the same :meth:`ChaosEventLog.digest`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """Kill the host executing ``call_id`` when it reaches ``phase``.
+
+    Phases: ``pre-dispatch`` (the dispatcher drained the message but has
+    not started an executor), ``mid-guest`` (guest code is running),
+    ``pre-complete`` (the guest finished but the completion was not yet
+    written). Each spec fires at most once.
+    """
+
+    call_id: int
+    phase: str  # "pre-dispatch" | "mid-guest" | "pre-complete"
+
+
+@dataclass(frozen=True)
+class StripeOutage:
+    """Global-tier lock stripe ``stripe`` is unavailable for the operation
+    window ``[start_op, start_op + n_ops)``, counted per stripe."""
+
+    stripe: int
+    start_op: int
+    n_ops: int
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seeded, replayable fault-injection schedule."""
+
+    seed: int
+    #: Per-message fault probabilities, applied (in priority order
+    #: drop > duplicate > delay > reorder) to the *first* dispatch of each
+    #: call only — retries always travel cleanly, so a faulted call cannot
+    #: be faulted forever and the event log stays plan-determined.
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_rate: float = 0.0
+    reorder_rate: float = 0.0
+    #: Injected delivery delay upper bound (actual delay is seed-derived).
+    max_delay_ms: float = 50.0
+    crashes: tuple[CrashSpec, ...] = ()
+    stripe_outages: tuple[StripeOutage, ...] = ()
+
+
+@dataclass
+class ChaosEvent:
+    """One injected fault (the raw, run-specific record)."""
+
+    kind: str
+    call_id: int
+    detail: str = ""
+    host: str = ""
+    t: float = field(default_factory=time.monotonic)
+
+
+class ChaosEventLog:
+    """Append-only record of injected faults, with a canonical view."""
+
+    def __init__(self) -> None:
+        self._events: list[ChaosEvent] = []
+        self._mutex = threading.Lock()
+
+    def append(self, kind: str, call_id: int, detail: str = "", host: str = "") -> None:
+        with self._mutex:
+            self._events.append(ChaosEvent(kind, call_id, detail, host))
+
+    def events(self) -> list[ChaosEvent]:
+        with self._mutex:
+            return list(self._events)
+
+    def canonical_lines(self) -> list[str]:
+        """The run's faults as sorted lines of plan-determined content only
+        (no hosts, no timestamps — those legitimately vary across runs)."""
+        with self._mutex:
+            lines = [
+                f"{e.kind} call={e.call_id}" + (f" {e.detail}" if e.detail else "")
+                for e in self._events
+            ]
+        return sorted(lines)
+
+    def canonical_bytes(self) -> bytes:
+        return ("\n".join(self.canonical_lines()) + "\n").encode()
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical log: the replay-identity fingerprint."""
+        return hashlib.sha256(self.canonical_bytes()).hexdigest()
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._events)

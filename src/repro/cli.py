@@ -35,6 +35,15 @@ Commands::
     kernels [--n SIZE]
         Run the Polybench suite in the sandbox and vs native, printing the
         Fig. 9a-style ratio table.
+
+    chaos [--seed N] [--calls N] [--hosts N] [--drop-rate R]
+        [--crashes N] [--outages N] [--timeout S] [--json] [--log FILE]
+        Run a seeded chaos soak: dispatch calls through a cluster under a
+        deterministic fault plan (message drops/duplicates/delays/
+        reordering, host crashes, state-stripe outages) and report every
+        call's fate. Exit code 0 iff no call was left without a terminal
+        state. ``--log`` writes the canonical fault log (replays
+        byte-identically for the same seed).
 """
 
 from __future__ import annotations
@@ -295,6 +304,45 @@ def cmd_kernels(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """``repro chaos``: a seeded fault-injection soak against the cluster."""
+    import json
+    import logging
+
+    from repro.chaos import run_soak
+
+    # The recovery path logs every re-queue at WARNING; that is soak noise
+    # unless the user asks for it.
+    logging.getLogger("repro").setLevel(logging.ERROR)
+    report = run_soak(
+        seed=args.seed,
+        calls=args.calls,
+        hosts=args.hosts,
+        drop_rate=args.drop_rate,
+        n_crashes=args.crashes,
+        n_outages=args.outages,
+        timeout=args.timeout,
+    )
+    if args.log:
+        with open(args.log, "wb") as f:
+            f.write(b"".join(line.encode() + b"\n" for line in report.log_lines))
+        print(f"wrote {len(report.log_lines)} fault-log lines to {args.log}",
+              file=sys.stderr)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        d = report.to_dict()
+        for key in ("seed", "calls", "completed", "guest_failed",
+                    "call_failed", "retries", "crashes_fired", "duration_s"):
+            print(f"{key:<16}{d[key]}")
+        print(f"{'digest':<16}{report.digest}")
+        if report.stranded:
+            print(f"STRANDED calls (no terminal state): {report.stranded}")
+        else:
+            print("every call reached exactly one terminal state")
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -374,6 +422,26 @@ def main(argv: list[str] | None = None) -> int:
     p_k = sub.add_parser("kernels", help="run the Polybench suite")
     p_k.add_argument("--n", type=int, help="problem size override")
     p_k.set_defaults(fn=cmd_kernels)
+
+    p_ch = sub.add_parser("chaos", help="run a seeded fault-injection soak")
+    p_ch.add_argument("--seed", type=int, default=1,
+                      help="plan seed (default 1); same seed => same faults")
+    p_ch.add_argument("--calls", type=int, default=500,
+                      help="number of calls to dispatch (default 500)")
+    p_ch.add_argument("--hosts", type=int, default=4,
+                      help="cluster size (default 4)")
+    p_ch.add_argument("--drop-rate", type=float, default=0.10,
+                      help="first-dispatch drop probability (default 0.10)")
+    p_ch.add_argument("--crashes", type=int, default=2,
+                      help="host crashes to inject (default 2)")
+    p_ch.add_argument("--outages", type=int, default=1,
+                      help="state-stripe outage windows to arm (default 1)")
+    p_ch.add_argument("--timeout", type=float, default=20.0,
+                      help="soak deadline in seconds (default 20)")
+    p_ch.add_argument("--json", action="store_true",
+                      help="print the report as JSON")
+    p_ch.add_argument("--log", help="write the canonical fault log to FILE")
+    p_ch.set_defaults(fn=cmd_chaos)
 
     args = parser.parse_args(argv)
     return args.fn(args)

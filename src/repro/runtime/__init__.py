@@ -18,21 +18,39 @@ Compose a cluster, upload functions, invoke them::
 """
 
 from .bus import ExecuteCall, MessageBus, Shutdown
-from .calls import CallRecord, CallRegistry, CallStatus
-from .cluster import FaasmCluster
-from .instance import DEFAULT_CAPACITY, FaasmRuntimeInstance, RuntimeEnvironment
+from .calls import (
+    AttemptRecord,
+    CallRecord,
+    CallRegistry,
+    CallStatus,
+    InvocationRegistry,
+)
+from .cluster import DrainTimeout, FaasmCluster
+from .instance import (
+    DEFAULT_CAPACITY,
+    FaasmRuntimeInstance,
+    HostCrashed,
+    RuntimeEnvironment,
+)
+from .monitor import InvocationMonitor, RetryPolicy
 from .pyguest import PythonCallContext
 from .registry import FunctionRegistry, PythonFunctionDefinition
 from .scheduler import LocalScheduler, SchedulingDecision, WarmSetRegistry
 
 __all__ = [
+    "AttemptRecord",
     "CallRecord",
     "CallRegistry",
     "CallStatus",
     "DEFAULT_CAPACITY",
+    "DrainTimeout",
     "ExecuteCall",
     "FaasmCluster",
+    "HostCrashed",
+    "InvocationMonitor",
+    "InvocationRegistry",
     "MessageBus",
+    "RetryPolicy",
     "Shutdown",
     "FaasmRuntimeInstance",
     "FunctionRegistry",

@@ -36,6 +36,9 @@ class ExecuteCall:
     #: Propagated trace context: (trace_id, parent span id, sampled,
     #: sender perf_counter timestamp), or None when tracing is off.
     trace: tuple | None = None
+    #: Which dispatch of the call this delivery is (the invocation plane's
+    #: attempt number); -1 means unmanaged (retry plane disabled).
+    attempt: int = -1
 
 
 @dataclass(frozen=True)
@@ -84,7 +87,18 @@ class MessageBus:
                 raise ValueError(f"host {host!r} already registered")
             self._queues[host] = queue.Queue()
 
+    def deregister(self, host: str) -> None:
+        """Remove a host's queue (undelivered messages are discarded);
+        subsequent sends/receives for the host raise ``KeyError``."""
+        with self._mutex:
+            if host not in self._queues:
+                raise KeyError(f"unknown bus endpoint {host!r}")
+            del self._queues[host]
+
     def _queue_for(self, host: str) -> "queue.Queue":
+        # Deliberately *never* auto-creates a queue: a typo'd or
+        # deregistered host name must surface as KeyError, not as a
+        # silently-buffered message no dispatcher will ever drain.
         with self._mutex:
             q = self._queues.get(host)
         if q is None:

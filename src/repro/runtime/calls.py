@@ -1,9 +1,33 @@
-"""Call records and the cluster-wide call registry.
+"""Call records and the cluster-wide invocation registry.
 
 Every function invocation gets a :class:`CallRecord` with a unique call id —
 the value returned by ``chain_call`` and accepted by ``await_call`` /
 ``get_call_output`` (Tab. 2). The registry is the in-process stand-in for
 the coordination the paper does over its message bus and global state.
+
+The registry is also the **fault-tolerant invocation plane**'s source of
+truth: each delivery of a call to a host is an :class:`AttemptRecord`, and
+the registry arbitrates an *attempt-claim protocol* so that duplicate
+``ExecuteCall`` deliveries (a lossy/duplicating bus) and stale retries (a
+host presumed dead that is merely slow) cannot double-execute a call:
+
+* :meth:`InvocationRegistry.new_attempt` records a dispatch (host + the
+  host's liveness epoch at send time);
+* :meth:`InvocationRegistry.begin_attempt` is the executor's atomic claim —
+  it succeeds at most once per attempt, and never while another attempt
+  is running or after the call reached a terminal state;
+* :meth:`InvocationRegistry.complete_attempt` applies a completion only if
+  that attempt still owns the call (a crashed host's zombie thread cannot
+  complete a call that has been re-queued elsewhere);
+* :meth:`InvocationRegistry.mark_attempt_lost` /
+  :meth:`InvocationRegistry.attempt_failed` park an attempt for the
+  monitor's retry loop;
+* :meth:`InvocationRegistry.fail_call` is the terminal ``CALL_FAILED``
+  state: retries exhausted, with the per-attempt failure chain preserved.
+
+Calls may carry an **idempotency key**: re-dispatching with a key the
+registry has already seen returns the original record instead of creating
+a second invocation.
 """
 
 from __future__ import annotations
@@ -22,6 +46,40 @@ class CallStatus(enum.Enum):
     RUNNING = "running"
     SUCCEEDED = "succeeded"
     FAILED = "failed"
+    #: Terminal infrastructure failure: every attempt was lost (dropped
+    #: message, crashed host, unavailable state tier) and the retry budget
+    #: is exhausted. Distinct from FAILED, which is the *function* exiting
+    #: non-zero on a healthy host.
+    CALL_FAILED = "call-failed"
+
+
+#: Attempt lifecycle: ``sent`` (on the bus) -> ``running`` (claimed by an
+#: executor) -> ``done``, or parked as ``lost`` (timeout / host death) or
+#: ``failed`` (transient infrastructure error) for the retry loop.
+ATTEMPT_SENT = "sent"
+ATTEMPT_RUNNING = "running"
+ATTEMPT_DONE = "done"
+ATTEMPT_LOST = "lost"
+ATTEMPT_FAILED = "failed"
+
+
+@dataclass
+class AttemptRecord:
+    """One dispatch of a call to a host."""
+
+    number: int
+    host: str
+    #: The target host's liveness epoch at dispatch time; if the host's
+    #: epoch has advanced, everything this attempt did died with it.
+    epoch: int
+    dispatched_at: float
+    state: str = ATTEMPT_SENT
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    #: Why the attempt ended up lost/failed (feeds the failure chain).
+    reason: str = ""
+    #: Monotonic time before which the monitor must not retry (backoff).
+    retry_at: float = 0.0
 
 
 @dataclass
@@ -37,6 +95,10 @@ class CallRecord:
     submitted_at: float = 0.0
     started_at: float = 0.0
     finished_at: float = 0.0
+    idempotency_key: str | None = None
+    attempts: list[AttemptRecord] = field(default_factory=list)
+    #: Per-attempt failure reasons, newest last (set on CALL_FAILED).
+    failure_chain: list[str] = field(default_factory=list)
     done: threading.Event = field(default_factory=threading.Event, repr=False)
 
     @property
@@ -44,22 +106,55 @@ class CallRecord:
         """End-to-end latency in seconds (valid once finished)."""
         return self.finished_at - self.submitted_at
 
+    @property
+    def retries(self) -> int:
+        """Dispatches beyond the first."""
+        return max(0, len(self.attempts) - 1)
 
-class CallRegistry:
+    @property
+    def last_attempt(self) -> AttemptRecord | None:
+        return self.attempts[-1] if self.attempts else None
+
+
+class InvocationRegistry:
     """Thread-safe registry of all calls in the cluster."""
 
     def __init__(self) -> None:
         self._calls: dict[int, CallRecord] = {}
+        self._by_key: dict[str, int] = {}
         self._ids = itertools.count(1)
         self._mutex = threading.Lock()
 
-    def create(self, function: str, input_data: bytes) -> CallRecord:
+    def create(
+        self,
+        function: str,
+        input_data: bytes,
+        idempotency_key: str | None = None,
+    ) -> CallRecord:
         record = CallRecord(
-            next(self._ids), function, bytes(input_data), submitted_at=time.monotonic()
+            next(self._ids),
+            function,
+            bytes(input_data),
+            submitted_at=time.monotonic(),
+            idempotency_key=idempotency_key,
         )
         with self._mutex:
             self._calls[record.call_id] = record
+            if idempotency_key is not None:
+                self._by_key[idempotency_key] = record.call_id
         return record
+
+    def create_or_get(
+        self, function: str, input_data: bytes, idempotency_key: str | None
+    ) -> tuple[CallRecord, bool]:
+        """Create a call, or return the existing one for the idempotency
+        key; the flag says whether a new record was created."""
+        if idempotency_key is not None:
+            with self._mutex:
+                existing = self._by_key.get(idempotency_key)
+                if existing is not None:
+                    return self._calls[existing], False
+        return self.create(function, input_data, idempotency_key), True
 
     def get(self, call_id: int) -> CallRecord:
         with self._mutex:
@@ -68,6 +163,127 @@ class CallRegistry:
             raise KeyError(f"unknown call id {call_id}")
         return record
 
+    # ------------------------------------------------------------------
+    # Attempt protocol
+    # ------------------------------------------------------------------
+    def new_attempt(self, call_id: int, host: str, epoch: int) -> AttemptRecord:
+        """Record a dispatch of ``call_id`` to ``host``."""
+        record = self.get(call_id)
+        with self._mutex:
+            attempt = AttemptRecord(
+                number=len(record.attempts),
+                host=host,
+                epoch=epoch,
+                dispatched_at=time.monotonic(),
+            )
+            record.attempts.append(attempt)
+        return attempt
+
+    def begin_attempt(self, call_id: int, number: int, host: str) -> bool:
+        """Atomically claim the call for execution of attempt ``number``.
+
+        Returns False — and the executor must drop the delivery — when the
+        call already finished, the attempt was already begun (a duplicate
+        delivery), the attempt was already written off as lost, or another
+        attempt currently owns the call.
+        """
+        record = self.get(call_id)
+        with self._mutex:
+            if record.done.is_set():
+                return False
+            if number < 0 or number >= len(record.attempts):
+                return False
+            attempt = record.attempts[number]
+            if attempt.state != ATTEMPT_SENT:
+                return False
+            if any(a.state == ATTEMPT_RUNNING for a in record.attempts):
+                return False
+            attempt.state = ATTEMPT_RUNNING
+            attempt.started_at = time.monotonic()
+        return True
+
+    def complete_attempt(
+        self, call_id: int, number: int, return_code: int, output: bytes
+    ) -> bool:
+        """Apply attempt ``number``'s completion if it still owns the call.
+
+        A crashed host's attempts are marked lost before the call is
+        re-queued; a zombie executor thread on that host completing late is
+        rejected here, which is what makes retried execution safe.
+        """
+        record = self.get(call_id)
+        with self._mutex:
+            if record.done.is_set():
+                return False
+            if number < 0 or number >= len(record.attempts):
+                return False
+            attempt = record.attempts[number]
+            if attempt.state not in (ATTEMPT_RUNNING, ATTEMPT_SENT):
+                return False
+            attempt.state = ATTEMPT_DONE
+            attempt.finished_at = time.monotonic()
+            self._finish(record, return_code, output)
+        return True
+
+    def mark_attempt_lost(self, call_id: int, number: int, reason: str) -> bool:
+        """Write an in-flight attempt off (timeout or host death); the call
+        returns to PENDING for the monitor to re-queue."""
+        record = self.get(call_id)
+        with self._mutex:
+            if record.done.is_set():
+                return False
+            if number < 0 or number >= len(record.attempts):
+                return False
+            attempt = record.attempts[number]
+            if attempt.state not in (ATTEMPT_SENT, ATTEMPT_RUNNING):
+                return False
+            attempt.state = ATTEMPT_LOST
+            attempt.reason = reason
+            attempt.finished_at = time.monotonic()
+            record.status = CallStatus.PENDING
+        return True
+
+    def attempt_failed(self, call_id: int, number: int, reason: str) -> bool:
+        """An executor hit a transient infrastructure error (e.g. the state
+        tier was unavailable); park the attempt for a backed-off retry."""
+        record = self.get(call_id)
+        with self._mutex:
+            if record.done.is_set():
+                return False
+            if number < 0 or number >= len(record.attempts):
+                return False
+            attempt = record.attempts[number]
+            if attempt.state not in (ATTEMPT_SENT, ATTEMPT_RUNNING):
+                return False
+            attempt.state = ATTEMPT_FAILED
+            attempt.reason = reason
+            attempt.finished_at = time.monotonic()
+            record.status = CallStatus.PENDING
+        return True
+
+    def fail_call(self, call_id: int, chain: list[str] | None = None) -> bool:
+        """Terminal CALL_FAILED: the retry budget is exhausted. The failure
+        chain (one reason per attempt) is preserved on the record and in
+        the call output."""
+        record = self.get(call_id)
+        with self._mutex:
+            if record.done.is_set():
+                return False
+            chain = list(chain) if chain is not None else [
+                a.reason for a in record.attempts if a.reason
+            ]
+            record.failure_chain = chain
+            record.return_code = 1
+            record.output_data = ("CallFailed: " + "; ".join(chain)).encode()
+            record.finished_at = time.monotonic()
+            record.status = CallStatus.CALL_FAILED
+            record.done.set()
+        return True
+
+    # ------------------------------------------------------------------
+    # Legacy (attempt-less) lifecycle — used when the retry plane is off
+    # and by direct-execution tests.
+    # ------------------------------------------------------------------
     def mark_running(self, call_id: int, host: str, cold_start: bool) -> None:
         record = self.get(call_id)
         record.status = CallStatus.RUNNING
@@ -75,8 +291,17 @@ class CallRegistry:
         record.cold_start = cold_start
         record.started_at = time.monotonic()
 
-    def complete(self, call_id: int, return_code: int, output: bytes) -> None:
+    def complete(self, call_id: int, return_code: int, output: bytes) -> bool:
+        """Finish a call (first completion wins; duplicates are no-ops)."""
         record = self.get(call_id)
+        with self._mutex:
+            if record.done.is_set():
+                return False
+            self._finish(record, return_code, output)
+        return True
+
+    def _finish(self, record: CallRecord, return_code: int, output: bytes) -> None:
+        """Terminal-state write; caller holds the mutex (or owns the record)."""
         record.return_code = return_code
         record.output_data = bytes(output)
         record.finished_at = time.monotonic()
@@ -105,3 +330,7 @@ class CallRegistry:
     def all_records(self) -> list[CallRecord]:
         with self._mutex:
             return list(self._calls.values())
+
+
+#: Historic name, kept for existing imports.
+CallRegistry = InvocationRegistry

@@ -1,11 +1,23 @@
 """The FAASM cluster front door (§5, Fig. 5).
 
 A :class:`FaasmCluster` bundles the shared substrate — global state tier,
-object store, function registry, call registry, warm sets — with a set of
-per-host runtime instances. Incoming calls are spread round-robin over the
-local schedulers, which place them using the shared-state warm sets; each
-accepted call runs on a daemon thread (the stand-in for the paper's
-Faaslet-pool threads), and chained calls re-enter through the same path.
+object store, function registry, invocation registry, warm sets — with a
+set of per-host runtime instances. Incoming calls are spread round-robin
+over the local schedulers, which place them using the shared-state warm
+sets; each accepted call runs on a daemon thread (the stand-in for the
+paper's Faaslet-pool threads), and chained calls re-enter through the same
+path.
+
+The cluster also owns the **fault-tolerant invocation plane**: every
+dispatch is an attempt record, an :class:`~repro.runtime.monitor.
+InvocationMonitor` re-queues attempts whose host died (liveness epoch) or
+whose ``ExecuteCall`` was lost (timeout) with exponential backoff, dead
+hosts are evicted from the warm sets so schedulers stop routing to them,
+and a call whose retry budget is spent reaches the terminal ``CALL_FAILED``
+state carrying its failure chain. Passing a
+:class:`~repro.chaos.plan.ChaosPlan` (or prebuilt engine) as ``chaos=``
+wraps the bus and the global state store in the deterministic
+fault-injection layer that this plane is tested against.
 """
 
 from __future__ import annotations
@@ -13,18 +25,28 @@ from __future__ import annotations
 import itertools
 import logging
 import threading
+import time
 
 from repro.host.filesystem import GlobalObjectStore
 from repro.state.kv import GlobalStateStore
 from repro.telemetry import Telemetry, export as telemetry_export
 
 from .bus import ExecuteCall, MessageBus, Shutdown
-from .calls import CallRecord, CallRegistry
+from .calls import CallRecord, InvocationRegistry
 from .instance import DEFAULT_CAPACITY, FaasmRuntimeInstance
+from .monitor import InvocationMonitor, RetryPolicy
 from .registry import FunctionRegistry
 from .scheduler import WarmSetRegistry
 
 logger = logging.getLogger(__name__)
+
+
+class DrainTimeout(TimeoutError):
+    """``drain`` gave up with calls still in flight; carries their ids."""
+
+    def __init__(self, message: str, stragglers: list[int]):
+        super().__init__(message)
+        self.stragglers = stragglers
 
 
 class FaasmCluster:
@@ -41,19 +63,41 @@ class FaasmCluster:
         capacity: int = DEFAULT_CAPACITY,
         reset_between_calls: bool = False,
         telemetry: Telemetry | None = None,
+        retry_policy: RetryPolicy | None = None,
+        chaos=None,
     ):
         #: Unified telemetry: span tracer + metrics registry. Disabled by
         #: default (the tracing-off path is a no-op fast path); pass
         #: ``Telemetry(enabled=True, sample_rate=...)`` to record traces.
         self.telemetry = telemetry or Telemetry()
-        self.global_state = GlobalStateStore()
+        #: Deterministic fault injection: a ChaosPlan/ChaosEngine, or None.
+        self.chaos = None
+        if chaos is not None:
+            from repro.chaos.bus import ChaosMessageBus
+            from repro.chaos.engine import ChaosEngine
+            from repro.chaos.state import ChaosStateStore
+
+            self.chaos = (
+                chaos
+                if isinstance(chaos, ChaosEngine)
+                else ChaosEngine(chaos, metrics=self.telemetry.metrics)
+            )
+            self.global_state = ChaosStateStore(self.chaos)
+            self.bus = ChaosMessageBus(
+                metrics=self.telemetry.metrics, engine=self.chaos
+            )
+        else:
+            self.global_state = GlobalStateStore()
+            self.bus = MessageBus(metrics=self.telemetry.metrics)
         self.object_store = GlobalObjectStore()
         self.registry = FunctionRegistry(self.object_store)
-        self.calls = CallRegistry()
+        self.calls = InvocationRegistry()
         self.warm_sets = WarmSetRegistry(self.global_state)
         #: Shared endpoint registry for Faaslet virtual NICs.
         self.endpoints: dict = {}
-        self.bus = MessageBus(metrics=self.telemetry.metrics)
+        #: Retry plane: on by default; ``RetryPolicy.off()`` restores the
+        #: legacy fire-and-forget dispatch (the overhead baseline).
+        self.retry = retry_policy if retry_policy is not None else RetryPolicy()
         self.instances = [
             FaasmRuntimeInstance(
                 f"host-{i}", self, capacity=capacity,
@@ -61,12 +105,19 @@ class FaasmCluster:
             )
             for i in range(n_hosts)
         ]
+        self._by_host = {instance.host: instance for instance in self.instances}
         self._rr = itertools.count()
         self._dispatched: list[CallRecord] = []
         self._dispatched_lock = threading.Lock()
+        self._inflight: dict[int, CallRecord] = {}
+        self._inflight_lock = threading.Lock()
         for instance in self.instances:
             self.bus.register(instance.host)
             instance.start_dispatcher()
+        self.monitor: InvocationMonitor | None = None
+        if self.retry.enabled:
+            self.monitor = InvocationMonitor(self, self.retry)
+            self.monitor.start()
 
     # ------------------------------------------------------------------
     # Deployment
@@ -81,25 +132,36 @@ class FaasmCluster:
     def pre_warm(self, function: str, per_host: int = 1) -> int:
         """Provision warm Faaslets for ``function`` on every host (scale-up
         ahead of anticipated traffic); returns the total added."""
-        return sum(i.pre_warm(function, per_host) for i in self.instances)
+        return sum(
+            i.pre_warm(function, per_host) for i in self.instances if i.alive
+        )
 
     # ------------------------------------------------------------------
     # Invocation
     # ------------------------------------------------------------------
-    def dispatch(self, function: str, input_data: bytes = b"", origin: str | None = None) -> int:
+    def dispatch(
+        self,
+        function: str,
+        input_data: bytes = b"",
+        origin: str | None = None,
+        idempotency_key: str | None = None,
+    ) -> int:
         """Asynchronously invoke ``function``; returns the call id.
 
         External calls (``origin=None``) are assigned round-robin to a local
         scheduler, as Knative's default endpoint spreads requests; chained
-        calls enter at their originating host's scheduler.
+        calls enter at their originating host's scheduler. A repeated
+        ``idempotency_key`` returns the original call instead of invoking
+        again.
         """
         if not self.registry.exists(function):
             raise KeyError(f"unknown function {function!r}")
-        record = self.calls.create(function, input_data)
-        if origin is None:
-            instance = self.instances[next(self._rr) % len(self.instances)]
-        else:
-            instance = self.instance_for(origin)
+        record, created = self.calls.create_or_get(
+            function, input_data, idempotency_key
+        )
+        if not created:
+            return record.call_id
+        instance = self._entry_instance(origin)
         # The dispatch span roots a new trace for external calls; a
         # chained call re-entering on an executor thread continues the
         # caller's trace (its ambient context is still active there).
@@ -109,26 +171,77 @@ class FaasmCluster:
             function=function,
             call_id=record.call_id,
         ) as sp:
-            decision = instance.scheduler.schedule(function)
+            decision = self._place_and_send(record, instance, sp)
             sp.set_attr("decision", decision.reason)
             sp.set_attr("target", decision.host)
-            # Deliver over the message bus: locally, or to the warm host
-            # the scheduler shared the work with (Fig. 5's sharing
-            # queue). The wire context makes the receiving executor's
-            # spans children of this dispatch span, across hosts.
-            self.bus.send(
-                decision.host,
-                ExecuteCall(
-                    record.call_id,
-                    function,
-                    origin=instance.host,
-                    shared=decision.reason == "shared",
-                    trace=sp.wire(),
-                ),
-            )
         with self._dispatched_lock:
             self._dispatched.append(record)
         return record.call_id
+
+    def _entry_instance(self, origin: str | None) -> FaasmRuntimeInstance:
+        """The (live) scheduler a call enters the cluster through."""
+        if origin is not None:
+            instance = self._by_host.get(origin)
+            if instance is not None and instance.alive:
+                return instance
+        live = [i for i in self.instances if i.alive]
+        if not live:
+            raise RuntimeError("no live hosts in the cluster")
+        return live[next(self._rr) % len(live)]
+
+    def _place_and_send(self, record: CallRecord, instance, sp) -> "SchedulingDecision":
+        """Schedule ``record`` from ``instance`` and put it on the bus.
+
+        Deliver over the message bus: locally, or to the warm host the
+        scheduler shared the work with (Fig. 5's sharing queue). The wire
+        context makes the receiving executor's spans children of the
+        dispatch span, across hosts.
+        """
+        decision = instance.scheduler.schedule(record.function)
+        attempt_no = -1
+        if self.retry.enabled:
+            target = self._by_host[decision.host]
+            attempt_no = self.calls.new_attempt(
+                record.call_id, decision.host, target.epoch
+            ).number
+            with self._inflight_lock:
+                self._inflight[record.call_id] = record
+        self.bus.send(
+            decision.host,
+            ExecuteCall(
+                record.call_id,
+                record.function,
+                origin=instance.host,
+                shared=decision.reason == "shared",
+                trace=sp.wire(),
+                attempt=attempt_no,
+            ),
+        )
+        return decision
+
+    def redispatch(self, record: CallRecord, reason: str = "") -> None:
+        """Re-queue a call whose previous attempt was lost (the invocation
+        monitor's retry path); places with current warm-set/liveness data."""
+        try:
+            instance = self._entry_instance(None)
+        except RuntimeError:
+            chain = [a.reason for a in record.attempts if a.reason]
+            chain.append("no live hosts to retry on")
+            self.calls.fail_call(record.call_id, chain)
+            self.telemetry.metrics.counter("call.failed").inc()
+            self.forget_inflight(record.call_id)
+            return
+        with self.telemetry.tracer.trace(
+            "call.retry",
+            host=instance.host,
+            function=record.function,
+            call_id=record.call_id,
+        ) as sp:
+            sp.set_attr("attempt", len(record.attempts))
+            if reason:
+                sp.set_attr("reason", reason)
+            self._place_and_send(record, instance, sp)
+        self.telemetry.metrics.counter("call.retries").inc()
 
     def invoke(self, function: str, input_data: bytes = b"", timeout: float = 60.0) -> tuple[int, bytes]:
         """Synchronously invoke ``function``; returns (exit code, output)."""
@@ -137,16 +250,50 @@ class FaasmCluster:
         return code, self.calls.output(call_id)
 
     # ------------------------------------------------------------------
-    # Host lookup / capacity
+    # Host lookup / capacity / liveness
     # ------------------------------------------------------------------
     def instance_for(self, host: str) -> FaasmRuntimeInstance:
-        for instance in self.instances:
-            if instance.host == host:
-                return instance
-        raise KeyError(f"unknown host {host!r}")
+        instance = self._by_host.get(host)
+        if instance is None:
+            raise KeyError(f"unknown host {host!r}")
+        return instance
 
     def peer_capacity(self, host: str) -> int:
-        return self.instance_for(host).free_capacity()
+        instance = self.instance_for(host)
+        return instance.free_capacity() if instance.alive else 0
+
+    def host_alive(self, host: str) -> bool:
+        instance = self._by_host.get(host)
+        return instance is not None and instance.alive
+
+    def host_liveness(self, host: str) -> tuple[bool, int]:
+        """(alive, epoch) for the invocation monitor's death detection."""
+        instance = self._by_host.get(host)
+        if instance is None:
+            return False, -1
+        return instance.alive, instance.epoch
+
+    def on_host_death(self, instance: FaasmRuntimeInstance) -> None:
+        """A host died: evict it from every warm set so schedulers stop
+        routing there; its in-flight calls are re-queued by the monitor."""
+        evicted = self.warm_sets.evict_host(instance.host)
+        self.telemetry.metrics.counter("host.evicted").inc()
+        logger.warning(
+            "host %s declared dead; evicted from %d warm sets",
+            instance.host,
+            evicted,
+        )
+
+    # ------------------------------------------------------------------
+    # In-flight tracking (for the invocation monitor)
+    # ------------------------------------------------------------------
+    def inflight_records(self) -> list[CallRecord]:
+        with self._inflight_lock:
+            return list(self._inflight.values())
+
+    def forget_inflight(self, call_id: int) -> None:
+        with self._inflight_lock:
+            self._inflight.pop(call_id, None)
 
     # ------------------------------------------------------------------
     # Cluster-wide accounting
@@ -196,18 +343,40 @@ class FaasmCluster:
                 json.dump(doc, f)
         return doc
 
-    def drain(self, timeout: float = 30.0) -> None:
-        """Wait for all dispatched calls to finish (tests/benchmarks)."""
+    def drain(self, timeout: float = 30.0, raise_on_stragglers: bool = True) -> list[int]:
+        """Wait for all dispatched calls to finish (tests/benchmarks).
+
+        The timeout is an overall deadline. Calls still unfinished when it
+        expires are *stragglers*: their ids are returned, and — unless
+        ``raise_on_stragglers=False`` — a :class:`DrainTimeout` naming them
+        is raised, so a stuck call can never be mistaken for a clean drain.
+        """
+        deadline = time.monotonic() + timeout
         with self._dispatched_lock:
             records = list(self._dispatched)
+        stragglers = []
         for record in records:
-            record.done.wait(timeout)
+            remaining = deadline - time.monotonic()
+            if not record.done.wait(max(0.0, remaining)):
+                stragglers.append(record.call_id)
         with self._dispatched_lock:
             self._dispatched = [r for r in self._dispatched if not r.done.is_set()]
+        if stragglers and raise_on_stragglers:
+            raise DrainTimeout(
+                f"drain timed out after {timeout}s with {len(stragglers)} "
+                f"calls still running; straggler call ids: {stragglers}",
+                stragglers,
+            )
+        return stragglers
 
     def shutdown(self) -> None:
-        """Stop every host's dispatcher (idempotent)."""
+        """Stop every host's dispatcher and the monitor (idempotent)."""
+        if self.monitor is not None:
+            self.monitor.stop()
         for instance in self.instances:
-            self.bus.send(instance.host, Shutdown())
+            try:
+                self.bus.send(instance.host, Shutdown())
+            except KeyError:
+                pass  # endpoint already deregistered
         for instance in self.instances:
             instance.join_dispatcher()

@@ -17,7 +17,7 @@ from repro.faaslet import CpuCgroup, Faaslet, FunctionDefinition, NetworkNamespa
 from repro.host.environment import FaasletEnvironment
 from repro.host.filesystem import VirtualFilesystem
 from repro.state.api import StateAPI
-from repro.state.kv import StateClient, TransferMeter
+from repro.state.kv import StateClient, StateUnavailableError, TransferMeter
 from repro.state.local import LocalTier
 from repro.telemetry import MetricsRegistry, context_from_wire, span
 
@@ -31,6 +31,16 @@ logger = logging.getLogger(__name__)
 #: Default number of concurrent calls a host accepts (capacity for the
 #: scheduler's shared-state decisions).
 DEFAULT_CAPACITY = 8
+
+
+class HostCrashed(RuntimeError):
+    """An injected host failure: the host this code runs on just died.
+
+    Raised by a chaos engine's phase hooks after it has killed the host;
+    executor and dispatcher threads let it unwind — whatever they were
+    doing is lost with the host, and the invocation monitor re-queues the
+    affected calls from their attempt records.
+    """
 
 
 class RuntimeEnvironment(FaasletEnvironment):
@@ -129,6 +139,7 @@ class FaasmRuntimeInstance:
             cluster.warm_sets,
             capacity_fn=self.free_capacity,
             peer_capacity_fn=cluster.peer_capacity,
+            live_fn=getattr(cluster, "host_alive", None),
         )
 
         self._warm: dict[str, list[Faaslet]] = {}
@@ -138,6 +149,14 @@ class FaasmRuntimeInstance:
         self._dispatcher: threading.Thread | None = None
         #: Calls received over the bus that were shared from another host.
         self.shared_received = 0
+        #: Liveness: a dead host executes nothing and completes nothing.
+        #: The epoch advances on every death, so attempt records dispatched
+        #: to a previous life are detectable as lost (Fig. 5's independent
+        #: host-failure assumption).
+        self.alive = True
+        self.epoch = 0
+        #: Fault-injection hooks (a ChaosEngine), or None in production.
+        self.chaos = getattr(cluster, "chaos", None)
 
     # ------------------------------------------------------------------
     # Message-bus dispatcher (Fig. 5)
@@ -158,7 +177,18 @@ class FaasmRuntimeInstance:
             message = self.cluster.bus.receive(self.host)
             if message is None or isinstance(message, Shutdown):
                 return
+            if not self.alive:
+                # Dead hosts consume nothing: the drained message is lost
+                # with the host and the monitor re-queues it from its
+                # attempt record. The loop itself keeps draining (rather
+                # than exiting) so a later restart() reuses it without
+                # racing the thread-liveness check.
+                continue
             if isinstance(message, ExecuteCall):
+                try:
+                    self._chaos_point("pre-dispatch", message)
+                except HostCrashed:
+                    continue  # died holding an undispatched message
                 if message.shared:
                     self.shared_received += 1
                 record = self.cluster.calls.get(message.call_id)
@@ -171,13 +201,44 @@ class FaasmRuntimeInstance:
                     name=f"call-{record.call_id}-{record.function}",
                 ).start()
 
+    def _chaos_point(self, phase: str, message: "ExecuteCall | None") -> None:
+        """Give the chaos engine (if any) a chance to kill this host."""
+        if self.chaos is not None and message is not None:
+            self.chaos.on_phase(self, phase, message.call_id, message.attempt)
+
     def _execute_safely(self, record, message: "ExecuteCall | None" = None) -> None:
+        attempt = message.attempt if message is not None else -1
+        if attempt >= 0 and not self.cluster.calls.begin_attempt(
+            record.call_id, attempt, self.host
+        ):
+            # Duplicate delivery, a stale retry, or the call already
+            # finished elsewhere — drop it without executing.
+            return
         try:
             self._execute_traced(record, message)
+        except HostCrashed:
+            # Injected host failure: the executor dies with the host; the
+            # monitor detects the death and re-queues the call.
+            pass
+        except StateUnavailableError as exc:
+            logger.warning(
+                "call %s hit unavailable state tier: %s", record.call_id, exc
+            )
+            if attempt >= 0:
+                self.cluster.calls.attempt_failed(
+                    record.call_id, attempt, f"state unavailable: {exc}"
+                )
+            elif not record.done.is_set():
+                self.cluster.calls.fail(record.call_id, str(exc))
         except Exception as exc:  # never kill the host on a bad call
             logger.exception("call %s crashed the executor", record.call_id)
             if not record.done.is_set():
-                self.cluster.calls.fail(record.call_id, str(exc))
+                if attempt >= 0:
+                    self.cluster.calls.complete_attempt(
+                        record.call_id, attempt, 1, str(exc).encode()
+                    )
+                else:
+                    self.cluster.calls.fail(record.call_id, str(exc))
 
     def _execute_traced(self, record, message: "ExecuteCall | None") -> None:
         """Execute under the trace context carried by the bus message.
@@ -189,7 +250,7 @@ class FaasmRuntimeInstance:
         """
         wire = message.trace if message is not None else None
         if wire is None:
-            self.execute(record)
+            self.execute(record, message)
             return
         tracer = self.cluster.telemetry.tracer
         with tracer.activate(context_from_wire(wire), host=self.host):
@@ -200,7 +261,9 @@ class FaasmRuntimeInstance:
                 shared=bool(message.shared),
             ) as sp:
                 sp.set_attr("queue_wait_s", time.perf_counter() - wire[3])
-                self.execute(record)
+                if message.attempt > 0:
+                    sp.set_attr("attempt", message.attempt)
+                self.execute(record, message)
                 if record.return_code is not None:
                     sp.set_attr("return_code", record.return_code)
                 sp.set_attr("cold_start", record.cold_start)
@@ -209,6 +272,36 @@ class FaasmRuntimeInstance:
         if self._dispatcher is not None:
             self._dispatcher.join(timeout)
             self._dispatcher = None
+
+    # ------------------------------------------------------------------
+    # Liveness (host-failure injection and recovery)
+    # ------------------------------------------------------------------
+    def kill(self) -> None:
+        """The host dies: it stops executing, its in-flight completions are
+        lost, its liveness epoch ends, and the cluster evicts it from the
+        warm sets. Idempotent per life."""
+        with self._mutex:
+            if not self.alive:
+                return
+            self.alive = False
+            self.epoch += 1
+        logger.warning("host %s died (epoch now %d)", self.host, self.epoch)
+        self.cluster.on_host_death(self)
+
+    def restart(self) -> None:
+        """Bring a dead host back empty (warm pools and in-flight state
+        died with the previous life); the already-advanced epoch keeps the
+        old life's attempts detectable as lost."""
+        with self._mutex:
+            if self.alive:
+                return
+            self._warm.clear()
+            self._executing = 0
+            self.alive = True
+        if self._dispatcher is None or not self._dispatcher.is_alive():
+            self._dispatcher = None
+            self.start_dispatcher()
+        logger.info("host %s restarted (epoch %d)", self.host, self.epoch)
 
     # ------------------------------------------------------------------
     # Capacity
@@ -220,40 +313,61 @@ class FaasmRuntimeInstance:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def execute(self, record: CallRecord) -> None:
+    def execute(self, record: CallRecord, message=None) -> None:
         """Execute a call on this host (runs on the caller's thread)."""
         definition = self.cluster.registry.get(record.function)
         with self._mutex:
             self._executing += 1
         try:
             if isinstance(definition, PythonFunctionDefinition):
-                self._execute_python(record, definition)
+                self._execute_python(record, definition, message)
             else:
-                self._execute_wasm(record, definition)
+                self._execute_wasm(record, definition, message)
         finally:
             with self._mutex:
                 self._executing -= 1
 
-    def _execute_python(self, record: CallRecord, definition) -> None:
+    def _complete(self, record: CallRecord, message, code: int, output: bytes) -> None:
+        """Write the call's completion — unless this host died meanwhile
+        (a dead host's completions are lost, like the paper's crashed
+        worker never answering the message bus)."""
+        if message is not None and message.attempt >= 0:
+            if not self.alive:
+                return
+            self.cluster.calls.complete_attempt(
+                record.call_id, message.attempt, code, output
+            )
+        else:
+            self.cluster.calls.complete(record.call_id, code, output)
+
+    def _execute_python(self, record: CallRecord, definition, message=None) -> None:
         self.cluster.calls.mark_running(record.call_id, self.host, cold_start=False)
         self.metrics.record_call()
+        self._chaos_point("mid-guest", message)
         ctx = PythonCallContext(self.env, record.input_data)
         try:
             with span("guest.exec", function=record.function, runtime="python"):
                 result = definition.fn(ctx)
             code = int(result) if isinstance(result, int) else 0
-            self.cluster.calls.complete(record.call_id, code, ctx.output)
+            self._chaos_point("pre-complete", message)
+            self._complete(record, message, code, ctx.output)
+        except (HostCrashed, StateUnavailableError):
+            raise  # infrastructure failures are the retry plane's business
         except Exception as exc:  # guest failure must not kill the host
             logger.exception("python guest %s failed", record.function)
-            self.cluster.calls.complete(record.call_id, 1, str(exc).encode())
+            self._complete(record, message, 1, str(exc).encode())
 
-    def _execute_wasm(self, record: CallRecord, definition: FunctionDefinition) -> None:
+    def _execute_wasm(
+        self, record: CallRecord, definition: FunctionDefinition, message=None
+    ) -> None:
         faaslet, cold = self._acquire_faaslet(definition)
         self.cluster.calls.mark_running(record.call_id, self.host, cold_start=cold)
         self.metrics.record_call()
         try:
+            self._chaos_point("mid-guest", message)
             code, output = faaslet.call(record.input_data)
-            self.cluster.calls.complete(record.call_id, code, output)
+            self._chaos_point("pre-complete", message)
+            self._complete(record, message, code, output)
         finally:
             self._release_faaslet(definition.name, faaslet)
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 
-from repro.state.kv import GlobalStateStore
+from repro.state.kv import GlobalStateStore, StateUnavailableError
 from repro.telemetry import span
 
 _WARM_PREFIX = "faasm/sched/warm/"
@@ -30,7 +30,14 @@ class SchedulingDecision:
 
 
 class WarmSetRegistry:
-    """The per-function warm-host sets, held in the global state tier."""
+    """The per-function warm-host sets, held in the global state tier.
+
+    Warm sets are *advisory* routing data: when the global tier is
+    transiently unavailable (a chaos stripe outage), reads degrade to "no
+    warm hosts" (the scheduler cold-starts locally) and writes are dropped
+    — the set self-heals on the next cold start — instead of taking the
+    dispatch path down with the state tier.
+    """
 
     def __init__(self, store: GlobalStateStore):
         self.store = store
@@ -39,9 +46,14 @@ class WarmSetRegistry:
         return _WARM_PREFIX + function
 
     def warm_hosts(self, function: str) -> set[str]:
-        if not self.store.exists(self._key(function)):
+        try:
+            if not self.store.exists(self._key(function)):
+                return set()
+            return set(
+                json.loads(self.store.get_value(self._key(function)).decode())
+            )
+        except StateUnavailableError:
             return set()
-        return set(json.loads(self.store.get_value(self._key(function)).decode()))
 
     def add(self, function: str, host: str) -> None:
         def update(old: bytes | None) -> bytes:
@@ -49,7 +61,10 @@ class WarmSetRegistry:
             hosts.add(host)
             return json.dumps(sorted(hosts)).encode()
 
-        self.store.atomic_update(self._key(function), update)
+        try:
+            self.store.atomic_update(self._key(function), update)
+        except StateUnavailableError:
+            pass
 
     def remove(self, function: str, host: str) -> None:
         def update(old: bytes | None) -> bytes:
@@ -57,25 +72,58 @@ class WarmSetRegistry:
             hosts.discard(host)
             return json.dumps(sorted(hosts)).encode()
 
-        self.store.atomic_update(self._key(function), update)
+        try:
+            self.store.atomic_update(self._key(function), update)
+        except StateUnavailableError:
+            pass
+
+    def functions(self) -> list[str]:
+        """Every function that currently has a warm set."""
+        return [
+            key[len(_WARM_PREFIX):]
+            for key in self.store.keys()
+            if key.startswith(_WARM_PREFIX)
+        ]
+
+    def evict_host(self, host: str) -> int:
+        """Drop ``host`` from every function's warm set (the host died);
+        returns the number of sets it was actually removed from."""
+        evicted = 0
+        for function in self.functions():
+            if host in self.warm_hosts(function):
+                self.remove(function, host)
+                evicted += 1
+        return evicted
 
 
 class LocalScheduler:
     """One host's scheduler; consults and updates the shared warm sets."""
 
-    def __init__(self, host: str, warm_sets: WarmSetRegistry, capacity_fn, peer_capacity_fn):
+    def __init__(
+        self,
+        host: str,
+        warm_sets: WarmSetRegistry,
+        capacity_fn,
+        peer_capacity_fn,
+        live_fn=None,
+    ):
         """``capacity_fn() -> int`` reports this host's free slots;
-        ``peer_capacity_fn(host) -> int`` reports a peer's."""
+        ``peer_capacity_fn(host) -> int`` reports a peer's;
+        ``live_fn(host) -> bool`` (optional) reports host liveness so a
+        dead host still listed in a warm set is never chosen."""
         self.host = host
         self.warm_sets = warm_sets
         self._capacity = capacity_fn
         self._peer_capacity = peer_capacity_fn
+        self._live = live_fn if live_fn is not None else (lambda host: True)
         #: Decision counters for tests/benchmarks.
         self.decisions: dict[str, int] = {"warm-local": 0, "shared": 0, "cold-local": 0}
 
     def schedule(self, function: str) -> SchedulingDecision:
         with span("schedule", function=function) as sp:
-            warm = self.warm_sets.warm_hosts(function)
+            warm = {
+                h for h in self.warm_sets.warm_hosts(function) if self._live(h)
+            }
             if self.host in warm and self._capacity() > 0:
                 decision = SchedulingDecision(self.host, "warm-local")
             else:

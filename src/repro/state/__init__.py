@@ -28,7 +28,13 @@ from .ddo import (
     SparseMatrixReadOnly,
     VectorAsync,
 )
-from .kv import GlobalStateStore, StateClient, StateKeyError, TransferMeter
+from .kv import (
+    GlobalStateStore,
+    StateClient,
+    StateKeyError,
+    StateUnavailableError,
+    TransferMeter,
+)
 from .local import LocalTier, Replica
 from .rwlock import RWLock
 from .sharded import ShardedStateStore
@@ -49,6 +55,7 @@ __all__ = [
     "StateAPI",
     "StateClient",
     "StateKeyError",
+    "StateUnavailableError",
     "TransferMeter",
     "VectorAsync",
 ]

@@ -28,6 +28,7 @@ call is one network **round trip**, counted in ``round_trips``.
 from __future__ import annotations
 
 import threading
+import time
 import zlib
 
 from repro.telemetry import MetricsRegistry
@@ -37,6 +38,18 @@ from .rwlock import RWLock
 
 class StateKeyError(KeyError):
     """The requested state key does not exist in the global tier."""
+
+
+class StateUnavailableError(RuntimeError):
+    """A transient availability failure of the global tier.
+
+    Raised when (part of) the store cannot serve an operation right now —
+    in this reproduction, when a chaos plan has taken one of the store's
+    lock stripes down (the analogue of a Redis shard being partitioned
+    away). Callers are expected to retry: :class:`StateClient` retries a
+    bounded number of times with a small backoff, and the runtime treats
+    exhaustion as an attempt failure that the invocation monitor re-queues.
+    """
 
 
 class TransferMeter:
@@ -294,19 +307,35 @@ class StateClient:
     round trip (Fig. 4's chunked values without a per-chunk RPC tax).
     """
 
+    #: How often a client re-tries an operation that hit a transient
+    #: :class:`StateUnavailableError` before letting it propagate, and the
+    #: (linearly growing) sleep between tries. Sized so a short stripe
+    #: outage window is ridden out inside one logical operation.
+    UNAVAILABLE_RETRIES = 25
+    UNAVAILABLE_BACKOFF = 0.002
+
     def __init__(self, store: GlobalStateStore, meter: TransferMeter | None = None):
         self.store = store
         self.meter = meter or TransferMeter()
 
+    def _retry(self, fn, *args):
+        """Run a store operation, riding out transient unavailability."""
+        for i in range(self.UNAVAILABLE_RETRIES):
+            try:
+                return fn(*args)
+            except StateUnavailableError:
+                time.sleep(self.UNAVAILABLE_BACKOFF * (i + 1))
+        return fn(*args)  # final try propagates the error
+
     def pull(self, key: str) -> bytes:
         """Fetch the whole value; one round trip."""
-        value = self.store.get_value(key)
+        value = self._retry(self.store.get_value, key)
         self.meter.record_received(len(value))
         return value
 
     def pull_range(self, key: str, offset: int, length: int) -> bytes:
         """Fetch one byte range; one round trip."""
-        value = self.store.get_range(key, offset, length)
+        value = self._retry(self.store.get_range, key, offset, length)
         self.meter.record_received(len(value))
         return value
 
@@ -314,26 +343,29 @@ class StateClient:
         self, key: str, ranges: list[tuple[int, int]]
     ) -> list[bytes]:
         """Fetch several ``(offset, length)`` ranges in ONE round trip."""
-        out = [self.store.get_range(key, offset, length) for offset, length in ranges]
+        out = [
+            self._retry(self.store.get_range, key, offset, length)
+            for offset, length in ranges
+        ]
         self.meter.record_received(sum(len(b) for b in out))
         return out
 
     def pull_ranges_into(self, key: str, dests: list[tuple[int, memoryview]]) -> int:
         """Fetch several ranges straight into caller views (e.g. a shared
         region) in ONE round trip, with no intermediate copies."""
-        total = self.store.get_ranges_into(key, dests)
+        total = self._retry(self.store.get_ranges_into, key, dests)
         self.meter.record_received(total)
         return total
 
     def push(self, key: str, value: bytes) -> None:
         """Replace the whole value; one round trip."""
         self.meter.record_sent(len(value))
-        self.store.set_value(key, value)
+        self._retry(self.store.set_value, key, value)
 
     def push_range(self, key: str, offset: int, data: bytes) -> None:
         """Overwrite one byte range; one round trip."""
         self.meter.record_sent(len(data))
-        self.store.set_range(key, offset, data)
+        self._retry(self.store.set_range, key, offset, data)
 
     def push_ranges(
         self,
@@ -345,12 +377,12 @@ class StateClient:
         spans — in ONE round trip; ``truncate_to`` forces the value's final
         length (size changes travel with the same trip)."""
         self.meter.record_sent(sum(len(d) for _, d in parts))
-        self.store.set_ranges(key, parts, truncate_to)
+        self._retry(self.store.set_ranges, key, parts, truncate_to)
 
     def append(self, key: str, data: bytes) -> None:
         """Append to the value; one round trip."""
         self.meter.record_sent(len(data))
-        self.store.append(key, data)
+        self._retry(self.store.append, key, data)
 
     def size(self, key: str) -> int:
         """Value size (metadata query, not charged as payload)."""

@@ -119,3 +119,47 @@ class TestClusterOverBus:
         # Host still serves later calls.
         cluster.register_python("good", lambda ctx: ctx.write_output(b"y"))
         assert cluster.invoke("good") == (0, b"y")
+
+
+class TestEndpointStrictness:
+    """A typo'd or deregistered host must surface as KeyError, never as a
+    silently-buffered message no dispatcher will ever drain."""
+
+    def test_receive_unknown_host_raises(self):
+        bus = MessageBus()
+        with pytest.raises(KeyError):
+            bus.receive("ghost", timeout=0.01)
+
+    def test_pending_unknown_host_raises(self):
+        bus = MessageBus()
+        with pytest.raises(KeyError):
+            bus.pending("ghost")
+
+    def test_send_never_auto_creates_a_queue(self):
+        bus = MessageBus()
+        with pytest.raises(KeyError):
+            bus.send("ghost", ExecuteCall(1, "fn"))
+        assert bus.hosts() == []
+
+    def test_deregister_discards_queue_and_closes_endpoint(self):
+        bus = MessageBus()
+        bus.register("h1")
+        bus.send("h1", ExecuteCall(1, "fn"))
+        bus.deregister("h1")
+        assert bus.hosts() == []
+        with pytest.raises(KeyError):
+            bus.send("h1", ExecuteCall(2, "fn"))
+        with pytest.raises(KeyError):
+            bus.receive("h1", timeout=0.01)
+
+    def test_deregister_unknown_host_raises(self):
+        bus = MessageBus()
+        with pytest.raises(KeyError):
+            bus.deregister("ghost")
+
+    def test_deregistered_host_can_reregister(self):
+        bus = MessageBus()
+        bus.register("h1")
+        bus.deregister("h1")
+        bus.register("h1")  # a fresh, empty queue
+        assert bus.pending("h1") == 0

@@ -113,3 +113,74 @@ class TestLocalScheduler:
         d2 = s2.schedule("fn")
         assert d2.reason == "shared"
         assert d2.host == "h1"
+
+
+class TestEviction:
+    def test_evict_host_clears_every_warm_set(self, warm_sets):
+        warm_sets.add("f1", "h1")
+        warm_sets.add("f1", "h2")
+        warm_sets.add("f2", "h1")
+        warm_sets.add("f3", "h2")
+        assert warm_sets.evict_host("h1") == 2
+        assert warm_sets.warm_hosts("f1") == {"h2"}
+        assert warm_sets.warm_hosts("f2") == set()
+        assert warm_sets.warm_hosts("f3") == {"h2"}
+        # Idempotent: a second eviction finds nothing to remove.
+        assert warm_sets.evict_host("h1") == 0
+
+    def test_functions_lists_registered_warm_sets(self, warm_sets):
+        warm_sets.add("alpha", "h1")
+        warm_sets.add("beta", "h2")
+        assert sorted(warm_sets.functions()) == ["alpha", "beta"]
+
+    def test_remove_racing_add_loses_no_updates(self, warm_sets):
+        """Concurrent add/remove on one warm set must linearise through
+        the store's atomic_update: no lost updates, valid JSON always."""
+        import threading
+
+        hosts = [f"h{i}" for i in range(8)]
+        # h-keep is added concurrently with removals of other hosts;
+        # every add of h-keep must survive every remove of the others.
+        for h in hosts:
+            warm_sets.add("fn", h)
+
+        def remover(h):
+            for _ in range(50):
+                warm_sets.remove("fn", h)
+                warm_sets.add("fn", h)
+            warm_sets.remove("fn", h)
+
+        def keeper():
+            for _ in range(200):
+                warm_sets.add("fn", "h-keep")
+
+        threads = [threading.Thread(target=remover, args=(h,)) for h in hosts]
+        threads.append(threading.Thread(target=keeper))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        final = warm_sets.warm_hosts("fn")
+        assert final == {"h-keep"}, final
+
+    def test_all_warm_hosts_evicted_falls_back_to_cold_local(self, warm_sets):
+        """When every warm host died, the scheduler must not route to the
+        corpses: with liveness wired in it cold-starts locally instead."""
+        warm_sets.add("fn", "h2")
+        warm_sets.add("fn", "h3")
+        live = {"h1"}  # h2/h3 are dead
+        sched = LocalScheduler(
+            "h1",
+            warm_sets,
+            capacity_fn=lambda: 2,
+            peer_capacity_fn=lambda h: 5,  # capacity alone would pick them
+            live_fn=lambda h: h in live,
+        )
+        decision = sched.schedule("fn")
+        assert decision.reason == "cold-local"
+        assert decision.host == "h1"
+        # Without the liveness filter the same state routes to a corpse.
+        blind = LocalScheduler(
+            "h4", warm_sets, capacity_fn=lambda: 2, peer_capacity_fn=lambda h: 5
+        )
+        assert blind.schedule("fn").reason == "shared"

@@ -95,3 +95,159 @@ TwoTierMachine.TestCase.settings = settings(
     max_examples=40, stateful_step_count=30, deadline=None
 )
 TestTwoTier = TwoTierMachine.TestCase
+
+
+# ---------------------------------------------------------------------------
+# Retry/duplicate idempotency: the attempt-claim protocol under arbitrary
+# interleavings of dispatch, duplicate delivery, crashes and retries.
+# ---------------------------------------------------------------------------
+
+from repro.runtime.calls import (  # noqa: E402
+    ATTEMPT_DONE,
+    ATTEMPT_RUNNING,
+    CallStatus,
+    InvocationRegistry,
+)
+
+
+class RetryIdempotencyMachine(RuleBasedStateMachine):
+    """Drives the invocation registry the way a faulty cluster would.
+
+    Rules model the events the chaos plane injects — duplicate deliveries
+    (begin the same attempt twice), host crashes (an attempt marked lost
+    mid-run), timeouts (a sent attempt written off) and retries (a fresh
+    attempt after a loss) — and the invariants state the exactly-once
+    contract: each attempt is begun at most once, at most one attempt runs
+    at a time, each call completes at most once, and a completed call's
+    idempotent state write is observably applied exactly once.
+    """
+
+    calls = Bundle("calls")
+
+    def __init__(self):
+        super().__init__()
+        self.registry = InvocationRegistry()
+        self.store = GlobalStateStore()
+        #: Successful begin_attempt claims per (call_id, attempt number).
+        self.begun: dict[tuple[int, int], int] = {}
+        #: Guest executions per call (each successful claim runs the guest).
+        self.executions: dict[int, int] = {}
+
+    def _apply_guest(self, call_id: int) -> None:
+        """The idempotent guest body: an absolute state write."""
+        self.store.set_value(f"out/{call_id}", f"result-{call_id}".encode())
+        self.executions[call_id] = self.executions.get(call_id, 0) + 1
+
+    @rule(target=calls, key=st.integers(0, 4))
+    def submit(self, key):
+        record, created = self.registry.create_or_get(
+            "fn", b"", idempotency_key=f"job-{key}"
+        )
+        if not created:
+            # The same idempotency key always maps to the same call.
+            assert record.idempotency_key == f"job-{key}"
+        return record.call_id
+
+    @rule(call_id=calls)
+    def dispatch_attempt(self, call_id):
+        """The cluster (or the monitor retrying) sends a fresh attempt —
+        only ever after the previous one was written off."""
+        record = self.registry.get(call_id)
+        if record.done.is_set() or len(record.attempts) >= 6:
+            return
+        last = record.last_attempt
+        if last is not None and last.state in (ATTEMPT_RUNNING, "sent"):
+            return
+        self.registry.new_attempt(call_id, "h0", 0)
+
+    @rule(call_id=calls, pick=st.integers(0, 5))
+    def deliver_and_complete(self, call_id, pick):
+        """An executor receives a delivery, claims it, runs the guest and
+        completes — the healthy path."""
+        record = self.registry.get(call_id)
+        if not record.attempts:
+            return
+        number = pick % len(record.attempts)
+        if self.registry.begin_attempt(call_id, number, "h0"):
+            self.begun[(call_id, number)] = self.begun.get((call_id, number), 0) + 1
+            self._apply_guest(call_id)
+            assert self.registry.complete_attempt(call_id, number, 0, b"ok")
+
+    @rule(call_id=calls, pick=st.integers(0, 5))
+    def duplicate_delivery(self, call_id, pick):
+        """A duplicated ExecuteCall: the second claim of an already-begun
+        attempt must always be rejected."""
+        record = self.registry.get(call_id)
+        if not record.attempts:
+            return
+        number = pick % len(record.attempts)
+        first = self.registry.begin_attempt(call_id, number, "h0")
+        second = self.registry.begin_attempt(call_id, number, "h0")
+        assert not second
+        if first:
+            self.begun[(call_id, number)] = self.begun.get((call_id, number), 0) + 1
+            self._apply_guest(call_id)
+            assert self.registry.complete_attempt(call_id, number, 0, b"ok")
+
+    @rule(call_id=calls, pick=st.integers(0, 5))
+    def crash_mid_run(self, call_id, pick):
+        """The executor's host dies after the guest ran but before the
+        completion was written (the pre-complete crash phase)."""
+        record = self.registry.get(call_id)
+        if not record.attempts:
+            return
+        number = pick % len(record.attempts)
+        if self.registry.begin_attempt(call_id, number, "h0"):
+            self.begun[(call_id, number)] = self.begun.get((call_id, number), 0) + 1
+            self._apply_guest(call_id)
+            assert self.registry.mark_attempt_lost(call_id, number, "host died")
+            # The zombie completion from the dead host must be rejected.
+            assert not self.registry.complete_attempt(call_id, number, 0, b"zombie")
+
+    @rule(call_id=calls, pick=st.integers(0, 5))
+    def lose_sent_attempt(self, call_id, pick):
+        """A dropped message: the monitor writes the sent attempt off."""
+        record = self.registry.get(call_id)
+        if not record.attempts:
+            return
+        number = pick % len(record.attempts)
+        self.registry.mark_attempt_lost(call_id, number, "timed out")
+
+    @invariant()
+    def each_attempt_begun_at_most_once(self):
+        assert all(count == 1 for count in self.begun.values())
+
+    @invariant()
+    def at_most_one_attempt_running(self):
+        for record in self.registry.all_records():
+            running = [a for a in record.attempts if a.state == ATTEMPT_RUNNING]
+            assert len(running) <= 1, record.call_id
+
+    @invariant()
+    def at_most_one_completion(self):
+        for record in self.registry.all_records():
+            done = [a for a in record.attempts if a.state == ATTEMPT_DONE]
+            assert len(done) <= 1, record.call_id
+            if record.done.is_set():
+                assert record.status in (
+                    CallStatus.SUCCEEDED,
+                    CallStatus.FAILED,
+                    CallStatus.CALL_FAILED,
+                )
+
+    @invariant()
+    def idempotent_write_applied_exactly_once(self):
+        """However many times a crashy history re-ran the guest, the
+        observable state is exactly one application's worth."""
+        for record in self.registry.all_records():
+            key = f"out/{record.call_id}"
+            if self.executions.get(record.call_id, 0) > 0:
+                assert self.store.get_value(key) == f"result-{record.call_id}".encode()
+            else:
+                assert not self.store.exists(key)
+
+
+RetryIdempotencyMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)
+TestRetryIdempotency = RetryIdempotencyMachine.TestCase
