@@ -36,6 +36,13 @@ Commands::
         Run the Polybench suite in the sandbox and vs native, printing the
         Fig. 9a-style ratio table.
 
+    snapshots [file.ml] [--init NAME] [--hosts N] [--calls N] [--json]
+        Drive a function through a cluster and print the content-addressed
+        snapshot plane's view: per-host PageStore residency and dedup
+        stats, delta-pull transfer counters, the repository's page pool,
+        and the residency advertisements the scheduler places against.
+        Without a file, a built-in demo function is used.
+
     chaos [--seed N] [--calls N] [--hosts N] [--drop-rate R]
         [--crashes N] [--outages N] [--timeout S] [--json] [--log FILE]
         Run a seeded chaos soak: dispatch calls through a cluster under a
@@ -304,6 +311,83 @@ def cmd_kernels(args) -> int:
     return 0
 
 
+#: Demo function for ``repro snapshots`` when no source file is given:
+#: the init dirties a spread of pages so the snapshot has a real payload.
+_SNAPSHOT_DEMO_SRC = """
+global int ready = 0;
+export void init() {
+    int[] data = new int[65536];
+    for (int i = 0; i < 65536; i = i + 2048) { data[i] = i + 1; }
+    ready = 1;
+}
+export int main() { return ready; }
+"""
+
+
+def cmd_snapshots(args) -> int:
+    """``repro snapshots``: per-host PageStore residency/dedup stats."""
+    import json
+
+    from repro.runtime import FaasmCluster
+
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as f:
+            source = f.read()
+        name = args.file
+        init = args.init
+    else:
+        source, name, init = _SNAPSHOT_DEMO_SRC, "demo", "init"
+
+    cluster = FaasmCluster(n_hosts=args.hosts)
+    try:
+        cluster.upload(name, source, init=init)
+        for _ in range(args.calls):
+            code, _ = cluster.invoke(name)
+            if code != 0 and args.file:
+                print(f"warning: {name} exited {code}", file=sys.stderr)
+        stats = cluster.snapshot_stats()
+        residency = {
+            fn: cluster.warm_sets.resident_hosts(fn)
+            for fn in cluster.warm_sets.resident_functions()
+        }
+        if args.json:
+            print(json.dumps({**stats, "residency": residency}, indent=2))
+            return 0
+
+        repo = stats["repository"]
+        print(
+            f"repository: {repo['functions']} function(s), "
+            f"{repo['resident_pages']} pages "
+            f"({repo['resident_bytes'] / 2**20:.2f} MiB), "
+            f"{repo['dedup_hits']} dedup hits"
+        )
+        header = (
+            f"{'host':<10}{'pages':>7}{'MiB':>8}{'pulled':>8}{'MiB':>8}"
+            f"{'trips':>7}{'dedup':>7}{'cached':>8}"
+        )
+        print(header)
+        print("-" * len(header))
+        for host, s in sorted(stats["hosts"].items()):
+            print(
+                f"{host:<10}{s['resident_pages']:>7}"
+                f"{s['resident_bytes'] / 2**20:>8.2f}"
+                f"{s['pages_shipped']:>8}"
+                f"{s['bytes_shipped'] / 2**20:>8.2f}"
+                f"{s['round_trips']:>7}{s['pull_dedup_hits']:>7}"
+                f"{s['snapshots_cached']:>8}"
+            )
+        if residency:
+            print("residency advertisements (scheduler locality signal):")
+            for fn, hosts in sorted(residency.items()):
+                ads = ", ".join(
+                    f"{h}={c:g}" for h, c in sorted(hosts.items())
+                )
+                print(f"  {fn}: {ads}")
+        return 0
+    finally:
+        cluster.shutdown()
+
+
 def cmd_chaos(args) -> int:
     """``repro chaos``: a seeded fault-injection soak against the cluster."""
     import json
@@ -422,6 +506,22 @@ def main(argv: list[str] | None = None) -> int:
     p_k = sub.add_parser("kernels", help="run the Polybench suite")
     p_k.add_argument("--n", type=int, help="problem size override")
     p_k.set_defaults(fn=cmd_kernels)
+
+    p_sn = sub.add_parser(
+        "snapshots",
+        help="print per-host PageStore residency/dedup stats for a function",
+    )
+    p_sn.add_argument("file", nargs="?",
+                      help="guest source to upload (default: built-in demo)")
+    p_sn.add_argument("--init",
+                      help="exported init function to snapshot after")
+    p_sn.add_argument("--hosts", type=int, default=2,
+                      help="cluster size (default 2)")
+    p_sn.add_argument("--calls", type=int, default=8,
+                      help="invocations to drive (default 8)")
+    p_sn.add_argument("--json", action="store_true",
+                      help="dump the stats as JSON")
+    p_sn.set_defaults(fn=cmd_snapshots)
 
     p_ch = sub.add_parser("chaos", help="run a seeded fault-injection soak")
     p_ch.add_argument("--seed", type=int, default=1,

@@ -24,8 +24,9 @@ from .netns import (
     TokenBucket,
     VirtualInterface,
 )
+from .pagestore import HostSnapshotCache, PageStore, SnapshotRepository
 from .sharing import SharedRegion
-from .snapshot import ProtoFaaslet, SnapshotError
+from .snapshot import ProtoFaaslet, SnapshotError, SnapshotManifest
 
 __all__ = [
     "AF_INET",
@@ -39,13 +40,17 @@ __all__ = [
     "Faaslet",
     "FaasletExecutionError",
     "FunctionDefinition",
+    "HostSnapshotCache",
     "NetworkNamespace",
     "NetworkPolicyError",
+    "PageStore",
     "ProtoFaaslet",
     "SOCK_DGRAM",
     "SOCK_STREAM",
     "SharedRegion",
     "SnapshotError",
+    "SnapshotManifest",
+    "SnapshotRepository",
     "TokenBucket",
     "VirtualInterface",
 ]

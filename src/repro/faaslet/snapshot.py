@@ -12,26 +12,126 @@ container boot costs (Tab. 3, Fig. 10).
 Snapshots are OS-independent plain bytes: :meth:`ProtoFaaslet.to_bytes` /
 :meth:`from_bytes` serialise them for cross-host restore, the property that
 distinguishes Proto-Faaslets from single-machine snapshotting systems like
-SEUSS or Catalyzer.
+SEUSS or Catalyzer. At cluster scale the monolithic blob is superseded by
+the content-addressed plane: a :class:`SnapshotManifest` (ordered page
+digests + globals/table blobs) travels instead of the pages, and hosts pull
+only the pages their :class:`~repro.faaslet.pagestore.PageStore` is missing.
 """
 
 from __future__ import annotations
 
 import pickle
 import struct
+from dataclasses import dataclass
 
-from repro.telemetry import span
+from repro.telemetry import MetricsRegistry, span
 from repro.wasm.instance import GlobalInstance, Instance
-from repro.wasm.memory import LinearMemory
+from repro.wasm.memory import ZERO_DIGEST, ZERO_PAGE, LinearMemory, page_digest
 from repro.wasm.types import PAGE_SIZE, Limits, MemoryType
 
 from .faaslet import Faaslet, FunctionDefinition
 
-_HEADER = struct.Struct("<III")  # page count, n globals blob len, table blob len
+#: Legacy (v1) monolithic header: page count, globals blob len, table blob len.
+_HEADER_V1 = struct.Struct("<III")
+
+#: Zero-eliding (v2) monolithic header: magic, total pages, present (non-zero)
+#: pages, globals blob len, table blob len. Followed by the present pages'
+#: indices (``<I`` each), the blobs, then the present pages back to back.
+_MAGIC_V2 = b"PF02"
+_HEADER_V2 = struct.Struct("<4sIIII")
+
+#: Manifest wire header: magic, format version, function-name length,
+#: snapshot version, page count, globals blob len, table blob len. Followed
+#: by the name (utf-8), the ordered raw digests (16 bytes each), the blobs.
+_MANIFEST_MAGIC = b"FMAN"
+_MANIFEST_HEADER = struct.Struct("<4sHHIIII")
+_DIGEST_RAW_LEN = 16
+
+#: Fallback registry for the ``snapshot.restores`` series of Proto-Faaslets
+#: created outside a cluster (benchmarks, standalone tools).
+_STANDALONE_METRICS = MetricsRegistry()
 
 
 class SnapshotError(RuntimeError):
     """The Faaslet cannot be snapshotted in its current state."""
+
+
+@dataclass(frozen=True)
+class SnapshotManifest:
+    """The content-addressed description of one Proto-Faaslet version.
+
+    The manifest is what the object store and the wire carry instead of the
+    page bytes: an *ordered* digest per 64 KiB page (all-zero pages appear
+    as :data:`~repro.wasm.memory.ZERO_DIGEST` and never have a payload),
+    plus the pickled globals and table snapshots, which are tiny. Restoring
+    a snapshot anywhere requires only the manifest and whichever payload
+    pages the restoring host's PageStore lacks.
+    """
+
+    function: str
+    version: int
+    page_digests: tuple[str, ...]
+    globals_blob: bytes
+    table_blob: bytes
+
+    # ------------------------------------------------------------------
+    @property
+    def n_pages(self) -> int:
+        return len(self.page_digests)
+
+    @property
+    def memory_bytes(self) -> int:
+        return len(self.page_digests) * PAGE_SIZE
+
+    def payload_digests(self) -> list[str]:
+        """Unique non-zero digests, in first-appearance order — the pages
+        that actually have bytes behind them."""
+        seen: set[str] = set()
+        out: list[str] = []
+        for digest in self.page_digests:
+            if digest != ZERO_DIGEST and digest not in seen:
+                seen.add(digest)
+                out.append(digest)
+        return out
+
+    @property
+    def zero_pages(self) -> int:
+        return sum(1 for d in self.page_digests if d == ZERO_DIGEST)
+
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        name = self.function.encode()
+        header = _MANIFEST_HEADER.pack(
+            _MANIFEST_MAGIC,
+            1,
+            len(name),
+            self.version,
+            len(self.page_digests),
+            len(self.globals_blob),
+            len(self.table_blob),
+        )
+        digests = b"".join(bytes.fromhex(d) for d in self.page_digests)
+        return header + name + digests + self.globals_blob + self.table_blob
+
+    @classmethod
+    def from_bytes(cls, data: "bytes | bytearray | memoryview") -> "SnapshotManifest":
+        view = memoryview(data)
+        magic, fmt, name_len, version, n_pages, glen, tlen = (
+            _MANIFEST_HEADER.unpack_from(view, 0)
+        )
+        if magic != _MANIFEST_MAGIC or fmt != 1:
+            raise ValueError("not a snapshot manifest")
+        pos = _MANIFEST_HEADER.size
+        name = bytes(view[pos : pos + name_len]).decode()
+        pos += name_len
+        digests = []
+        for _ in range(n_pages):
+            digests.append(bytes(view[pos : pos + _DIGEST_RAW_LEN]).hex())
+            pos += _DIGEST_RAW_LEN
+        globals_blob = bytes(view[pos : pos + glen])
+        pos += glen
+        table_blob = bytes(view[pos : pos + tlen])
+        return cls(name, version, tuple(digests), globals_blob, table_blob)
 
 
 class ProtoFaaslet:
@@ -43,13 +143,40 @@ class ProtoFaaslet:
         frozen_pages: list[memoryview],
         globals_snapshot: list[tuple],
         table_snapshot: list[int | None] | None,
+        page_digests: list[str] | None = None,
+        version: int = 0,
+        metrics: MetricsRegistry | None = None,
     ):
         self.definition = definition
         self.frozen_pages = frozen_pages
         self.globals_snapshot = globals_snapshot
         self.table_snapshot = table_snapshot
-        #: Number of times this snapshot has been restored (metrics).
-        self.restore_count = 0
+        #: Ordered content digests, one per frozen page (computed lazily
+        #: unless capture/restore already knows them).
+        self._page_digests = page_digests
+        #: Manifest version this proto was materialised from (0 = local).
+        self.version = version
+        # Restores land in the ``snapshot.restores`` registry series (its
+        # Counter is lock-protected: executor threads on one host race to
+        # restore the same proto). The per-proto tally stays a bare int —
+        # restore is the Tab. 3 hot path, and one synchronised counter per
+        # restore is the accuracy/overhead point chosen here.
+        self._restores = 0
+        self._restore_series = (
+            metrics if metrics is not None else _STANDALONE_METRICS
+        ).counter("snapshot.restores", function=definition.name)
+
+    @property
+    def restore_count(self) -> int:
+        """Number of times this snapshot has been restored (telemetry)."""
+        return self._restores
+
+    @property
+    def page_digests(self) -> list[str]:
+        """Ordered per-page content digests (the manifest's page list)."""
+        if self._page_digests is None:
+            self._page_digests = [page_digest(v) for v in self.frozen_pages]
+        return self._page_digests
 
     # ------------------------------------------------------------------
     # Capture
@@ -85,8 +212,9 @@ class ProtoFaaslet:
             )
         if instance.memory is None:
             frozen: list[memoryview] = []
+            digests: list[str] = []
         else:
-            frozen = instance.memory.freeze_pages()
+            frozen, digests = instance.memory.freeze_with_digests()
         globals_snapshot = [
             (g.valtype, g.mutable, g.value) for g in instance.globals
         ]
@@ -99,7 +227,13 @@ class ProtoFaaslet:
                         "table entries"
                     )
             table_snapshot = list(instance.table)
-        return cls(faaslet.definition, frozen, globals_snapshot, table_snapshot)
+        return cls(
+            faaslet.definition,
+            frozen,
+            globals_snapshot,
+            table_snapshot,
+            page_digests=digests,
+        )
 
     # ------------------------------------------------------------------
     # Restore
@@ -136,7 +270,8 @@ class ProtoFaaslet:
                 GlobalInstance(vt, mut, val) for vt, mut, val in self.globals_snapshot
             ]
             table = list(self.table_snapshot) if self.table_snapshot is not None else None
-            self.restore_count += 1
+            self._restores += 1
+            self._restore_series.inc()
             return Instance.from_parts(
                 module, funcs, memory, globals_, table, fuel=fuel, tier=tier
             )
@@ -148,31 +283,119 @@ class ProtoFaaslet:
         return Faaslet(self.definition, env, proto=self, fuel=fuel, tier=tier)
 
     # ------------------------------------------------------------------
-    # Cross-host serialisation
+    # Manifest bridge (the content-addressed data plane)
     # ------------------------------------------------------------------
-    def to_bytes(self) -> bytes:
-        """Serialise to OS-independent bytes for cross-host restores."""
-        pages = b"".join(bytes(p) for p in self.frozen_pages)
-        globals_blob = pickle.dumps(self.globals_snapshot)
-        table_blob = pickle.dumps(self.table_snapshot)
-        header = _HEADER.pack(
-            len(self.frozen_pages), len(globals_blob), len(table_blob)
+    def manifest(self, version: int = 1) -> SnapshotManifest:
+        """This snapshot's content-addressed description (no page bytes)."""
+        return SnapshotManifest(
+            self.definition.name,
+            version,
+            tuple(self.page_digests),
+            pickle.dumps(self.globals_snapshot),
+            pickle.dumps(self.table_snapshot),
         )
-        return header + globals_blob + table_blob + pages
 
     @classmethod
-    def from_bytes(cls, definition: FunctionDefinition, data: bytes) -> "ProtoFaaslet":
-        n_pages, glen, tlen = _HEADER.unpack_from(data, 0)
-        pos = _HEADER.size
-        globals_snapshot = pickle.loads(data[pos : pos + glen])
-        pos += glen
-        table_snapshot = pickle.loads(data[pos : pos + tlen])
-        pos += tlen
-        pages: list[memoryview] = []
-        for i in range(n_pages):
-            page = bytearray(data[pos : pos + PAGE_SIZE])
+    def from_manifest(
+        cls,
+        definition: FunctionDefinition,
+        manifest: SnapshotManifest,
+        pages: list[memoryview],
+        metrics: MetricsRegistry | None = None,
+    ) -> "ProtoFaaslet":
+        """Rebuild a proto whose frozen pages alias ``pages`` (typically
+        PageStore-resident views, shared with every other snapshot on the
+        host that contains the same content)."""
+        if len(pages) != manifest.n_pages:
+            raise ValueError(
+                f"manifest describes {manifest.n_pages} pages, got {len(pages)}"
+            )
+        return cls(
+            definition,
+            pages,
+            pickle.loads(manifest.globals_blob),
+            pickle.loads(manifest.table_blob),
+            page_digests=list(manifest.page_digests),
+            version=manifest.version,
+            metrics=metrics,
+        )
+
+    # ------------------------------------------------------------------
+    # Cross-host serialisation (monolithic wire format)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialise to OS-independent bytes for cross-host restores.
+
+        The v2 format elides all-zero pages (they are reconstructed from
+        the shared zero page on restore) and is assembled by streaming
+        straight into one exactly-sized preallocated buffer — no per-page
+        intermediate ``bytes`` and no join copy.
+        """
+        globals_blob = pickle.dumps(self.globals_snapshot)
+        table_blob = pickle.dumps(self.table_snapshot)
+        digests = self.page_digests
+        present = [i for i, d in enumerate(digests) if d != ZERO_DIGEST]
+        index_blob_len = 4 * len(present)
+        total = (
+            _HEADER_V2.size
+            + index_blob_len
+            + len(globals_blob)
+            + len(table_blob)
+            + len(present) * PAGE_SIZE
+        )
+        buf = bytearray(total)
+        _HEADER_V2.pack_into(
+            buf,
+            0,
+            _MAGIC_V2,
+            len(self.frozen_pages),
+            len(present),
+            len(globals_blob),
+            len(table_blob),
+        )
+        pos = _HEADER_V2.size
+        struct.pack_into(f"<{len(present)}I", buf, pos, *present)
+        pos += index_blob_len
+        buf[pos : pos + len(globals_blob)] = globals_blob
+        pos += len(globals_blob)
+        buf[pos : pos + len(table_blob)] = table_blob
+        pos += len(table_blob)
+        out = memoryview(buf)
+        for i in present:
+            out[pos : pos + PAGE_SIZE] = self.frozen_pages[i]
             pos += PAGE_SIZE
-            pages.append(memoryview(page))
+        return bytes(buf)
+
+    @classmethod
+    def from_bytes(
+        cls, definition: FunctionDefinition, data: "bytes | memoryview"
+    ) -> "ProtoFaaslet":
+        """Deserialise a snapshot whose pages *alias* ``data``.
+
+        Restored pages are memoryview slices over the single received
+        buffer (and the shared zero page for elided pages) — no per-page
+        copies; copy-on-write materialisation makes a private copy on the
+        first write, exactly as for locally frozen pages. The caller must
+        therefore treat ``data`` as immutable once passed in.
+        """
+        view = memoryview(data)
+        if bytes(view[:4]) == _MAGIC_V2:
+            _, n_pages, n_present, glen, tlen = _HEADER_V2.unpack_from(view, 0)
+            pos = _HEADER_V2.size
+            present = struct.unpack_from(f"<{n_present}I", view, pos)
+            pos += 4 * n_present
+        else:  # legacy v1: every page serialised, zero or not
+            n_pages, glen, tlen = _HEADER_V1.unpack_from(view, 0)
+            pos = _HEADER_V1.size
+            present = tuple(range(n_pages))
+        globals_snapshot = pickle.loads(view[pos : pos + glen])
+        pos += glen
+        table_snapshot = pickle.loads(view[pos : pos + tlen])
+        pos += tlen
+        pages: list[memoryview] = [ZERO_PAGE] * n_pages
+        for i in present:
+            pages[i] = view[pos : pos + PAGE_SIZE]
+            pos += PAGE_SIZE
         return cls(definition, pages, globals_snapshot, table_snapshot)
 
     # ------------------------------------------------------------------

@@ -90,7 +90,9 @@ class FaasmCluster:
             self.global_state = GlobalStateStore()
             self.bus = MessageBus(metrics=self.telemetry.metrics)
         self.object_store = GlobalObjectStore()
-        self.registry = FunctionRegistry(self.object_store)
+        self.registry = FunctionRegistry(
+            self.object_store, metrics=self.telemetry.metrics
+        )
         self.calls = InvocationRegistry()
         self.warm_sets = WarmSetRegistry(self.global_state)
         #: Shared endpoint registry for Faaslet virtual NICs.
@@ -212,7 +214,10 @@ class FaasmCluster:
                 record.call_id,
                 record.function,
                 origin=instance.host,
-                shared=decision.reason == "shared",
+                # Work left this host for a peer — via the warm set or a
+                # snapshot-locality (page-resident) placement.
+                shared=decision.reason in ("shared", "resident")
+                and decision.host != instance.host,
                 trace=sp.wire(),
                 attempt=attempt_no,
             ),
@@ -307,6 +312,14 @@ class FaasmCluster:
 
     def total_cold_starts(self) -> int:
         return sum(i.metrics.cold_starts for i in self.instances)
+
+    def snapshot_stats(self) -> dict:
+        """The snapshot distribution plane's view of the cluster: per-host
+        PageStore residency/dedup/transfer stats plus the repository's."""
+        return {
+            "repository": self.registry.snapshots.stats(),
+            "hosts": {i.host: i.snapshots.stats() for i in self.instances},
+        }
 
     def metrics_snapshot(self) -> dict:
         """Cluster-aggregated metrics dump: every per-host series (bus,

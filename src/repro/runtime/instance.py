@@ -13,7 +13,13 @@ import logging
 import threading
 import time
 
-from repro.faaslet import CpuCgroup, Faaslet, FunctionDefinition, NetworkNamespace
+from repro.faaslet import (
+    CpuCgroup,
+    Faaslet,
+    FunctionDefinition,
+    HostSnapshotCache,
+    NetworkNamespace,
+)
 from repro.host.environment import FaasletEnvironment
 from repro.host.filesystem import VirtualFilesystem
 from repro.state.api import StateAPI
@@ -140,6 +146,17 @@ class FaasmRuntimeInstance:
             capacity_fn=self.free_capacity,
             peer_capacity_fn=cluster.peer_capacity,
             live_fn=getattr(cluster, "host_alive", None),
+        )
+
+        #: The content-addressed snapshot client: this host's PageStore
+        #: plus the delta-pull protocol against the cluster repository.
+        #: Materialised snapshots advertise page residency to the shared
+        #: scheduler state (the locality signal for placement).
+        self.snapshots = HostSnapshotCache(
+            host,
+            cluster.registry.snapshots,
+            metrics=cluster.telemetry.metrics,
+            on_residency=cluster.warm_sets.advertise_residency,
         )
 
         self._warm: dict[str, list[Faaslet]] = {}
@@ -298,6 +315,9 @@ class FaasmRuntimeInstance:
             self._warm.clear()
             self._executing = 0
             self.alive = True
+        # The page cache died with the host's memory: restores on this new
+        # life re-pull (residency ads were withdrawn by on_host_death).
+        self.snapshots.clear()
         if self._dispatcher is None or not self._dispatcher.is_alive():
             self._dispatcher = None
             self.start_dispatcher()
@@ -379,10 +399,12 @@ class FaasmRuntimeInstance:
                 with span("faaslet.acquire", function=definition.name) as sp:
                     sp.set_attr("mode", "warm")
                 return pool.pop(), False
-        # Cold start: restore from the Proto-Faaslet when one exists.
+        # Cold start: restore from the Proto-Faaslet when one exists. The
+        # snapshot client pulls (only) the pages this host is missing and
+        # materialises a proto aliasing the host PageStore.
         with span("faaslet.acquire", function=definition.name) as sp:
             start = time.perf_counter()
-            proto = self.cluster.registry.proto(definition.name)
+            proto = self.snapshots.get_proto(definition)
             if proto is not None:
                 sp.set_attr("mode", "proto-restore")
                 faaslet = proto.restore(self.env)
@@ -410,7 +432,7 @@ class FaasmRuntimeInstance:
         definition = self.cluster.registry.get(function)
         if isinstance(definition, PythonFunctionDefinition):
             return 0  # Python guests have no per-instance isolation unit
-        proto = self.cluster.registry.proto(function)
+        proto = self.snapshots.get_proto(definition)
         added = 0
         for _ in range(count):
             # Always create fresh instances (acquire would just recycle the

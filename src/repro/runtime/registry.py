@@ -19,10 +19,10 @@ import threading
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.faaslet import FunctionDefinition, ProtoFaaslet
+from repro.faaslet import FunctionDefinition, ProtoFaaslet, SnapshotRepository
 from repro.host.filesystem import GlobalObjectStore
 from repro.minilang import compile_source
-from repro.telemetry import span
+from repro.telemetry import MetricsRegistry, span
 from repro.wasm import parse_module
 from repro.wasm.module import Module
 
@@ -47,10 +47,16 @@ class PythonFunctionDefinition:
 class FunctionRegistry:
     """Cluster-wide function registry backed by the shared object store."""
 
-    def __init__(self, object_store: GlobalObjectStore | None = None):
+    def __init__(
+        self,
+        object_store: GlobalObjectStore | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.object_store = object_store or GlobalObjectStore()
         self._functions: dict[str, FunctionDefinition | PythonFunctionDefinition] = {}
         self._protos: dict[str, ProtoFaaslet] = {}
+        #: The content-addressed snapshot home every host delta-pulls from.
+        self.snapshots = SnapshotRepository(metrics)
         self._mutex = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -130,8 +136,19 @@ class FunctionRegistry:
     # ------------------------------------------------------------------
     # Proto-Faaslets
     # ------------------------------------------------------------------
-    def generate_proto(self, name: str, init: str | None = None) -> ProtoFaaslet:
-        """Capture and store the Proto-Faaslet for a wasm function."""
+    def generate_proto(
+        self, name: str, init: "str | Callable | None" = None
+    ) -> ProtoFaaslet:
+        """Capture and publish the Proto-Faaslet for a wasm function.
+
+        The snapshot enters the content-addressed plane: its pages land in
+        the cluster :class:`~repro.faaslet.pagestore.SnapshotRepository`
+        (deduplicated against every other published snapshot, previous
+        versions of this function included) and the object store gets the
+        *manifest* — ordered page digests plus globals/table blobs — not a
+        monolithic page blob. Hosts restore by delta-pulling only the
+        pages their local PageStore is missing.
+        """
         from repro.host.environment import StandaloneEnvironment
 
         definition = self.get(name)
@@ -143,11 +160,11 @@ class FunctionRegistry:
         with span("snapshot.capture", function=name) as sp:
             proto = ProtoFaaslet.capture(definition, scratch_env, init=init)
             sp.set_attr("pages", len(proto.frozen_pages))
-        with self._mutex:
-            self._protos[name] = proto
-        # Store the serialised snapshot, as the paper stores Proto-Faaslets
-        # in the global tier for cross-host restores.
-        self.object_store.upload(f"protos/{name}.bin", proto.to_bytes())
+            with self._mutex:
+                self._protos[name] = proto
+            manifest = self.snapshots.publish(name, proto)
+            sp.set_attr("version", manifest.version)
+        self.object_store.upload(f"protos/{name}.manifest", manifest.to_bytes())
         return proto
 
     def proto(self, name: str) -> ProtoFaaslet | None:

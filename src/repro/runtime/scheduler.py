@@ -1,11 +1,19 @@
-"""Distributed shared-state scheduling (§5.1).
+"""Distributed shared-state scheduling (§5.1) with snapshot locality.
 
 FAASM's local schedulers cooperate through the global state tier, in the
 style of Omega: the set of warm hosts for each function lives under a state
 key, and every scheduler may read and atomically update it while making a
 placement decision. An incoming call is executed locally when the receiving
 host is warm and has capacity, shared with another warm host when one
-exists, and otherwise cold-started locally (registering this host as warm).
+exists, and otherwise cold-started — preferring a *page-resident* host
+(one whose PageStore already covers the function's snapshot manifest, so
+the restore ships no or few pages) over a genuinely cold one. Placement
+quality is therefore warm > mostly-resident > cold, which is what keeps
+Fig. 10 churn migration cost at O(delta) instead of O(snapshot size).
+
+Residency advertisements live next to the warm sets in the global tier and
+are, like them, advisory: stale or missing entries only cost transfer
+bytes, never correctness.
 """
 
 from __future__ import annotations
@@ -17,16 +25,19 @@ from repro.state.kv import GlobalStateStore, StateUnavailableError
 from repro.telemetry import span
 
 _WARM_PREFIX = "faasm/sched/warm/"
+_RESIDENT_PREFIX = "faasm/sched/resident/"
 
 
 @dataclass
 class SchedulingDecision:
     host: str
-    reason: str  # "warm-local", "shared", "cold-local"
+    reason: str  # "warm-local", "shared", "resident", "cold-local"
 
     @property
     def is_cold(self) -> bool:
-        return self.reason == "cold-local"
+        """True when the target must cold-start (restore or boot) — both
+        genuinely cold and page-resident placements start a new Faaslet."""
+        return self.reason in ("cold-local", "resident")
 
 
 class WarmSetRegistry:
@@ -85,14 +96,67 @@ class WarmSetRegistry:
             if key.startswith(_WARM_PREFIX)
         ]
 
+    # ------------------------------------------------------------------
+    # Snapshot residency advertisements (locality-aware placement)
+    # ------------------------------------------------------------------
+    def _resident_key(self, function: str) -> str:
+        return _RESIDENT_PREFIX + function
+
+    def resident_hosts(self, function: str) -> dict[str, float]:
+        """Hosts whose PageStore (partially) covers ``function``'s current
+        snapshot, mapped to their advertised coverage fraction."""
+        try:
+            if not self.store.exists(self._resident_key(function)):
+                return {}
+            raw = self.store.get_value(self._resident_key(function))
+            return {h: float(c) for h, c in json.loads(raw.decode()).items()}
+        except StateUnavailableError:
+            return {}
+
+    def advertise_residency(self, function: str, host: str, coverage: float) -> None:
+        """A host just materialised (or refreshed) ``function``'s snapshot:
+        record what fraction of the manifest's pages it holds."""
+
+        def update(old: bytes | None) -> bytes:
+            entries = json.loads(old.decode()) if old else {}
+            entries[host] = round(float(coverage), 4)
+            return json.dumps(entries, sort_keys=True).encode()
+
+        try:
+            self.store.atomic_update(self._resident_key(function), update)
+        except StateUnavailableError:
+            pass
+
+    def withdraw_residency(self, function: str, host: str) -> None:
+        def update(old: bytes | None) -> bytes:
+            entries = json.loads(old.decode()) if old else {}
+            entries.pop(host, None)
+            return json.dumps(entries, sort_keys=True).encode()
+
+        try:
+            self.store.atomic_update(self._resident_key(function), update)
+        except StateUnavailableError:
+            pass
+
+    def resident_functions(self) -> list[str]:
+        return [
+            key[len(_RESIDENT_PREFIX):]
+            for key in self.store.keys()
+            if key.startswith(_RESIDENT_PREFIX)
+        ]
+
     def evict_host(self, host: str) -> int:
-        """Drop ``host`` from every function's warm set (the host died);
-        returns the number of sets it was actually removed from."""
+        """Drop ``host`` from every function's warm set and residency map
+        (the host died — its pools *and* its page cache are gone); returns
+        the number of warm sets it was actually removed from."""
         evicted = 0
         for function in self.functions():
             if host in self.warm_hosts(function):
                 self.remove(function, host)
                 evicted += 1
+        for function in self.resident_functions():
+            if host in self.resident_hosts(function):
+                self.withdraw_residency(function, host)
         return evicted
 
 
@@ -117,7 +181,34 @@ class LocalScheduler:
         self._peer_capacity = peer_capacity_fn
         self._live = live_fn if live_fn is not None else (lambda host: True)
         #: Decision counters for tests/benchmarks.
-        self.decisions: dict[str, int] = {"warm-local": 0, "shared": 0, "cold-local": 0}
+        self.decisions: dict[str, int] = {
+            "warm-local": 0,
+            "shared": 0,
+            "resident": 0,
+            "cold-local": 0,
+        }
+
+    def _resident_candidate(self, function: str) -> str | None:
+        """The best live page-resident host with capacity, or None.
+
+        Candidates rank by advertised PageStore coverage of the function's
+        snapshot manifest (then by name, for determinism): restoring where
+        the pages already live ships only the missing delta, so a
+        mostly-resident host beats a genuinely cold one even though both
+        must start a fresh Faaslet.
+        """
+        resident = self.warm_sets.resident_hosts(function)
+        ranked = sorted(resident.items(), key=lambda hc: (-hc[1], hc[0]))
+        for host, coverage in ranked:
+            if coverage <= 0.0 or not self._live(host):
+                continue
+            capacity = (
+                self._capacity() if host == self.host
+                else self._peer_capacity(host)
+            )
+            if capacity > 0:
+                return host
+        return None
 
     def schedule(self, function: str) -> SchedulingDecision:
         with span("schedule", function=function) as sp:
@@ -135,9 +226,19 @@ class LocalScheduler:
                 if shared_to is not None:
                     decision = SchedulingDecision(shared_to, "shared")
                 else:
-                    # Cold start locally and advertise this host as warm.
-                    self.warm_sets.add(function, self.host)
-                    decision = SchedulingDecision(self.host, "cold-local")
+                    resident_to = self._resident_candidate(function)
+                    if resident_to is not None:
+                        # Snapshot-locality placement: the target must
+                        # restore (cold for the pool), but its PageStore
+                        # already holds the pages. It becomes warm once
+                        # the restore lands, so advertise it now — the
+                        # same optimistic claim cold-local makes below.
+                        self.warm_sets.add(function, resident_to)
+                        decision = SchedulingDecision(resident_to, "resident")
+                    else:
+                        # Cold start locally and advertise this host as warm.
+                        self.warm_sets.add(function, self.host)
+                        decision = SchedulingDecision(self.host, "cold-local")
             self.decisions[decision.reason] += 1
             sp.set_attr("reason", decision.reason)
             sp.set_attr("warm_hosts", len(warm))

@@ -21,11 +21,33 @@ This is the mechanism behind two of the paper's central claims:
 
 from __future__ import annotations
 
+import hashlib
 import struct
 from dataclasses import dataclass
 
 from .errors import OutOfBoundsMemoryAccess
 from .types import MAX_PAGES, PAGE_SIZE, Limits, MemoryType
+
+#: One immutable all-zero page shared by every restored memory. Pages whose
+#: digest is :data:`ZERO_DIGEST` are never shipped or stored; restores alias
+#: this view copy-on-write (the software analogue of the kernel zero page).
+_ZERO_BYTES = bytes(PAGE_SIZE)
+ZERO_PAGE = memoryview(_ZERO_BYTES)
+
+#: Digest of the all-zero page (the elision sentinel in manifests).
+ZERO_DIGEST = hashlib.blake2b(_ZERO_BYTES, digest_size=16).hexdigest()
+
+
+def page_digest(view: "bytes | bytearray | memoryview") -> str:
+    """Content digest of one 64 KiB page (32 hex chars, blake2b-128).
+
+    All-zero pages short-circuit to :data:`ZERO_DIGEST` via a memcmp-speed
+    comparison — the common case for heap pages a guest grew but never
+    touched — so zero-page elision costs no hashing.
+    """
+    if view == _ZERO_BYTES:
+        return ZERO_DIGEST
+    return hashlib.blake2b(view, digest_size=16).hexdigest()
 
 _STRUCTS = {
     ("i32", 4): struct.Struct("<I"),
@@ -168,6 +190,18 @@ class LinearMemory:
             page.writable = False
             views.append(page.view)
         return views
+
+    def freeze_with_digests(self) -> tuple[list[memoryview], list[str]]:
+        """Freeze every private page and return ``(views, digests)``.
+
+        The snapshot data plane's capture entry point: digests are computed
+        here, at freeze time, while the pages are known-quiescent, so the
+        manifest's content addresses are stable for the snapshot's lifetime
+        (frozen pages are copy-on-write — writers materialise a private
+        copy, never mutate the frozen bytes).
+        """
+        views = self.freeze_pages()
+        return views, [page_digest(v) for v in views]
 
     @classmethod
     def from_frozen_pages(

@@ -51,13 +51,23 @@ def test_serialised_snapshot_preserves_all_state(definition, x, y, z):
     assert restored.invoke_export("getc") == z
 
 
-def test_serialised_size_tracks_memory(definition):
+def test_serialised_size_tracks_nonzero_pages(definition):
+    """The v2 wire format ships only non-zero pages (zero-page elision)."""
+    from repro.wasm.memory import ZERO_DIGEST
+
     env = StandaloneEnvironment()
-    faaslet = Faaslet(definition, env)
-    proto = ProtoFaaslet.capture_from(faaslet)
+    source = Faaslet(definition, env)
+    source.invoke_export("setup", 7, 7, 7.0)  # dirty real data pages
+    proto = ProtoFaaslet.capture_from(source)
     wire = proto.to_bytes()
-    assert len(wire) >= proto.size_bytes
+    present = sum(1 for d in proto.page_digests if d != ZERO_DIGEST)
+    assert present >= 1
+    assert present * 64 * 1024 <= len(wire) < (present + 1) * 64 * 1024
     assert proto.size_bytes == len(proto.frozen_pages) * 64 * 1024
+    # A restore of the wire form still reports the full memory size.
+    remote = ProtoFaaslet.from_bytes(definition, wire)
+    assert remote.size_bytes == proto.size_bytes
+    assert remote.page_digests == proto.page_digests
 
 
 def test_restore_count_metric(definition):

@@ -146,7 +146,17 @@ def test_proto_based_cold_start_used(cluster):
 def test_upload_stores_artifacts(cluster):
     cluster.upload("hello", HELLO_SRC)
     assert cluster.object_store.exists("functions/hello.src")
-    assert cluster.object_store.exists("protos/hello.bin")
+    # The snapshot lands as a content-addressed manifest (digests + blobs),
+    # not a monolithic page blob; the pages live in the repository.
+    assert cluster.object_store.exists("protos/hello.manifest")
+    from repro.faaslet import SnapshotManifest
+
+    manifest = SnapshotManifest.from_bytes(
+        cluster.object_store.get("protos/hello.manifest")
+    )
+    assert manifest.function == "hello"
+    assert manifest.version == 1
+    assert manifest.n_pages == len(cluster.registry.proto("hello").frozen_pages)
 
 
 def test_concurrent_invocations(cluster):

@@ -115,6 +115,87 @@ class TestLocalScheduler:
         assert d2.host == "h1"
 
 
+class TestSnapshotLocality:
+    def test_resident_beats_cold_when_no_warm_hosts(self, warm_sets):
+        """A repeat invocation lands on the page-resident host when no
+        warm host exists: the restore ships only the missing delta."""
+        warm_sets.advertise_residency("fn", "h2", 1.0)
+        sched = make_scheduler("h1", warm_sets, peers={"h2": 3})
+        decision = sched.schedule("fn")
+        assert decision.reason == "resident"
+        assert decision.host == "h2"
+        assert decision.is_cold  # the pool is cold; only the pages are warm
+        # The optimistic warm claim mirrors cold-local's.
+        assert warm_sets.warm_hosts("fn") == {"h2"}
+
+    def test_warm_local_outranks_residency(self, warm_sets):
+        warm_sets.add("fn", "h1")
+        warm_sets.advertise_residency("fn", "h2", 1.0)
+        sched = make_scheduler("h1", warm_sets, peers={"h2": 3})
+        assert sched.schedule("fn").reason == "warm-local"
+
+    def test_shared_outranks_residency(self, warm_sets):
+        """A warm peer (live pool) beats a merely page-resident peer."""
+        warm_sets.add("fn", "h2")
+        warm_sets.advertise_residency("fn", "h3", 1.0)
+        sched = make_scheduler("h1", warm_sets, peers={"h2": 1, "h3": 5})
+        decision = sched.schedule("fn")
+        assert decision.reason == "shared"
+        assert decision.host == "h2"
+
+    def test_highest_coverage_host_wins(self, warm_sets):
+        warm_sets.advertise_residency("fn", "h2", 0.4)
+        warm_sets.advertise_residency("fn", "h3", 0.9)
+        sched = make_scheduler("h1", warm_sets, peers={"h2": 3, "h3": 3})
+        assert sched.schedule("fn").host == "h3"
+
+    def test_resident_host_needs_capacity_and_liveness(self, warm_sets):
+        warm_sets.advertise_residency("fn", "h2", 1.0)
+        warm_sets.advertise_residency("fn", "h3", 0.8)
+        # h2 is full, h3 is dead: fall back to a local cold start.
+        sched = LocalScheduler(
+            "h1",
+            warm_sets,
+            capacity_fn=lambda: 2,
+            peer_capacity_fn=lambda h: {"h2": 0, "h3": 5}.get(h, 0),
+            live_fn=lambda h: h != "h3",
+        )
+        decision = sched.schedule("fn")
+        assert decision.reason == "cold-local"
+        assert decision.host == "h1"
+
+    def test_self_residency_uses_local_capacity(self, warm_sets):
+        """The scheduling host itself can be the resident candidate."""
+        warm_sets.advertise_residency("fn", "h1", 1.0)
+        sched = make_scheduler("h1", warm_sets, capacity=1)
+        decision = sched.schedule("fn")
+        assert decision.reason == "resident"
+        assert decision.host == "h1"
+
+    def test_zero_coverage_advert_ignored(self, warm_sets):
+        warm_sets.advertise_residency("fn", "h2", 0.0)
+        sched = make_scheduler("h1", warm_sets, peers={"h2": 3})
+        assert sched.schedule("fn").reason == "cold-local"
+
+    def test_withdraw_residency(self, warm_sets):
+        warm_sets.advertise_residency("fn", "h2", 1.0)
+        warm_sets.withdraw_residency("fn", "h2")
+        assert warm_sets.resident_hosts("fn") == {}
+
+    def test_evict_host_withdraws_residency(self, warm_sets):
+        warm_sets.add("fn", "h2")
+        warm_sets.advertise_residency("fn", "h2", 1.0)
+        warm_sets.advertise_residency("fn", "h3", 0.5)
+        warm_sets.evict_host("h2")
+        assert warm_sets.resident_hosts("fn") == {"h3": 0.5}
+        assert warm_sets.warm_hosts("fn") == set()
+
+    def test_adverts_live_in_global_state_tier(self, store, warm_sets):
+        warm_sets.advertise_residency("fn", "h2", 0.75)
+        raw = store.get_value("faasm/sched/resident/fn")
+        assert json.loads(raw.decode()) == {"h2": 0.75}
+
+
 class TestEviction:
     def test_evict_host_clears_every_warm_set(self, warm_sets):
         warm_sets.add("f1", "h1")
