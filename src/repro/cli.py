@@ -157,6 +157,16 @@ def cmd_profile(args) -> int:
     print(f"{'opcode':<24}{'count':>14}{'share':>9}")
     for op, count in inst.dispatch_report(top):
         print(f"{op:<24}{count:>14,}{count / total:>8.1%}")
+    families = inst.dispatch_family_report()
+    print("\nby opcode family:")
+    print(f"{'family':<24}{'count':>14}{'share':>9}")
+    for family, count in families:
+        print(f"{family:<24}{count:>14,}{count / total:>8.1%}")
+    family_counts = dict(families)
+    # Expose the vector/atomic workload as metrics series alongside the
+    # guest-thread counters (thread.spawned / atomic.waits).
+    telemetry.metrics.counter("simd.ops").inc(family_counts.get("simd", 0))
+    telemetry.metrics.counter("atomic.ops").inc(family_counts.get("atomic", 0))
     pairs = inst.pair_counts.most_common(top)
     if pairs:
         print(f"\ntop {top} opcode pairs (fusion candidates):")

@@ -127,6 +127,8 @@ class Faaslet:
         #: dlopen handles -> dynamically linked instances.
         self._dl_handles: dict[int, Instance] = {}
         self._next_dl_handle = 1
+        #: Guest-thread runtime (created lazily on the first thread_spawn).
+        self._thread_runtime: "GuestThreadRuntime | None" = None
         #: Proto-Faaslet this Faaslet restores from on reset() (set when
         #: spawned from a snapshot).
         self.proto = proto
@@ -204,6 +206,28 @@ class Faaslet:
                 "fuel_consumed", self.instance.instructions_executed - before
             )
         return result
+
+    # ------------------------------------------------------------------
+    # Guest threads (intra-Faaslet fork-join parallelism)
+    # ------------------------------------------------------------------
+    @property
+    def thread_runtime(self) -> "GuestThreadRuntime":
+        """The lazily-created guest-thread scheduler for this Faaslet."""
+        if self._thread_runtime is None:
+            from .threads import GuestThreadRuntime
+
+            self._thread_runtime = GuestThreadRuntime(
+                self.instance, name=self.name
+            )
+        return self._thread_runtime
+
+    def thread_spawn(self, elem_index: int, argptr: int) -> int:
+        """Spawn a guest thread on table entry ``elem_index`` (host call)."""
+        return self.thread_runtime.spawn(elem_index, argptr)
+
+    def thread_join(self, tid: int) -> int:
+        """Join a guest thread, scheduling the region to completion."""
+        return self.thread_runtime.join(tid)
 
     # ------------------------------------------------------------------
     # Shared state regions (§3.3 / §4.2)
@@ -317,6 +341,8 @@ class Faaslet:
         self._brk = self.instance.memory.size_bytes
         self._state_mappings.clear()
         self._dl_handles.clear()
+        # The old runtime is bound to the discarded instance.
+        self._thread_runtime = None
         self.input_data = b""
         self.output_data = b""
 

@@ -210,6 +210,13 @@ class ProtoFaaslet:
             raise SnapshotError(
                 "cannot snapshot a Faaslet with mapped shared state regions"
             )
+        runtime = getattr(instance, "_thread_runtime", None)
+        if runtime is not None and runtime.live_threads:
+            # A parked guest thread's state lives on a host Python stack,
+            # which no byte-level snapshot can capture.
+            raise SnapshotError(
+                "cannot snapshot a Faaslet with live guest threads"
+            )
         if instance.memory is None:
             frozen: list[memoryview] = []
             digests: list[str] = []

@@ -1,0 +1,350 @@
+"""Intra-Faaslet guest threads: cooperative fork-join parallelism.
+
+The threads proposal's execution model — shared linear memory, atomics,
+futex wait/notify — needs an actual thread runtime behind it. This module
+provides one that fits the reproduction's deterministic substrate:
+
+* **One OS thread per guest thread, strictly one runnable at a time.**
+  Each spawned guest thread gets a ``threading.Thread`` (so it owns a real
+  Python stack and can be suspended mid-interpretation at arbitrary fuel
+  depths), but an Event handshake guarantees exactly one guest thread ever
+  executes between scheduler decisions. Execution is therefore fully
+  deterministic — same schedule, same interleaving, every run, on both
+  execution tiers — which is what the differential and linearizability
+  tests rely on.
+
+* **Fuel-fair round-robin via a per-Faaslet CPU cgroup.** The same
+  :class:`~repro.faaslet.cgroup.CpuCgroup` arithmetic that arbitrates
+  between Faaslets on a host arbitrates between guest threads inside one
+  Faaslet: each thread is a share-1 member and runs for one fuel quantum
+  per grant. Preemption reuses the fuel machinery — the instance's
+  ``_refuel_hook`` fires exactly where ``OutOfFuel`` would have trapped,
+  parks the thread and hands the quantum to the next runnable one.
+
+* **Virtual-time accounting.** The host interpreter owns the GIL, so k
+  guest threads cannot give a k-fold wall-clock speedup here; what the
+  runtime *can* model faithfully is CPU time on k cores. Per round-robin
+  rotation the virtual clock advances by the **maximum** fuel consumed by
+  any thread in that rotation (they would have run concurrently), while
+  ``total_fuel`` sums all of it; ``modeled_speedup`` = total / virtual is
+  the quantity the Fig. 8 experiment reports for intra-Faaslet
+  ``parallel_for`` regions. The parent's own fuel budget is charged the
+  *virtual* cost of the region, consistent with a cgroup granting the
+  Faaslet k hardware threads.
+
+Futex semantics (``memory.atomic.wait32`` / ``notify``) live here too: a
+waiting thread parks on its address until another thread notifies it, and
+a region where every live thread is parked trips a deterministic deadlock
+trap rather than hanging the host.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import threading
+
+from repro.telemetry import MetricsRegistry
+from repro.wasm.errors import Trap
+from repro.wasm.futex import WAIT_NOT_EQUAL, WAIT_TIMED_OUT, WAIT_WOKEN
+from repro.wasm.types import I32
+from repro.wasm.values import MASK32
+
+from .cgroup import CpuCgroup
+
+logger = logging.getLogger(__name__)
+
+#: Fuel quantum period for the intra-Faaslet thread cgroup. Much smaller
+#: than the inter-Faaslet default: context switches are an Event handshake,
+#: not a container migration, and finer quanta tighten the fairness bound.
+THREAD_PERIOD_FUEL = 65_536
+
+#: Fallback registry for runtimes created outside a cluster (benchmarks,
+#: tests), mirroring the snapshot module's pattern.
+_STANDALONE_METRICS = MetricsRegistry()
+
+_thread_ids = itertools.count(1)
+
+
+class GuestThreadError(Trap):
+    """A guest-thread operation was invalid (bad spawn target, nesting...)."""
+
+
+class GuestThreadDeadlock(Trap):
+    """Every live guest thread is parked in ``wait32`` with nobody left to
+    notify — the region can never make progress."""
+
+
+class _GuestThread:
+    """Book-keeping for one spawned guest thread."""
+
+    __slots__ = (
+        "tid", "name", "func_index", "arg", "state", "os_thread", "resume",
+        "granted", "fuel_used", "exit_code", "trap", "poison",
+    )
+
+    def __init__(self, tid: int, func_index: int, arg: int):
+        self.tid = tid
+        self.name = f"guest-{tid}"
+        self.func_index = func_index
+        self.arg = arg
+        #: "runnable" | "waiting" (parked on a futex) | "done"
+        self.state = "runnable"
+        self.os_thread: threading.Thread | None = None
+        #: Set by the scheduler to hand this thread the CPU.
+        self.resume = threading.Event()
+        self.granted = 0
+        self.fuel_used = 0
+        self.exit_code = 0
+        self.trap: Trap | None = None
+        self.poison: Trap | None = None
+
+
+class GuestThreadRuntime:
+    """Scheduler + futex registry for one Faaslet's guest threads.
+
+    Installs itself on the instance as ``_thread_runtime`` (read by the
+    futex helpers in both tiers) and supplies the ``_refuel_hook`` that
+    turns fuel exhaustion into preemption while a region is scheduled.
+    """
+
+    def __init__(
+        self,
+        instance,
+        name: str = "faaslet",
+        period_fuel: int = THREAD_PERIOD_FUEL,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.inst = instance
+        self.cgroup = CpuCgroup(f"{name}.threads", period_fuel=period_fuel)
+        self.metrics = metrics if metrics is not None else _STANDALONE_METRICS
+        self.threads: dict[int, _GuestThread] = {}
+        self._order: list[_GuestThread] = []
+        #: The guest thread currently holding the CPU (None = the parent).
+        self._running: _GuestThread | None = None
+        #: Child → scheduler doorbell (park, wait or completion).
+        self._sched_event = threading.Event()
+        self._futex: dict[int, list[_GuestThread]] = {}
+        #: Σ fuel consumed by all guest threads (serial CPU work).
+        self.total_fuel = 0
+        #: Modeled parallel time: per rotation, max fuel among runners.
+        self.virtual_fuel = 0
+        self._rotation_max = 0
+        self.threads_spawned = 0
+        instance._thread_runtime = self
+
+    # ------------------------------------------------------------------
+    # Spawn / join (the host-call surface)
+    # ------------------------------------------------------------------
+    def spawn(self, elem_index: int, arg: int) -> int:
+        """Start a guest thread running table entry ``elem_index`` with the
+        single i32 argument ``arg``; returns its thread id."""
+        if self._running is not None:
+            raise GuestThreadError(
+                "nested parallel regions are not supported: thread_spawn "
+                "called from a guest thread"
+            )
+        inst = self.inst
+        table = inst.table
+        if table is None or not 0 <= elem_index < len(table):
+            raise GuestThreadError(f"thread_spawn: bad table index {elem_index}")
+        entry = table[elem_index]
+        if entry is None or isinstance(entry, tuple):
+            raise GuestThreadError(
+                f"thread_spawn: table entry {elem_index} is not a local function"
+            )
+        ftype = inst.module.func_type(entry)
+        if tuple(ftype.params) != (I32,) or tuple(ftype.results) not in ((), (I32,)):
+            raise GuestThreadError(
+                "thread_spawn: target must have type (i32) -> () or (i32) -> i32"
+            )
+        tid = next(_thread_ids)
+        thread = _GuestThread(tid, entry, arg & MASK32)
+        thread.os_thread = threading.Thread(
+            target=self._runner, args=(thread,),
+            name=f"{self.cgroup.name}.{thread.name}", daemon=True,
+        )
+        self.cgroup.add_member(thread.name)
+        self.threads[tid] = thread
+        self._order.append(thread)
+        self.threads_spawned += 1
+        self.metrics.counter("thread.spawned").inc()
+        thread.os_thread.start()  # parks immediately on thread.resume
+        return tid
+
+    def join(self, tid: int) -> int:
+        """Run the scheduler until thread ``tid`` completes; returns its
+        exit code. A trap inside the thread re-raises here, in the parent."""
+        thread = self.threads.get(tid)
+        if thread is None:
+            raise GuestThreadError(f"thread_join: unknown thread id {tid}")
+        if thread.state != "done":
+            if self._running is not None:
+                raise GuestThreadError(
+                    "thread_join called from a guest thread"
+                )
+            self._schedule(until=thread)
+        if thread.trap is not None:
+            raise thread.trap
+        return thread.exit_code
+
+    @property
+    def live_threads(self) -> int:
+        """Number of spawned threads that have not finished."""
+        return sum(1 for t in self.threads.values() if t.state != "done")
+
+    def stats(self) -> dict:
+        """Fork-join accounting: serial vs modeled-parallel fuel."""
+        return {
+            "threads_spawned": self.threads_spawned,
+            "total_fuel": self.total_fuel,
+            "virtual_fuel": self.virtual_fuel,
+            "modeled_speedup": (
+                self.total_fuel / self.virtual_fuel if self.virtual_fuel else 1.0
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # The scheduler (runs on the parent's stack, inside thread_join)
+    # ------------------------------------------------------------------
+    def _schedule(self, until: _GuestThread) -> None:
+        inst = self.inst
+        saved_fuel = inst._fuel
+        saved_hook = inst._refuel_hook
+        inst._refuel_hook = self._refuel_hook
+        virtual_before = self.virtual_fuel
+        try:
+            while until.state != "done":
+                # One rotation: every currently-runnable thread gets one
+                # quantum. The rotation's members would run concurrently
+                # on real cores, so the virtual clock advances by the
+                # rotation's *maximum* consumption, not its sum. A target
+                # finishing mid-rotation doesn't cut the rotation short —
+                # its peers were "running" alongside it either way.
+                rotation = [t for t in self._order if t.state == "runnable"]
+                if not rotation:
+                    self._trip_deadlock()  # raises
+                for thread in rotation:
+                    if thread.state == "runnable":
+                        self._run_quantum(thread)
+                self._flush_rotation()
+        finally:
+            inst._refuel_hook = saved_hook
+            # The region cost the Faaslet its *virtual* (parallel) time.
+            virtual_cost = self.virtual_fuel - virtual_before
+            if saved_fuel is None:
+                inst._fuel = None
+            else:
+                inst._fuel = max(0, saved_fuel - virtual_cost)
+
+    def _run_quantum(self, thread: _GuestThread) -> None:
+        inst = self.inst
+        quantum = self.cgroup.quantum_for(thread.name)
+        thread.granted = quantum
+        inst._fuel = quantum
+        self._running = thread
+        thread.resume.set()
+        self._sched_event.wait()
+        self._sched_event.clear()
+        remaining = inst._fuel if inst._fuel is not None else 0
+        consumed = max(0, thread.granted - remaining)
+        thread.fuel_used += consumed
+        self.total_fuel += consumed
+        self.cgroup.charge(thread.name, consumed)
+        if consumed > self._rotation_max:
+            self._rotation_max = consumed
+
+    def _flush_rotation(self) -> None:
+        self.virtual_fuel += self._rotation_max
+        self._rotation_max = 0
+
+    def _park(self, thread: _GuestThread) -> None:
+        """Yield the CPU back to the scheduler; returns on the next grant.
+        Called on the guest thread's own OS thread."""
+        self._running = None
+        self._sched_event.set()
+        thread.resume.wait()
+        thread.resume.clear()
+        if thread.poison is not None:
+            raise thread.poison
+
+    def _refuel_hook(self, inst) -> bool:
+        """Quantum expiry → preemption point (installed while scheduled).
+
+        The fuel machinery has already flushed the meters; parking here
+        suspends the guest thread mid-interpretation and the scheduler
+        replenishes ``inst._fuel`` before waking it.
+        """
+        thread = self._running
+        if thread is None:
+            return False  # the parent's own fuel ran out: a real trap
+        self.cgroup.record_throttle(thread.name)
+        self._park(thread)
+        return True
+
+    def _runner(self, thread: _GuestThread) -> None:
+        thread.resume.wait()
+        thread.resume.clear()
+        try:
+            if thread.poison is not None:
+                raise thread.poison
+            results = self.inst._call(thread.func_index, [thread.arg], 0)
+            thread.exit_code = int(results[0]) & MASK32 if results else 0
+        except Trap as trap:
+            thread.trap = trap
+        except BaseException:  # pragma: no cover - host bug containment
+            logger.exception("guest thread %s crashed", thread.name)
+            thread.trap = Trap(f"guest thread {thread.name} host error")
+        finally:
+            thread.state = "done"
+            self._running = None
+            self._sched_event.set()
+
+    # ------------------------------------------------------------------
+    # Futex surface (called by repro.wasm.futex from either tier)
+    # ------------------------------------------------------------------
+    def wait32(self, inst, addr: int, expected: int) -> int:
+        self.metrics.counter("atomic.waits").inc()
+        if inst.memory.load_int(addr, 4, False) != expected:
+            return WAIT_NOT_EQUAL
+        thread = self._running
+        if thread is None:
+            # The parent (or an unscheduled context) cannot block: an
+            # immediate timeout keeps semantics deterministic.
+            return WAIT_TIMED_OUT
+        thread.state = "waiting"
+        self._futex.setdefault(addr, []).append(thread)
+        self._park(thread)
+        return WAIT_WOKEN
+
+    def notify(self, inst, addr: int, count: int) -> int:
+        waiters = self._futex.get(addr)
+        woken = 0
+        while waiters and woken < count:
+            thread = waiters.pop(0)
+            thread.state = "runnable"
+            woken += 1
+        return woken
+
+    def _trip_deadlock(self) -> None:
+        """No runnable threads, the join target is not done: every path to
+        progress is gone. Poison the parked threads so their OS threads
+        unwind, then trap in the parent."""
+        trap = GuestThreadDeadlock(
+            "guest-thread deadlock: all live threads are parked in "
+            "memory.atomic.wait32 with no thread left to notify"
+        )
+        parked = [
+            t for t in self.threads.values() if t.state == "waiting"
+        ]
+        self._futex.clear()
+        for thread in parked:
+            thread.poison = trap
+            thread.resume.set()
+        for thread in parked:
+            if thread.os_thread is not None:
+                thread.os_thread.join()
+        # The unwinding threads rang the doorbell; drop the stale signal so
+        # a later region's first handshake doesn't return early.
+        self._sched_event.clear()
+        raise trap

@@ -360,6 +360,19 @@ def build_host_imports(faaslet) -> dict[tuple[str, str], HostFunc]:
             return -1
 
     # ------------------------------------------------------------------
+    # Guest threads (intra-Faaslet fork-join parallelism)
+    # ------------------------------------------------------------------
+    @export("thread_spawn", (I32, I32), (I32,))
+    def thread_spawn(elem_index, argptr):
+        # Spawn errors are traps (GuestThreadError), not -1 returns: a bad
+        # spawn target is a program bug, not a recoverable I/O condition.
+        return faaslet.thread_spawn(elem_index, argptr)
+
+    @export("thread_join", (I32,), (I32,))
+    def thread_join(tid):
+        return faaslet.thread_join(to_signed32(tid))
+
+    # ------------------------------------------------------------------
     # Misc
     # ------------------------------------------------------------------
     @export("gettime", (), (I64,))

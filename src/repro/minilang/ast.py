@@ -152,6 +152,22 @@ class For(Stmt):
 
 
 @dataclass
+class ParallelFor(Stmt):
+    """``parallel_for (int i = lo; hi; nthreads) { body }`` — a fork-join
+    parallel region. The body is outlined into a hidden worker function;
+    the half-open range ``[lo, hi)`` is split into ``nthreads`` contiguous
+    chunks, each executed by a guest thread over the shared linear memory.
+    Enclosing scalars are captured by value (read-only inside the body);
+    arrays are shared through their base address."""
+
+    var: str = ""
+    lo: Expr | None = None
+    hi: Expr | None = None
+    nthreads: Expr | None = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
 class Return(Stmt):
     value: Expr | None = None
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.wasm import BlockType, FuncType, Instr, ModuleBuilder
 from repro.wasm.module import Module
-from repro.wasm.types import F64, I32, I64, ValType
+from repro.wasm.types import F64, I32, I64, V128, ValType
 
 from . import ast
 from .errors import TypeErrorML
@@ -45,6 +45,294 @@ def wasm_type(t: ast.Type) -> ValType:
     if t.is_array:
         return I32
     return _SCALAR_TO_WASM[t.name]
+
+
+def _walk_stmts(stmts: list[ast.Stmt]):
+    """Yield every statement in ``stmts``, recursing into nested blocks."""
+    for s in stmts:
+        yield s
+        if isinstance(s, ast.If):
+            yield from _walk_stmts(s.then_body)
+            yield from _walk_stmts(s.else_body)
+        elif isinstance(s, (ast.While, ast.ParallelFor)):
+            yield from _walk_stmts(s.body)
+        elif isinstance(s, ast.For):
+            if s.init is not None:
+                yield from _walk_stmts([s.init])
+            if s.step is not None:
+                yield from _walk_stmts([s.step])
+            yield from _walk_stmts(s.body)
+
+
+def _stmt_exprs(s: ast.Stmt) -> list[ast.Expr | None]:
+    """The expressions directly held by one statement (no recursion)."""
+    if isinstance(s, ast.VarDecl):
+        return [s.init]
+    if isinstance(s, ast.Assign):
+        return [s.target, s.value]
+    if isinstance(s, (ast.If, ast.While)):
+        return [s.cond]
+    if isinstance(s, ast.For):
+        return [s.cond]
+    if isinstance(s, ast.ParallelFor):
+        return [s.lo, s.hi, s.nthreads]
+    if isinstance(s, ast.Return):
+        return [s.value]
+    if isinstance(s, ast.ExprStmt):
+        return [s.expr]
+    return []
+
+
+def _expr_vars(e: ast.Expr | None, out: list[str]) -> None:
+    """Collect variable names referenced by ``e`` (in evaluation order)."""
+    if e is None:
+        return
+    if isinstance(e, ast.Var):
+        out.append(e.name)
+    elif isinstance(e, ast.Unary):
+        _expr_vars(e.operand, out)
+    elif isinstance(e, ast.Binary):
+        _expr_vars(e.lhs, out)
+        _expr_vars(e.rhs, out)
+    elif isinstance(e, ast.Cast):
+        _expr_vars(e.operand, out)
+    elif isinstance(e, ast.Call):
+        for a in e.args:
+            _expr_vars(a, out)
+    elif isinstance(e, ast.Index):
+        _expr_vars(e.array, out)
+        _expr_vars(e.index, out)
+    elif isinstance(e, ast.NewArray):
+        _expr_vars(e.length, out)
+
+
+def _uses_parallel_for(program: ast.Program) -> bool:
+    return any(
+        isinstance(s, ast.ParallelFor)
+        for f in program.funcs
+        for s in _walk_stmts(f.body)
+    )
+
+
+# ----------------------------------------------------------------------
+# Vector intrinsics: v128 library functions
+# ----------------------------------------------------------------------
+
+_F_ARR = ast.Type("float", is_array=True)
+_I_ARR = ast.Type("int", is_array=True)
+
+#: name -> (minilang parameter types, return type). Each lowers to a call
+#: into a lazily-emitted library function whose hot loop runs on v128
+#: values (f64x2 / i32x4 lanes) with a scalar tail for the remainder.
+_VEC_BUILTINS = {
+    "vec_add_f": ([_F_ARR, _F_ARR, _F_ARR, ast.INT], ast.VOID),
+    "vec_mul_f": ([_F_ARR, _F_ARR, _F_ARR, ast.INT], ast.VOID),
+    "vec_axpy_f": ([ast.FLOAT, _F_ARR, _F_ARR, ast.INT], ast.VOID),
+    "vec_dot_f": ([_F_ARR, _F_ARR, ast.INT], ast.FLOAT),
+    "vec_add_i": ([_I_ARR, _I_ARR, _I_ARR, ast.INT], ast.VOID),
+    "vec_min_i": ([_I_ARR, _I_ARR, _I_ARR, ast.INT], ast.VOID),
+    "vec_axpy_i": ([ast.INT, _I_ARR, _I_ARR, ast.INT], ast.VOID),
+}
+
+
+def _advance(locals_: tuple[int, ...], delta: int) -> list[Instr]:
+    out = []
+    for idx in locals_:
+        out += [
+            Instr("local.get", (idx,)),
+            Instr("i32.const", (delta,)),
+            Instr("i32.add"),
+            Instr("local.set", (idx,)),
+        ]
+    return out
+
+
+def _count_loop(ptr: int, end: int, body: list[Instr]) -> Instr:
+    """``while (ptr < end) body`` as a block/loop pair."""
+    return Instr(
+        "block",
+        (
+            BlockType(),
+            [
+                Instr(
+                    "loop",
+                    (
+                        BlockType(),
+                        [
+                            Instr("local.get", (ptr,)),
+                            Instr("local.get", (end,)),
+                            Instr("i32.ge_u"),
+                            Instr("br_if", (1,)),
+                            *body,
+                            Instr("br", (0,)),
+                        ],
+                    ),
+                )
+            ],
+        ),
+    )
+
+
+def _set_end(base: int, n: int, lanes: int, shift: int, end: int) -> list[Instr]:
+    """``end = base + ((n & -lanes) << shift)`` (lanes=1 for the full end)."""
+    out = [Instr("local.get", (base,)), Instr("local.get", (n,))]
+    if lanes > 1:
+        out += [Instr("i32.const", (-lanes,)), Instr("i32.and")]
+    out += [
+        Instr("i32.const", (shift,)),
+        Instr("i32.shl"),
+        Instr("i32.add"),
+        Instr("local.set", (end,)),
+    ]
+    return out
+
+
+def _build_vec_elementwise(simd_op: str, esize: int, scalar: list[Instr]):
+    """out[i] = a[i] <op> b[i] — params (a, b, out, n), pointer-walking."""
+    lanes = 16 // esize
+    shift = esize.bit_length() - 1
+    A, B, O, N = 0, 1, 2, 3
+    PA, PB, PO, END = 4, 5, 6, 7
+    body = [
+        Instr("local.get", (A,)), Instr("local.set", (PA,)),
+        Instr("local.get", (B,)), Instr("local.set", (PB,)),
+        Instr("local.get", (O,)), Instr("local.set", (PO,)),
+        *_set_end(A, N, lanes, shift, END),
+        _count_loop(PA, END, [
+            Instr("local.get", (PO,)),
+            Instr("local.get", (PA,)), Instr("v128.load", (0,)),
+            Instr("local.get", (PB,)), Instr("v128.load", (0,)),
+            Instr(simd_op),
+            Instr("v128.store", (0,)),
+            *_advance((PA, PB, PO), 16),
+        ]),
+        *_set_end(A, N, 1, shift, END),
+        _count_loop(PA, END, [*scalar, *_advance((PA, PB, PO), esize)]),
+    ]
+    locals_ = [I32, I32, I32, I32]
+    if simd_op == "i32x4.min_s":
+        locals_ += [I32, I32]  # scalar-min temporaries
+    return FuncType((I32, I32, I32, I32), ()), locals_, body
+
+
+def _scalar_binop(ty: str, op_body: list[Instr], esize: int) -> list[Instr]:
+    """``*out = *a <op> *b`` with the operator given as instructions."""
+    PA, PB, PO = 4, 5, 6
+    return [
+        Instr("local.get", (PO,)),
+        Instr("local.get", (PA,)), Instr(f"{ty}.load", (0,)),
+        Instr("local.get", (PB,)), Instr(f"{ty}.load", (0,)),
+        *op_body,
+        Instr(f"{ty}.store", (0,)),
+    ]
+
+
+def _build_vec_axpy(prefix: str, ty: str, esize: int):
+    """y[i] = y[i] + alpha * x[i] — params (alpha, x, y, n)."""
+    lanes = 16 // esize
+    shift = esize.bit_length() - 1
+    AL, X, Y, N = 0, 1, 2, 3
+    PX, PY, END, VS = 4, 5, 6, 7
+    body = [
+        Instr("local.get", (AL,)), Instr(f"{prefix}.splat"), Instr("local.set", (VS,)),
+        Instr("local.get", (X,)), Instr("local.set", (PX,)),
+        Instr("local.get", (Y,)), Instr("local.set", (PY,)),
+        *_set_end(X, N, lanes, shift, END),
+        _count_loop(PX, END, [
+            Instr("local.get", (PY,)),
+            Instr("local.get", (PY,)), Instr("v128.load", (0,)),
+            Instr("local.get", (VS,)),
+            Instr("local.get", (PX,)), Instr("v128.load", (0,)),
+            Instr(f"{prefix}.mul"),
+            Instr(f"{prefix}.add"),
+            Instr("v128.store", (0,)),
+            *_advance((PX, PY), 16),
+        ]),
+        *_set_end(X, N, 1, shift, END),
+        _count_loop(PX, END, [
+            Instr("local.get", (PY,)),
+            Instr("local.get", (PY,)), Instr(f"{ty}.load", (0,)),
+            Instr("local.get", (AL,)),
+            Instr("local.get", (PX,)), Instr(f"{ty}.load", (0,)),
+            Instr(f"{ty}.mul"),
+            Instr(f"{ty}.add"),
+            Instr(f"{ty}.store", (0,)),
+            *_advance((PX, PY), esize),
+        ]),
+    ]
+    alpha_vt = I32 if ty == "i32" else F64
+    return FuncType((alpha_vt, I32, I32, I32), ()), [I32, I32, I32, V128], body
+
+
+def _build_vec_dot_f():
+    """sum(a[i] * b[i]) -> f64 — params (a, b, n)."""
+    A, B, N = 0, 1, 2
+    PA, PB, END, ACC, S = 3, 4, 5, 6, 7
+    body = [
+        Instr("v128.const", (bytes(16),)), Instr("local.set", (ACC,)),
+        Instr("local.get", (A,)), Instr("local.set", (PA,)),
+        Instr("local.get", (B,)), Instr("local.set", (PB,)),
+        *_set_end(A, N, 2, 3, END),
+        _count_loop(PA, END, [
+            Instr("local.get", (ACC,)),
+            Instr("local.get", (PA,)), Instr("v128.load", (0,)),
+            Instr("local.get", (PB,)), Instr("v128.load", (0,)),
+            Instr("f64x2.mul"),
+            Instr("f64x2.add"),
+            Instr("local.set", (ACC,)),
+            *_advance((PA, PB), 16),
+        ]),
+        Instr("local.get", (ACC,)), Instr("f64x2.extract_lane", (0,)),
+        Instr("local.get", (ACC,)), Instr("f64x2.extract_lane", (1,)),
+        Instr("f64.add"),
+        Instr("local.set", (S,)),
+        *_set_end(A, N, 1, 3, END),
+        _count_loop(PA, END, [
+            Instr("local.get", (S,)),
+            Instr("local.get", (PA,)), Instr("f64.load", (0,)),
+            Instr("local.get", (PB,)), Instr("f64.load", (0,)),
+            Instr("f64.mul"),
+            Instr("f64.add"),
+            Instr("local.set", (S,)),
+            *_advance((PA, PB), 8),
+        ]),
+        Instr("local.get", (S,)),
+    ]
+    return FuncType((I32, I32, I32), (F64,)), [I32, I32, I32, V128, F64], body
+
+
+def _build_vec_func(name: str):
+    if name == "vec_add_f":
+        return _build_vec_elementwise(
+            "f64x2.add", 8, _scalar_binop("f64", [Instr("f64.add")], 8)
+        )
+    if name == "vec_mul_f":
+        return _build_vec_elementwise(
+            "f64x2.mul", 8, _scalar_binop("f64", [Instr("f64.mul")], 8)
+        )
+    if name == "vec_add_i":
+        return _build_vec_elementwise(
+            "i32x4.add", 4, _scalar_binop("i32", [Instr("i32.add")], 4)
+        )
+    if name == "vec_min_i":
+        # Scalar i32 min: select(t1, t2, t1 < t2) through two temporaries.
+        PA, PB, PO, T1, T2 = 4, 5, 6, 8, 9
+        scalar = [
+            Instr("local.get", (PA,)), Instr("i32.load", (0,)), Instr("local.set", (T1,)),
+            Instr("local.get", (PB,)), Instr("i32.load", (0,)), Instr("local.set", (T2,)),
+            Instr("local.get", (PO,)),
+            Instr("local.get", (T1,)), Instr("local.get", (T2,)),
+            Instr("local.get", (T1,)), Instr("local.get", (T2,)), Instr("i32.lt_s"),
+            Instr("select"),
+            Instr("i32.store", (0,)),
+        ]
+        return _build_vec_elementwise("i32x4.min_s", 4, scalar)
+    if name == "vec_axpy_f":
+        return _build_vec_axpy("f64x2", "f64", 8)
+    if name == "vec_axpy_i":
+        return _build_vec_axpy("i32x4", "i32", 4)
+    assert name == "vec_dot_f", name
+    return _build_vec_dot_f()
 
 
 class _FuncContext:
@@ -93,6 +381,17 @@ class Compiler:
         #: Interned string literals: bytes -> data-segment address.
         self._strings: dict[bytes, int] = {}
         self._data_cursor = 16  # low addresses reserved for string data
+        #: Synthetic functions queued during emission (outlined parallel_for
+        #: workers and the vector library), emitted after all user functions
+        #: so their pre-assigned indices line up. Entries are either
+        #: ("ast", FuncDef) or ("raw", name, FuncType, locals, body).
+        self._synthetics: list[tuple] = []
+        self._synthetic_base = 0
+        #: Function indices placed in the table (parallel_for spawn targets).
+        self._elem_funcs: list[int] = []
+        #: Lazily-instantiated vector-library functions: name -> func index.
+        self._vec_lib: dict[str, int] = {}
+        self._pf_count = 0
 
     # ------------------------------------------------------------------
     def compile(self) -> Module:
@@ -115,6 +414,18 @@ class Compiler:
             idx = self.builder.import_func("env", ext.name, ftype)
             self.funcs[ext.name] = (idx, ext.return_type, list(ext.param_types))
 
+        # parallel_for lowers to the guest-thread host calls; import them
+        # implicitly (before any defined function) if the program did not
+        # declare them itself.
+        if _uses_parallel_for(self.program):
+            for name, ftype, ptypes in (
+                ("thread_spawn", FuncType((I32, I32), (I32,)), [ast.INT, ast.INT]),
+                ("thread_join", FuncType((I32,), (I32,)), [ast.INT]),
+            ):
+                if name not in self.funcs:
+                    idx = self.builder.import_func("env", name, ftype)
+                    self.funcs[name] = (idx, ast.INT, ptypes)
+
         alloc_idx = self._emit_alloc()
         self.funcs["__alloc"] = (alloc_idx, ast.INT, [ast.INT])
 
@@ -131,8 +442,24 @@ class Compiler:
             )
             declared.append((func, next_index + len(declared)))
 
+        self._synthetic_base = next_index + len(declared)
         for func, _ in declared:
             self._emit_func(func)
+
+        # Emit queued synthetics (a synthetic may queue more — e.g. a
+        # vec_* call inside an outlined parallel_for body).
+        qi = 0
+        while qi < len(self._synthetics):
+            entry = self._synthetics[qi]
+            if entry[0] == "ast":
+                self._emit_func(entry[1])
+            else:
+                _, name, ftype, locals_, body = entry
+                self.builder.add_function(name, ftype, locals_, body)
+            qi += 1
+        if self._elem_funcs:
+            self.builder.add_table(len(self._elem_funcs), len(self._elem_funcs))
+            self.builder.add_element(0, list(self._elem_funcs))
 
         # String data lives below the heap: if the literals outgrew the
         # default heap base, move the heap start up (the heap global's init
@@ -268,6 +595,8 @@ class Compiler:
             self._gen_while(ctx, stmt, out)
         elif isinstance(stmt, ast.For):
             self._gen_for(ctx, stmt, out)
+        elif isinstance(stmt, ast.ParallelFor):
+            self._gen_parallel_for(ctx, stmt, out)
         elif isinstance(stmt, ast.Return):
             rtype = ctx.func.return_type
             if stmt.value is None:
@@ -369,6 +698,179 @@ class Compiler:
         out.append(
             Instr("block", (BlockType(), [Instr("loop", (BlockType(), loop_body))]))
         )
+
+    # ------------------------------------------------------------------
+    # parallel_for: fork-join parallel regions over guest threads
+    # ------------------------------------------------------------------
+    def _captured_vars(self, ctx: _FuncContext, stmt: ast.ParallelFor) -> list[tuple[str, ast.Type]]:
+        """Enclosing locals the region body reads, in first-use order.
+
+        Globals are shared through the instance and need no capture; names
+        declared inside the body (or any loop variable) are region-private.
+        """
+        declared = {stmt.var}
+        for s in _walk_stmts(stmt.body):
+            if isinstance(s, ast.VarDecl):
+                declared.add(s.name)
+            elif isinstance(s, ast.ParallelFor):
+                declared.add(s.var)
+        refs: list[str] = []
+        for s in _walk_stmts(stmt.body):
+            for e in _stmt_exprs(s):
+                _expr_vars(e, refs)
+        captured: list[tuple[str, ast.Type]] = []
+        seen: set[str] = set()
+        for name in refs:
+            if name in declared or name in seen:
+                continue
+            binding = ctx.lookup(name)
+            if binding is None:
+                continue  # a global (shared) or undeclared (errors in the worker)
+            seen.add(name)
+            captured.append((name, binding[1]))
+        # A write to a captured scalar would die with the thread's private
+        # copy — silently. Make it a compile error instead.
+        for s in _walk_stmts(stmt.body):
+            if isinstance(s, ast.Assign) and isinstance(s.target, ast.Var):
+                if s.target.name in seen:
+                    raise TypeErrorML(
+                        f"cannot assign to captured variable {s.target.name!r} "
+                        "inside parallel_for (captures are per-thread copies; "
+                        "write results through a shared array)",
+                        s.line,
+                    )
+        return captured
+
+    def _gen_parallel_for(self, ctx: _FuncContext, stmt: ast.ParallelFor, out: list[Instr]) -> None:
+        """Outline the body into a hidden worker ``(i32 argptr) -> void`` and
+        emit spawn/join plumbing in the parent.
+
+        The arg struct layout (8-byte slots so every type is aligned)::
+
+            +0   i32 chunk_lo        +4   i32 chunk_hi
+            +8+8j  captured value j  (i32/i64/f64; arrays as base address)
+        """
+        L = stmt.line
+        captured = self._captured_vars(ctx, stmt)
+
+        def V(name):
+            return ast.Var(L, name)
+
+        def I(v):
+            return ast.IntLit(L, v)
+
+        def B(op, a, b):
+            return ast.Binary(L, op, a, b)
+
+        def C(name, *args):
+            return ast.Call(L, name, list(args))
+
+        def at(arr, idx):
+            return ast.Index(L, arr, I(idx))
+
+        # --- the outlined worker -------------------------------------
+        arg_words = C("iarr", V("__arg"))
+        cap_decls: list[ast.Stmt] = []
+        for j, (name, ctype) in enumerate(captured):
+            if ctype.is_array:
+                view = {"int": "iarr", "long": "larr", "float": "farr"}[ctype.name]
+                init: ast.Expr = C(view, at(C("iarr", V("__arg")), 2 + 2 * j))
+            elif ctype.name == "int":
+                init = at(C("iarr", V("__arg")), 2 + 2 * j)
+            elif ctype.name == "long":
+                init = at(C("larr", V("__arg")), 1 + j)
+            else:
+                init = at(C("farr", V("__arg")), 1 + j)
+            cap_decls.append(ast.VarDecl(L, ctype, name, init))
+        worker_body: list[ast.Stmt] = [
+            *cap_decls,
+            ast.VarDecl(L, ast.INT, "__pf_hi", at(arg_words, 1)),
+            ast.VarDecl(L, ast.INT, stmt.var, at(C("iarr", V("__arg")), 0)),
+            ast.For(
+                L,
+                None,
+                B("<", V(stmt.var), V("__pf_hi")),
+                ast.Assign(L, V(stmt.var), B("+", V(stmt.var), I(1))),
+                stmt.body,
+            ),
+        ]
+        n = self._pf_count
+        self._pf_count += 1
+        wname = f"__pf_{n}"
+        worker = ast.FuncDef(
+            wname, ast.VOID, [ast.Param(ast.INT, "__arg")], worker_body, False, L
+        )
+        widx = self._synthetic_base + len(self._synthetics)
+        self.funcs[wname] = (widx, ast.VOID, [ast.INT])
+        self._synthetics.append(("ast", worker))
+        elem_index = len(self._elem_funcs)
+        self._elem_funcs.append(widx)
+
+        # --- the parent-side spawn/join plumbing ---------------------
+        s = f"__pf{n}"
+        nt, lo, hi, ck = f"{s}_nt", f"{s}_lo", f"{s}_hi", f"{s}_ck"
+        tids, t, arg, cl, ch = f"{s}_tids", f"{s}_t", f"{s}_arg", f"{s}_cl", f"{s}_ch"
+        cap_stores: list[ast.Stmt] = []
+        for j, (name, ctype) in enumerate(captured):
+            if ctype.is_array:
+                cap_stores.append(
+                    ast.Assign(L, at(V(arg), 2 + 2 * j), C("ptr", V(name)))
+                )
+            elif ctype.name == "int":
+                cap_stores.append(ast.Assign(L, at(V(arg), 2 + 2 * j), V(name)))
+            else:
+                view = {"long": "larr", "float": "farr"}[ctype.name]
+                cap_stores.append(
+                    ast.Assign(L, at(C(view, C("ptr", V(arg))), 1 + j), V(name))
+                )
+        plumbing: list[ast.Stmt] = [
+            ast.VarDecl(L, ast.INT, nt, stmt.nthreads),
+            ast.If(L, B("<", V(nt), I(1)), [ast.Assign(L, V(nt), I(1))], []),
+            ast.VarDecl(L, ast.INT, lo, stmt.lo),
+            ast.VarDecl(L, ast.INT, hi, stmt.hi),
+            ast.If(L, B("<", V(hi), V(lo)), [ast.Assign(L, V(hi), V(lo))], []),
+            # ck = ceil((hi - lo) / nt)
+            ast.VarDecl(
+                L, ast.INT, ck,
+                B("/", B("-", B("+", B("-", V(hi), V(lo)), V(nt)), I(1)), V(nt)),
+            ),
+            ast.VarDecl(
+                L, ast.Type("int", True), tids, ast.NewArray(L, ast.INT, V(nt))
+            ),
+            ast.For(
+                L,
+                ast.VarDecl(L, ast.INT, t, I(0)),
+                B("<", V(t), V(nt)),
+                ast.Assign(L, V(t), B("+", V(t), I(1))),
+                [
+                    ast.VarDecl(
+                        L, ast.Type("int", True), arg,
+                        ast.NewArray(L, ast.INT, I(2 + 2 * len(captured))),
+                    ),
+                    ast.VarDecl(L, ast.INT, cl, B("+", V(lo), B("*", V(t), V(ck)))),
+                    ast.If(L, B(">", V(cl), V(hi)), [ast.Assign(L, V(cl), V(hi))], []),
+                    ast.VarDecl(L, ast.INT, ch, B("+", V(cl), V(ck))),
+                    ast.If(L, B(">", V(ch), V(hi)), [ast.Assign(L, V(ch), V(hi))], []),
+                    ast.Assign(L, at(V(arg), 0), V(cl)),
+                    ast.Assign(L, at(V(arg), 1), V(ch)),
+                    *cap_stores,
+                    ast.Assign(
+                        L, ast.Index(L, V(tids), V(t)),
+                        C("thread_spawn", I(elem_index), C("ptr", V(arg))),
+                    ),
+                ],
+            ),
+            ast.For(
+                L,
+                ast.VarDecl(L, ast.INT, t, I(0)),
+                B("<", V(t), V(nt)),
+                ast.Assign(L, V(t), B("+", V(t), I(1))),
+                [ast.ExprStmt(L, C("thread_join", ast.Index(L, V(tids), V(t))))],
+            ),
+        ]
+        ctx.push_scope()
+        self._gen_stmts(ctx, plumbing, out)
+        ctx.pop_scope()
 
     # ------------------------------------------------------------------
     # Expressions
@@ -606,6 +1108,25 @@ class Compiler:
                 self._coerce(atype, ast.FLOAT, out, expr.line)
             out.append(Instr(_FLOAT_BINARY_BUILTINS[expr.name]))
             return ast.FLOAT
+        if expr.name in _VEC_BUILTINS:
+            ptypes, rtype = _VEC_BUILTINS[expr.name]
+            if len(expr.args) != len(ptypes):
+                raise TypeErrorML(
+                    f"{expr.name} expects {len(ptypes)} arguments, got "
+                    f"{len(expr.args)}",
+                    expr.line,
+                )
+            for arg, ptype in zip(expr.args, ptypes):
+                atype = self._gen_expr(ctx, arg, out)
+                if ptype.is_array:
+                    if atype != ptype:
+                        raise TypeErrorML(
+                            f"{expr.name} expects {ptype}, got {atype}", expr.line
+                        )
+                else:
+                    self._coerce(atype, ptype, out, expr.line)
+            out.append(Instr("call", (self._vec_func(expr.name),)))
+            return rtype
 
         if expr.name not in self.funcs:
             raise TypeErrorML(f"call to unknown function {expr.name!r}", expr.line)
@@ -620,6 +1141,16 @@ class Compiler:
             self._coerce(atype, ptype, out, expr.line)
         out.append(Instr("call", (index,)))
         return rtype
+
+    def _vec_func(self, name: str) -> int:
+        """Queue (once) and return the index of a vector-library function."""
+        idx = self._vec_lib.get(name)
+        if idx is None:
+            ftype, locals_, body = _build_vec_func(name)
+            idx = self._synthetic_base + len(self._synthetics)
+            self._synthetics.append(("raw", f"__{name}", ftype, locals_, body))
+            self._vec_lib[name] = idx
+        return idx
 
     # ------------------------------------------------------------------
     # Type coercion

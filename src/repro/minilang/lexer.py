@@ -15,6 +15,7 @@ KEYWORDS = {
     "int", "long", "float", "void",
     "if", "else", "while", "for", "return", "break", "continue",
     "new", "export", "extern", "global", "true", "false",
+    "parallel_for",
 }
 
 #: Multi-character operators, longest first.

@@ -9,8 +9,9 @@ Grammar sketch::
     params    := [type IDENT ("," type IDENT)*]
     type      := ("int" | "long" | "float" | "void") ["[" "]"]
     block     := "{" stmt* "}"
-    stmt      := vardecl | assign | if | while | for | return
+    stmt      := vardecl | assign | if | while | for | parallel_for | return
                | "break" ";" | "continue" ";" | expr ";"
+    parallel_for := "parallel_for" "(" "int" IDENT "=" expr ";" expr ";" expr ")" block
     expr      := logical-or with C-like precedence, unary -/!, casts,
                  calls, indexing, "new" type "[" expr "]"
 """
@@ -150,6 +151,8 @@ class Parser:
                 return self._while()
             if tok.value == "for":
                 return self._for()
+            if tok.value == "parallel_for":
+                return self._parallel_for()
             if tok.value == "return":
                 self.next()
                 value = None
@@ -252,6 +255,22 @@ class Parser:
             step = self._simple_stmt(require_semi=False)
             self.expect("op", ")")
         return ast.For(line, init, cond, step, self._block())
+
+    def _parallel_for(self) -> ast.ParallelFor:
+        """``parallel_for (int i = lo; hi; nthreads) block``"""
+        line = self.expect("keyword", "parallel_for").line
+        self.expect("op", "(")
+        self.expect("keyword", "int")
+        name = self.expect("ident")
+        self.expect("op", "=")
+        lo = self._expr()
+        self.expect("op", ";")
+        hi = self._expr()
+        self.expect("op", ";")
+        nthreads = self._expr()
+        self.expect("op", ")")
+        body = self._block()
+        return ast.ParallelFor(line, str(name.value), lo, hi, nthreads, body)
 
     # -- expressions (precedence climbing) ----------------------------------------
     def _expr(self) -> ast.Expr:

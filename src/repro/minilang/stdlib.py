@@ -64,6 +64,9 @@ extern int nclose(int fd);
 
 extern long gettime();
 extern int getrandom(int buf, int len);
+
+extern int thread_spawn(int elem_index, int argptr);
+extern int thread_join(int tid);
 """
 
 #: Byte-buffer and conversion helpers.

@@ -114,6 +114,7 @@ def dispatch_section(instance) -> dict:
     return {
         "total": instance.instructions_executed,
         "opcodes": dict(instance.op_counts.most_common()),
+        "families": dict(instance.dispatch_family_report()),
         "pairs": [
             [a, b, count] for (a, b), count in instance.pair_counts.most_common()
         ],

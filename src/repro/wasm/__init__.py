@@ -31,6 +31,7 @@ from .errors import (
     OutOfFuel,
     ParseError,
     Trap,
+    UnalignedAtomicAccess,
     UndefinedElement,
     UnreachableExecuted,
     ValidationError,
@@ -50,6 +51,7 @@ from .module import (
     ModuleBuilder,
 )
 from .printer import print_module
+from .simd import canon_v128, f64x2, f64x2_lanes, i32x4, i32x4_lanes, v128_to_int
 from .text import parse_module
 from .threaded import ThreadedCode, thread_function
 from .types import (
@@ -58,6 +60,7 @@ from .types import (
     I32,
     I64,
     PAGE_SIZE,
+    V128,
     FuncType,
     GlobalType,
     Limits,
@@ -106,18 +109,26 @@ __all__ = [
     "TableType",
     "ThreadedCode",
     "Trap",
+    "UnalignedAtomicAccess",
     "UndefinedElement",
     "UnreachableExecuted",
+    "V128",
     "ValType",
     "ValidationError",
     "WasmError",
+    "canon_v128",
     "compile_function",
     "compile_module",
     "default_tier",
+    "f64x2",
+    "f64x2_lanes",
+    "i32x4",
+    "i32x4_lanes",
     "instantiate",
     "instr",
     "parse_module",
     "print_module",
     "thread_function",
+    "v128_to_int",
     "validate_module",
 ]

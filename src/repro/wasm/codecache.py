@@ -33,14 +33,28 @@ from .module import Module
 
 _KEY_ATTR = "_codecache_key"
 
+#: ISA/tier revision folded into every structural cache key. Bump when the
+#: instruction set or the compiled-code shape changes (new opcode families,
+#: different lowering), so object code cached by an older build is never
+#: reused for a module that now compiles differently — the analogue of a
+#: machine-code version tag in an on-disk object cache. "2" added the
+#: vector ISA (v128), shared-memory atomics and the guest-thread ops.
+ISA_VERSION = "repro-isa-2"
+
 
 def module_key(module: Module) -> str:
-    """Structural hash of ``module`` (memoised on the instance)."""
+    """Structural hash of ``module`` (memoised on the instance).
+
+    The hash covers the printed module text *and* :data:`ISA_VERSION`, so
+    a cache persisted across an ISA revision cannot serve stale code.
+    """
     key = getattr(module, _KEY_ATTR, None)
     if key is None:
         from .printer import print_module
 
-        key = hashlib.sha256(print_module(module).encode()).hexdigest()
+        hasher = hashlib.sha256(ISA_VERSION.encode() + b"\x00")
+        hasher.update(print_module(module).encode())
+        key = hasher.hexdigest()
         setattr(module, _KEY_ATTR, key)
     return key
 

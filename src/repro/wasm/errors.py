@@ -81,6 +81,17 @@ class CallStackExhausted(Trap):
     """Guest recursion exceeded the configured call-depth limit."""
 
 
+class UnalignedAtomicAccess(Trap):
+    """An atomic operation used an address not aligned to its access size."""
+
+    def __init__(self, addr: int, size: int):
+        self.addr = addr
+        self.size = size
+        super().__init__(
+            f"unaligned atomic access: address {addr} not {size}-byte aligned"
+        )
+
+
 class OutOfFuel(Trap):
     """The instance ran out of fuel (CPU metering, used by cgroup accounting)."""
 

@@ -1,0 +1,51 @@
+"""Futex-style wait/notify semantics shared by both execution tiers.
+
+``memory.atomic.wait32`` / ``memory.atomic.notify`` are how guest threads
+block on and wake each other through shared linear memory (the Wasm
+threads proposal's futex pair). The actual parking/waking policy lives in
+the intra-Faaslet guest-thread runtime (:mod:`repro.faaslet.threads`),
+which installs itself on the instance as ``_thread_runtime``; outside a
+parallel region the semantics degrade deterministically:
+
+* ``wait32`` with no runtime never blocks: it returns 1 ("not-equal") if
+  the value at ``addr`` differs from ``expected``, else 2 ("timed-out"),
+  i.e. an immediate-timeout futex. Both tiers share this code path so the
+  differential tests see identical results.
+* ``notify`` with no runtime wakes nobody and returns 0.
+
+Return codes follow the threads proposal: 0 = woken, 1 = not-equal,
+2 = timed-out.
+"""
+
+from __future__ import annotations
+
+WAIT_WOKEN = 0
+WAIT_NOT_EQUAL = 1
+WAIT_TIMED_OUT = 2
+
+
+def atomic_wait32(inst, mem, addr: int, expected: int) -> int:
+    """Block until notified if ``mem[addr] == expected`` (runtime present).
+
+    The caller must have synced fuel/instruction counters to ``inst``
+    before calling — the runtime suspends the guest thread here and the
+    scheduler reads those counters for fuel-fair accounting.
+    """
+    mem._check_aligned(addr, 4)
+    mem._check(addr, 4)
+    runtime = getattr(inst, "_thread_runtime", None)
+    if runtime is not None:
+        return runtime.wait32(inst, addr, expected)
+    if mem.load_int(addr, 4, False) != expected:
+        return WAIT_NOT_EQUAL
+    return WAIT_TIMED_OUT
+
+
+def atomic_notify(inst, mem, addr: int, count: int) -> int:
+    """Wake up to ``count`` waiters parked on ``addr``; returns woken count."""
+    mem._check_aligned(addr, 4)
+    mem._check(addr, 4)
+    runtime = getattr(inst, "_thread_runtime", None)
+    if runtime is not None:
+        return runtime.notify(inst, addr, count)
+    return 0

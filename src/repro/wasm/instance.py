@@ -26,14 +26,29 @@ from .errors import (
     UndefinedElement,
     UnreachableExecuted,
 )
-from .instructions import LOAD_OPS, STORE_OPS
+from .futex import atomic_notify, atomic_wait32
+from .instructions import (
+    ATOMIC_CMPXCHG_OPS,
+    ATOMIC_RMW_OPS,
+    LOAD_OPS,
+    STORE_OPS,
+    op_family,
+)
 from .memory import LinearMemory
 from .module import Module
 from .ops import BINOPS, UNOPS
+from .simd import SIMD_EXTRACT_OPS, SIMD_REPLACE_OPS, canon_v128
 from .threaded import Frame, thread_function
 from .types import FuncType, ValType
 from .validation import validate_module
-from .values import MASK32, MASK64, to_f32, to_signed32, to_signed64
+from .values import (
+    MASK32,
+    MASK64,
+    default_value,
+    to_f32,
+    to_signed32,
+    to_signed64,
+)
 
 #: Default guest call-depth limit (Python recursion bounds this from above).
 DEFAULT_CALL_DEPTH = 220
@@ -42,6 +57,10 @@ DEFAULT_CALL_DEPTH = 220
 #: block-level fuel batching, the default) and "interp" (the reference
 #: tuple interpreter, retained as the semantics oracle).
 TIERS = ("threaded", "interp")
+
+#: Sequentially-consistent accesses that additionally require alignment.
+_ATOMIC_LOADS = frozenset({"i32.atomic.load", "i64.atomic.load"})
+_ATOMIC_STORES = frozenset({"i32.atomic.store", "i64.atomic.store"})
 
 
 def default_tier() -> str:
@@ -73,6 +92,8 @@ def _canon(value, valtype: ValType):
         return int(value) & MASK64
     if valtype is ValType.F32:
         return to_f32(float(value))
+    if valtype is ValType.V128:
+        return canon_v128(value)
     return float(value)
 
 
@@ -90,7 +111,7 @@ def _external(value, valtype: ValType):
 class GlobalInstance:
     valtype: ValType
     mutable: bool
-    value: int | float
+    value: int | float | bytes
 
 
 class Instance:
@@ -127,6 +148,12 @@ class Instance:
         #: Total instructions executed; the cgroup layer reads this as the
         #: Faaslet's consumed "CPU cycles".
         self.instructions_executed = 0
+        #: Guest-thread support: a scheduler (``repro.faaslet.threads``)
+        #: installs itself here so ``memory.atomic.wait32/notify`` can park
+        #: and wake guest threads, and sets ``_refuel_hook`` to preempt the
+        #: thread at quantum boundaries instead of trapping ``OutOfFuel``.
+        self._thread_runtime = None
+        self._refuel_hook: Callable | None = None
 
         imports = imports or {}
         self.funcs: list[HostFunc | CompiledFunction] = []
@@ -221,6 +248,8 @@ class Instance:
         inst.op_counts = Counter() if profile else None
         inst.pair_counts = Counter() if profile else None
         inst.instructions_executed = 0
+        inst._thread_runtime = None
+        inst._refuel_hook = None
         inst.funcs = funcs
         inst.memory = memory
         inst.globals = globals_
@@ -240,6 +269,27 @@ class Instance:
 
     def set_fuel(self, amount: int | None) -> None:
         self._fuel = amount
+
+    def _refuel(self, executed: int) -> int | None:
+        """Fuel-exhaustion rendezvous shared by both tiers.
+
+        Flushes the meters exactly like the trap path, then gives the
+        ``_refuel_hook`` (the guest-thread scheduler) a chance to grant a
+        fresh quantum; the tripping instruction has already been counted,
+        so its cost is charged against the new quantum here. Returns the
+        replenished local fuel, or raises :class:`OutOfFuel` when no hook
+        is installed or the hook declines.
+        """
+        self._fuel = 0
+        self.instructions_executed += executed
+        hook = self._refuel_hook
+        if hook is not None and hook(self):
+            fuel = self._fuel
+            if fuel is None:
+                return None
+            if fuel > 0:
+                return fuel - 1
+        raise OutOfFuel("instance ran out of fuel")
 
     # ------------------------------------------------------------------
     # Public call API
@@ -333,9 +383,7 @@ class Instance:
         if tc is None:
             tc = thread_function(fn, self.module)
             fn.threaded = tc
-        locals_ = args + [
-            0.0 if t in (ValType.F32, ValType.F64) else 0 for t in fn.local_types
-        ]
+        locals_ = args + [default_value(t) for t in fn.local_types]
         stack: list = []
         frame = Frame(self, depth)
         ops = tc.ops
@@ -361,14 +409,22 @@ class Instance:
         ranked = self.op_counts.most_common(top)
         return ranked
 
+    def dispatch_family_report(self) -> list[tuple[str, int]]:
+        """Dispatch counts rolled up by opcode family (simd, atomic,
+        memory, var, const, control, numeric), descending."""
+        if self.op_counts is None:
+            raise ValueError("instance was not created with profile=True")
+        families: Counter = Counter()
+        for op, count in self.op_counts.items():
+            families[op_family(op)] += count
+        return families.most_common()
+
     def _exec(self, fn: CompiledFunction, args: list, depth: int) -> list:
         if depth >= self.call_depth_limit:
             raise CallStackExhausted(
                 f"call depth exceeded {self.call_depth_limit}"
             )
-        locals_ = args + [
-            0.0 if t in (ValType.F32, ValType.F64) else 0 for t in fn.local_types
-        ]
+        locals_ = args + [default_value(t) for t in fn.local_types]
         stack: list = []
         labels: list[tuple[int, int, int]] = []
         code = fn.code
@@ -396,9 +452,9 @@ class Instance:
             if metered:
                 fuel -= 1
                 if fuel < 0:
-                    self._fuel = 0
-                    self.instructions_executed += executed
-                    raise OutOfFuel("instance ran out of fuel")
+                    fuel = self._refuel(executed)
+                    executed = 0
+                    metered = fuel is not None
 
             if op == "local.get":
                 stack.append(locals_[ins[1]])
@@ -414,6 +470,7 @@ class Instance:
                 or op == "i64.const"
                 or op == "f32.const"
                 or op == "f64.const"
+                or op == "v128.const"
             ):
                 stack.append(ins[1])
             elif op in unops:
@@ -423,7 +480,11 @@ class Instance:
                 addr = stack.pop() + ins[1]
                 if ty is ValType.F32 or ty is ValType.F64:
                     stack.append(mem.load_float(addr, size))
+                elif ty is ValType.V128:
+                    stack.append(mem.load_v128(addr))
                 else:
+                    if op in _ATOMIC_LOADS:
+                        mem._check_aligned(addr, size)
                     value = mem.load_int(addr, size, signed)
                     if signed:
                         value &= MASK32 if ty is ValType.I32 else MASK64
@@ -434,7 +495,11 @@ class Instance:
                 addr = stack.pop() + ins[1]
                 if ty is ValType.F32 or ty is ValType.F64:
                     mem.store_float(addr, value, size)
+                elif ty is ValType.V128:
+                    mem.store_v128(addr, value)
                 else:
+                    if op in _ATOMIC_STORES:
+                        mem._check_aligned(addr, size)
                     mem.store_int(addr, value, size)
             elif op == "block":
                 labels.append((ins[1] + 1, ins[2], len(stack) - ins[3]))
@@ -548,6 +613,41 @@ class Instance:
                 stack.append(mem.size_pages)
             elif op == "memory.grow":
                 stack.append(mem.grow(stack.pop()) & MASK32)
+            elif op in SIMD_EXTRACT_OPS:
+                stack[-1] = SIMD_EXTRACT_OPS[op](stack[-1], ins[1])
+            elif op in SIMD_REPLACE_OPS:
+                x = stack.pop()
+                stack[-1] = SIMD_REPLACE_OPS[op](stack[-1], x, ins[1])
+            elif op in ATOMIC_RMW_OPS:
+                _ty, size, kind = ATOMIC_RMW_OPS[op]
+                operand = stack.pop()
+                addr = stack.pop() + ins[1]
+                stack.append(mem.atomic_rmw(addr, operand, size, kind))
+            elif op in ATOMIC_CMPXCHG_OPS:
+                _ty, size = ATOMIC_CMPXCHG_OPS[op]
+                replacement = stack.pop()
+                expected = stack.pop()
+                addr = stack.pop() + ins[1]
+                stack.append(
+                    mem.atomic_cmpxchg(addr, expected, replacement, size)
+                )
+            elif op == "memory.atomic.wait32":
+                expected = stack.pop()
+                addr = stack.pop() + ins[1]
+                # Call-style fuel handshake: the runtime may suspend this
+                # guest thread inside the helper, so the meters must be
+                # synced to the instance on both sides.
+                if metered:
+                    self._fuel = fuel
+                self.instructions_executed += executed
+                executed = 0
+                stack.append(atomic_wait32(self, mem, addr, expected))
+                fuel = self._fuel
+                metered = fuel is not None
+            elif op == "memory.atomic.notify":
+                count = stack.pop()
+                addr = stack.pop() + ins[1]
+                stack.append(atomic_notify(self, mem, addr, count))
             elif op == "nop":
                 pass
             elif op == "unreachable":

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .types import F32, F64, I32, I64, ValType
+from .types import F32, F64, I32, I64, V128, ValType
 
 
 @dataclass(frozen=True)
@@ -135,6 +135,70 @@ INSTR_SIGS.update(
     }
 )
 
+# -- vector ISA (v128, i32x4/f64x2 lane shapes) -------------------------------
+
+_SIMD_I32X4_BIN = ["add", "sub", "mul", "min_s", "max_s"]
+_SIMD_F64X2_BIN = ["add", "sub", "mul", "min", "max"]
+
+INSTR_SIGS.update(_binops("i32x4", V128, _SIMD_I32X4_BIN))
+INSTR_SIGS.update(_binops("f64x2", V128, _SIMD_F64X2_BIN))
+INSTR_SIGS.update(
+    {
+        "i32x4.neg": ((V128,), (V128,)),
+        "f64x2.neg": ((V128,), (V128,)),
+        "i32x4.splat": ((I32,), (V128,)),
+        "f64x2.splat": ((F64,), (V128,)),
+        "i32x4.extract_lane": ((V128,), (I32,)),
+        "f64x2.extract_lane": ((V128,), (F64,)),
+        "i32x4.replace_lane": ((V128, I32), (V128,)),
+        "f64x2.replace_lane": ((V128, F64), (V128,)),
+        "v128.load": ((I32,), (V128,)),
+        "v128.store": ((I32, V128), ()),
+    }
+)
+
+#: Lane-indexed SIMD ops: mnemonic -> lane count its immediate must respect.
+SIMD_LANE_IMM_OPS = {
+    "i32x4.extract_lane": 4,
+    "i32x4.replace_lane": 4,
+    "f64x2.extract_lane": 2,
+    "f64x2.replace_lane": 2,
+}
+
+# -- shared-memory atomics ----------------------------------------------------
+
+_RMW_KINDS = ["add", "sub", "and", "or", "xor", "xchg"]
+
+#: Atomic read-modify-write: op -> (value type, access size, rmw kind).
+ATOMIC_RMW_OPS: dict[str, tuple[ValType, int, str]] = {}
+for _kind in _RMW_KINDS:
+    ATOMIC_RMW_OPS[f"i32.atomic.rmw.{_kind}"] = (I32, 4, _kind)
+    ATOMIC_RMW_OPS[f"i64.atomic.rmw.{_kind}"] = (I64, 8, _kind)
+
+#: Atomic compare-exchange: op -> (value type, access size).
+ATOMIC_CMPXCHG_OPS: dict[str, tuple[ValType, int]] = {
+    "i32.atomic.rmw.cmpxchg": (I32, 4),
+    "i64.atomic.rmw.cmpxchg": (I64, 8),
+}
+
+#: Futex-style ops over linear memory (offset immediate like loads).
+ATOMIC_WAIT_NOTIFY_OPS: dict[str, tuple[int, int]] = {
+    # op -> (access size, operand count besides the address)
+    "memory.atomic.wait32": (4, 1),
+    "memory.atomic.notify": (4, 1),
+}
+
+for _op, (_ty, _size, _kind) in ATOMIC_RMW_OPS.items():
+    INSTR_SIGS[_op] = ((I32, _ty), (_ty,))
+for _op, (_ty, _size) in ATOMIC_CMPXCHG_OPS.items():
+    INSTR_SIGS[_op] = ((I32, _ty, _ty), (_ty,))
+INSTR_SIGS["memory.atomic.wait32"] = ((I32, I32), (I32,))
+INSTR_SIGS["memory.atomic.notify"] = ((I32, I32), (I32,))
+INSTR_SIGS["i32.atomic.load"] = ((I32,), (I32,))
+INSTR_SIGS["i64.atomic.load"] = ((I32,), (I64,))
+INSTR_SIGS["i32.atomic.store"] = ((I32, I32), ())
+INSTR_SIGS["i64.atomic.store"] = ((I32, I64), ())
+
 #: (kind, size_bytes, signed) metadata for memory instructions.
 LOAD_OPS: dict[str, tuple[ValType, int, bool]] = {
     "i32.load": (I32, 4, False),
@@ -147,6 +211,9 @@ LOAD_OPS: dict[str, tuple[ValType, int, bool]] = {
     "i32.load16_u": (I32, 2, False),
     "i64.load32_s": (I64, 4, True),
     "i64.load32_u": (I64, 4, False),
+    "v128.load": (V128, 16, False),
+    "i32.atomic.load": (I32, 4, False),
+    "i64.atomic.load": (I64, 8, False),
 }
 
 STORE_OPS: dict[str, tuple[ValType, int]] = {
@@ -157,6 +224,9 @@ STORE_OPS: dict[str, tuple[ValType, int]] = {
     "i32.store8": (I32, 1),
     "i32.store16": (I32, 2),
     "i64.store32": (I64, 4),
+    "v128.store": (V128, 16),
+    "i32.atomic.store": (I32, 4),
+    "i64.atomic.store": (I64, 8),
 }
 
 CONST_OPS: dict[str, ValType] = {
@@ -164,7 +234,25 @@ CONST_OPS: dict[str, ValType] = {
     "i64.const": I64,
     "f32.const": F32,
     "f64.const": F64,
+    "v128.const": V128,
 }
+
+#: Every atomic mnemonic (sequentially-consistent accesses; unaligned traps).
+ATOMIC_OPS = (
+    frozenset(ATOMIC_RMW_OPS)
+    | frozenset(ATOMIC_CMPXCHG_OPS)
+    | frozenset(ATOMIC_WAIT_NOTIFY_OPS)
+    | {"i32.atomic.load", "i64.atomic.load", "i32.atomic.store", "i64.atomic.store"}
+)
+
+#: Ops that carry a static byte-offset immediate over linear memory.
+MEMARG_OPS = (
+    frozenset(LOAD_OPS)
+    | frozenset(STORE_OPS)
+    | frozenset(ATOMIC_RMW_OPS)
+    | frozenset(ATOMIC_CMPXCHG_OPS)
+    | frozenset(ATOMIC_WAIT_NOTIFY_OPS)
+)
 
 #: Instructions requiring bespoke validator handling.
 CONTROL_OPS = {
@@ -175,6 +263,36 @@ CONTROL_OPS = {
 }
 
 ALL_OPS = set(INSTR_SIGS) | set(CONST_OPS) | CONTROL_OPS
+
+_CONTROL_FAMILY = frozenset(
+    {"block", "loop", "if", "else", "end", "br", "br_if", "br_table",
+     "return", "call", "call_indirect", "unreachable", "nop", "drop",
+     "select"}
+)
+
+
+def op_family(op: str) -> str:
+    """Coarse opcode family for dispatch-profile rollups.
+
+    Families: ``simd`` (v128 values, lane ops, vector loads/stores),
+    ``atomic`` (rmw/cmpxchg/wait/notify and atomic accesses), ``memory``
+    (plain loads/stores, size/grow), ``var`` (locals/globals), ``const``,
+    ``control`` and ``numeric`` (everything else: scalar arithmetic,
+    comparisons, conversions).
+    """
+    if op.startswith(("v128", "i32x4.", "f64x2.")):
+        return "simd"
+    if ".atomic." in op or op.startswith("memory.atomic."):
+        return "atomic"
+    if op.startswith(("local.", "global.")):
+        return "var"
+    if ".load" in op or ".store" in op or op in ("memory.size", "memory.grow"):
+        return "memory"
+    if op in CONST_OPS:
+        return "const"
+    if op in _CONTROL_FAMILY:
+        return "control"
+    return "numeric"
 
 
 def instr(op: str, *args) -> Instr:

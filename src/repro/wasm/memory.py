@@ -23,10 +23,19 @@ from __future__ import annotations
 
 import hashlib
 import struct
+import threading
 from dataclasses import dataclass
 
-from .errors import OutOfBoundsMemoryAccess
+from .errors import OutOfBoundsMemoryAccess, UnalignedAtomicAccess
 from .types import MAX_PAGES, PAGE_SIZE, Limits, MemoryType
+
+#: One process-wide lock serialising read-modify-write atomics. Guest
+#: threads inside a Faaslet are cooperatively scheduled (never truly
+#: concurrent), but shared regions can be mapped by several instances that
+#: embedders may drive from different OS threads — a single global lock
+#: makes cross-instance rmw on shared pages linearizable and is
+#: uncontended (~no cost) everywhere else.
+_ATOMIC_LOCK = threading.Lock()
 
 #: One immutable all-zero page shared by every restored memory. Pages whose
 #: digest is :data:`ZERO_DIGEST` are never shipped or stored; restores alias
@@ -499,6 +508,88 @@ class LinearMemory:
                     return
         self.store_int(addr, value, 4)
 
+    def load_v128(self, addr: int) -> bytes:
+        if addr >= 0:
+            page_idx, offset = divmod(addr, PAGE_SIZE)
+            if offset <= PAGE_SIZE - 16 and page_idx < len(self.pages):
+                return bytes(self.pages[page_idx].view[offset : offset + 16])
+        self._check(addr, 16)
+        return self.read(addr, 16)
+
+    def store_v128(self, addr: int, value: bytes) -> None:
+        if addr >= 0:
+            page_idx, offset = divmod(addr, PAGE_SIZE)
+            if offset <= PAGE_SIZE - 16 and page_idx < len(self.pages):
+                page = self.pages[page_idx]
+                if page.writable:
+                    page.view[offset : offset + 16] = value
+                    return
+        self._check(addr, 16)
+        self.write(addr, value)
+
+    # ------------------------------------------------------------------
+    # Atomics (sequentially consistent; unaligned accesses trap)
+    # ------------------------------------------------------------------
+    def _check_aligned(self, addr: int, size: int) -> None:
+        if addr % size:
+            raise UnalignedAtomicAccess(addr, size)
+
+    def atomic_load_i32(self, addr: int) -> int:
+        self._check_aligned(addr, 4)
+        return self.load_i32(addr)
+
+    def atomic_load_i64(self, addr: int) -> int:
+        self._check_aligned(addr, 8)
+        return self.load_i64(addr)
+
+    def atomic_store_i32(self, addr: int, value: int) -> None:
+        self._check_aligned(addr, 4)
+        self.store_i32(addr, value)
+
+    def atomic_store_i64(self, addr: int, value: int) -> None:
+        self._check_aligned(addr, 8)
+        self.store_i64(addr, value)
+
+    def atomic_rmw(self, addr: int, operand: int, size: int, kind: str) -> int:
+        """Atomically apply ``kind`` at ``addr``; returns the old value.
+
+        The bounds/alignment checks run *before* the lock is taken so traps
+        cannot leave it held.
+        """
+        self._check_aligned(addr, size)
+        self._check(addr, size)
+        mask = (1 << (8 * size)) - 1
+        with _ATOMIC_LOCK:
+            old = self.load_int(addr, size, False)
+            if kind == "add":
+                new = (old + operand) & mask
+            elif kind == "sub":
+                new = (old - operand) & mask
+            elif kind == "and":
+                new = old & operand
+            elif kind == "or":
+                new = old | operand
+            elif kind == "xor":
+                new = old ^ operand
+            elif kind == "xchg":
+                new = operand & mask
+            else:  # pragma: no cover - table-driven callers
+                raise ValueError(f"unknown rmw kind {kind!r}")
+            self.store_int(addr, new, size)
+        return old
+
+    def atomic_cmpxchg(
+        self, addr: int, expected: int, replacement: int, size: int
+    ) -> int:
+        """Atomic compare-exchange; returns the value observed at ``addr``."""
+        self._check_aligned(addr, size)
+        self._check(addr, size)
+        with _ATOMIC_LOCK:
+            old = self.load_int(addr, size, False)
+            if old == expected:
+                self.store_int(addr, replacement, size)
+        return old
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -526,6 +617,9 @@ TYPED_LOADS = {
     "i32.load16_u": LinearMemory.load_i32_16u,
     "i64.load32_s": LinearMemory.load_i64_32s,
     "i64.load32_u": LinearMemory.load_i64_32u,
+    "v128.load": LinearMemory.load_v128,
+    "i32.atomic.load": LinearMemory.atomic_load_i32,
+    "i64.atomic.load": LinearMemory.atomic_load_i64,
 }
 
 TYPED_STORES = {
@@ -536,4 +630,7 @@ TYPED_STORES = {
     "i32.store8": LinearMemory.store_i32_8,
     "i32.store16": LinearMemory.store_i32_16,
     "i64.store32": LinearMemory.store_i64_32,
+    "v128.store": LinearMemory.store_v128,
+    "i32.atomic.store": LinearMemory.atomic_store_i32,
+    "i64.atomic.store": LinearMemory.atomic_store_i64,
 }

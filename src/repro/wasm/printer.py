@@ -7,7 +7,8 @@ artifacts, and by the test-suite's round-trip property tests.
 
 from __future__ import annotations
 
-from .instructions import CONST_OPS, LOAD_OPS, STORE_OPS, Instr
+from .instructions import CONST_OPS, MEMARG_OPS, Instr
+from .simd import canon_v128, v128_to_int
 from .module import Module
 from .types import FuncType
 
@@ -86,7 +87,9 @@ class _Printer:
         for i, g in enumerate(module.globals_):
             ty = str(g.type.valtype)
             typedesc = f"(mut {ty})" if g.type.mutable else ty
-            if g.type.valtype.is_float:
+            if g.type.valtype.is_vector:
+                init = f"({ty}.const 0x{v128_to_int(canon_v128(g.init)):032x})"
+            elif g.type.valtype.is_float:
                 init = f"({ty}.const {_float_repr(float(g.init))})"
             else:
                 init = f"({ty}.const {int(g.init)})"
@@ -160,12 +163,14 @@ class _Printer:
             return
         if op in CONST_OPS:
             value = ins.args[0]
-            if op.startswith("f"):
+            if op == "v128.const":
+                self.emit(f"{op} 0x{v128_to_int(canon_v128(value)):032x}")
+            elif op.startswith("f"):
                 self.emit(f"{op} {_float_repr(float(value))}")
             else:
                 self.emit(f"{op} {int(value)}")
             return
-        if op in LOAD_OPS or op in STORE_OPS:
+        if op in MEMARG_OPS:
             offset = ins.args[0] if ins.args else 0
             self.emit(f"{op} offset={offset}" if offset else op)
             return

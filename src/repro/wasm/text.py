@@ -17,7 +17,14 @@ goes through validation before code generation.
 from __future__ import annotations
 
 from .errors import ParseError
-from .instructions import ALL_OPS, CONST_OPS, LOAD_OPS, STORE_OPS, BlockType, Instr
+from .instructions import (
+    ALL_OPS,
+    CONST_OPS,
+    MEMARG_OPS,
+    SIMD_LANE_IMM_OPS,
+    BlockType,
+    Instr,
+)
 from .module import (
     DataSegment,
     ElementSegment,
@@ -503,7 +510,7 @@ class _BodyContext:
             if len(depths) < 1:
                 raise ParseError("br_table requires at least a default label")
             return used, (tuple(depths[:-1]), depths[-1])
-        if op in LOAD_OPS or op in STORE_OPS:
+        if op in MEMARG_OPS:
             offset = 0
             used = 0
             tok = atom(start)
@@ -516,6 +523,11 @@ class _BodyContext:
                 used += 1
                 tok = atom(start + used)
             return used, (offset,)
+        if op in SIMD_LANE_IMM_OPS:
+            tok = atom(start)
+            if tok is None:
+                raise ParseError(f"{op} requires a lane immediate")
+            return 1, (_parse_int(tok.value, tok.line),)
         return 0, ()
 
     def _local_index(self, tok) -> int:

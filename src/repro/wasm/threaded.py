@@ -58,13 +58,20 @@ from dataclasses import dataclass
 from .errors import (
     IndirectCallTypeMismatch,
     OutOfBoundsTableAccess,
-    OutOfFuel,
     UndefinedElement,
     UnreachableExecuted,
 )
-from .instructions import CONST_OPS, LOAD_OPS, STORE_OPS
+from .futex import atomic_notify, atomic_wait32
+from .instructions import (
+    ATOMIC_CMPXCHG_OPS,
+    ATOMIC_RMW_OPS,
+    CONST_OPS,
+    LOAD_OPS,
+    STORE_OPS,
+)
 from .memory import TYPED_LOADS, TYPED_STORES
 from .ops import BINOPS, UNOPS
+from .simd import SIMD_EXTRACT_OPS, SIMD_REPLACE_OPS
 from .values import MASK32
 
 
@@ -144,7 +151,10 @@ def _static_branch_targets(code) -> dict:
 #: and fuel is always synced to the instance around calls.
 _BLOCK_ENDERS = frozenset(
     ["if", "else", "br", "br_if", "br_table", "call", "call_indirect",
-     "return", "unreachable"]
+     "return", "unreachable",
+     # wait32 can suspend the guest thread and re-enter the scheduler, so
+     # it gets the same fuel-handshake treatment as a call.
+     "memory.atomic.wait32"]
 )
 
 
@@ -242,6 +252,82 @@ def _b_store(ins, nxt, ctx):
     def op(stack, locals_, frame, storer=TYPED_STORES[ins[0]], off=ins[1], nxt=nxt):
         value = stack.pop()
         storer(frame.mem, stack.pop() + off, value)
+        return nxt
+
+    return op
+
+
+def _b_simd_extract(ins, nxt, ctx):
+    def op(stack, locals_, frame, fn=SIMD_EXTRACT_OPS[ins[0]], lane=ins[1],
+           nxt=nxt):
+        stack[-1] = fn(stack[-1], lane)
+        return nxt
+
+    return op
+
+
+def _b_simd_replace(ins, nxt, ctx):
+    def op(stack, locals_, frame, fn=SIMD_REPLACE_OPS[ins[0]], lane=ins[1],
+           nxt=nxt):
+        x = stack.pop()
+        stack[-1] = fn(stack[-1], x, lane)
+        return nxt
+
+    return op
+
+
+def _b_atomic_rmw(ins, nxt, ctx):
+    _ty, size, kind = ATOMIC_RMW_OPS[ins[0]]
+
+    def op(stack, locals_, frame, size=size, kind=kind, off=ins[1], nxt=nxt):
+        operand = stack.pop()
+        stack.append(
+            frame.mem.atomic_rmw(stack.pop() + off, operand, size, kind)
+        )
+        return nxt
+
+    return op
+
+
+def _b_atomic_cmpxchg(ins, nxt, ctx):
+    _ty, size = ATOMIC_CMPXCHG_OPS[ins[0]]
+
+    def op(stack, locals_, frame, size=size, off=ins[1], nxt=nxt):
+        replacement = stack.pop()
+        expected = stack.pop()
+        stack.append(
+            frame.mem.atomic_cmpxchg(
+                stack.pop() + off, expected, replacement, size
+            )
+        )
+        return nxt
+
+    return op
+
+
+def _b_atomic_wait32(ins, nxt, ctx):
+    def op(stack, locals_, frame, off=ins[1], nxt=nxt):
+        inst = frame.inst
+        expected = stack.pop()
+        addr = stack.pop() + off
+        # Same fuel handshake as a call: the runtime may park this guest
+        # thread inside the helper.
+        inst._fuel = frame.fuel
+        inst.instructions_executed += frame.executed
+        frame.executed = 0
+        stack.append(atomic_wait32(inst, frame.mem, addr, expected))
+        frame.fuel = inst._fuel
+        return nxt
+
+    return op
+
+
+def _b_atomic_notify(ins, nxt, ctx):
+    def op(stack, locals_, frame, off=ins[1], nxt=nxt):
+        count = stack.pop()
+        stack.append(
+            atomic_notify(frame.inst, frame.mem, stack.pop() + off, count)
+        )
         return nxt
 
     return op
@@ -516,32 +602,55 @@ def _build_sub(ins, nxt, ctx):
         return _b_load(ins, nxt, ctx)
     if op in STORE_OPS:
         return _b_store(ins, nxt, ctx)
+    if op in SIMD_EXTRACT_OPS:
+        return _b_simd_extract(ins, nxt, ctx)
+    if op in SIMD_REPLACE_OPS:
+        return _b_simd_replace(ins, nxt, ctx)
+    if op in ATOMIC_RMW_OPS:
+        return _b_atomic_rmw(ins, nxt, ctx)
+    if op in ATOMIC_CMPXCHG_OPS:
+        return _b_atomic_cmpxchg(ins, nxt, ctx)
+    if op == "memory.atomic.wait32":
+        return _b_atomic_wait32(ins, nxt, ctx)
+    if op == "memory.atomic.notify":
+        return _b_atomic_notify(ins, nxt, ctx)
     raise NotImplementedError(f"cannot thread opcode {op!r}")
 
 
 def _make_slow(subs):
     """Per-instruction metering fallback for a block.
 
-    Entered only when ``0 <= frame.fuel < block cost``, so it always ends
-    in ``OutOfFuel`` before the block's last instruction runs, reproducing
-    the reference tier's charge-then-execute accounting: the failing
-    instruction is counted, its effects never happen, and every effectful
-    instruction before it ran in flat order. Sub-closure return values are
-    ignored — control transfers only sit at block ends, which this loop
-    can never reach.
+    Entered only when ``0 <= frame.fuel < block cost``, so — with no
+    refuel hook installed — it always ends in ``OutOfFuel`` before the
+    block's last instruction runs, reproducing the reference tier's
+    charge-then-execute accounting: the failing instruction is counted,
+    its effects never happen, and every effectful instruction before it
+    ran in flat order. When the instance carries a ``_refuel_hook`` (the
+    guest-thread scheduler) the exhaustion point instead becomes a
+    preemption point: ``Instance._refuel`` grants a fresh quantum and the
+    loop carries on, possibly reaching the end of the block — the final
+    sub-closure's return value is then the next threaded pc, exactly as
+    the fast path would have returned. Non-final sub return values remain
+    meaningless and are ignored; control transfers only sit at block ends.
     """
 
-    def slow(stack, locals_, frame, subs=subs):
+    def slow(stack, locals_, frame, subs=subs, last=len(subs) - 1):
         inst = frame.inst
         i = 0
         while True:
             frame.executed += 1
-            frame.fuel -= 1
-            if frame.fuel < 0:
-                inst._fuel = 0
-                inst.instructions_executed += frame.executed
-                raise OutOfFuel("instance ran out of fuel")
-            subs[i](stack, locals_, frame)
+            fuel = frame.fuel
+            if fuel is not None:
+                fuel -= 1
+                if fuel < 0:
+                    # Raises OutOfFuel unless a refuel hook grants more.
+                    frame.fuel = inst._refuel(frame.executed)
+                    frame.executed = 0
+                else:
+                    frame.fuel = fuel
+            r = subs[i](stack, locals_, frame)
+            if i == last:
+                return r
             i += 1
 
     return slow
@@ -741,9 +850,10 @@ class _BlockCompiler:
                 self.push(t, frozenset())
         elif op in CONST_OPS:
             k = ins[1]
-            if isinstance(k, float):
-                # Bind float objects instead of repr-ing them: exact for
-                # every value including nan, -0.0 and inf.
+            if isinstance(k, (float, bytes)):
+                # Bind float/v128 objects instead of repr-ing them: exact
+                # for every value including nan, -0.0 and inf, and keeps
+                # 16-byte vector literals out of the generated source.
                 self.push(self.bind(k))
             else:
                 self.push(repr(k))
@@ -779,6 +889,63 @@ class _BlockCompiler:
             self.emit(
                 f"{self.bind(TYPED_STORES[op])}(mem, {self.addr(a, ins[1])}, {v})"
             )
+        elif op in SIMD_EXTRACT_OPS:
+            a, au = self.pop()
+            self.push(
+                f"{self.bind(SIMD_EXTRACT_OPS[op])}({a}, {ins[1]})", au
+            )
+        elif op in SIMD_REPLACE_OPS:
+            x, xu = self.pop()
+            a, au = self.pop()
+            self.push(
+                f"{self.bind(SIMD_REPLACE_OPS[op])}({a}, {x}, {ins[1]})",
+                au | xu,
+            )
+        elif op in ATOMIC_RMW_OPS:
+            _ty, size, kind = ATOMIC_RMW_OPS[op]
+            self.uses_mem = True
+            v, _ = self.pop()
+            a, _ = self.pop()
+            self.push(self.materialize(
+                f"mem.atomic_rmw({self.addr(a, ins[1])}, {v}, {size}, {kind!r})"
+            ))
+        elif op in ATOMIC_CMPXCHG_OPS:
+            _ty, size = ATOMIC_CMPXCHG_OPS[op]
+            self.uses_mem = True
+            r, _ = self.pop()
+            e, _ = self.pop()
+            a, _ = self.pop()
+            self.push(self.materialize(
+                f"mem.atomic_cmpxchg({self.addr(a, ins[1])}, {e}, {r}, {size})"
+            ))
+        elif op == "memory.atomic.notify":
+            self.uses_mem = True
+            c, _ = self.pop()
+            a, _ = self.pop()
+            self.push(self.materialize(
+                f"{self.bind(atomic_notify)}"
+                f"(frame.inst, mem, {self.addr(a, ins[1])}, {c})"
+            ))
+        elif op == "memory.atomic.wait32":
+            # Block ender with the call-style fuel handshake: the runtime
+            # may park this guest thread inside the helper.
+            self.uses_mem = True
+            e, _ = self.pop()
+            a, _ = self.pop()
+            addr = self.materialize(self.addr(a, ins[1]))
+            exp = e if e.startswith("_t") or e.isdigit() else self.materialize(e)
+            self.flush()
+            self.emit("inst = frame.inst")
+            self.emit("inst._fuel = frame.fuel")
+            self.emit("inst.instructions_executed += frame.executed")
+            self.emit("frame.executed = 0")
+            self.emit(
+                f"stack.append({self.bind(atomic_wait32)}"
+                f"(inst, mem, {addr}, {exp}))"
+            )
+            self.emit("frame.fuel = inst._fuel")
+            self.emit(f"return {self.next_block}")
+            return True
         elif op == "drop":
             if self.sym:
                 self.sym.pop()
@@ -933,7 +1100,10 @@ def _compile_block(block_id, code, start, end, ctx, intern):
         bc.flush()
         bc.emit(f"return {next_block}")
 
-    subs = [_build_sub(code[pc], 0, ctx) for pc in range(start, end)]
+    # Subs are bound with the block's true successor so that, after a
+    # refuel-hook preemption, the slow path can run the block to completion
+    # and return the correct next threaded pc.
+    subs = [_build_sub(code[pc], next_block, ctx) for pc in range(start, end)]
     slow_name = bind(_make_slow(subs))
 
     header = [

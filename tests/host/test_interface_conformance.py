@@ -62,6 +62,9 @@ TABLE2_SURFACE = [
     ("write", 3, 1),
     ("seek", 3, 1),
     ("fstat_size", 2, 1),
+    # Guest threads (intra-Faaslet fork-join parallelism)
+    ("thread_spawn", 2, 1),
+    ("thread_join", 1, 1),
     # Misc
     ("gettime", 0, 1),
     ("getrandom", 2, 1),

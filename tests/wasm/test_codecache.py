@@ -30,6 +30,18 @@ def test_structural_key_is_identity_independent():
     assert module_key(m3) != module_key(m1)
 
 
+def test_key_includes_isa_version(monkeypatch):
+    """Cached object code is invalidated when the ISA/tier revision bumps:
+    the same module text hashes differently under a different version tag,
+    so entries compiled before the vector ISA landed can never be reused."""
+    from repro.wasm import codecache
+
+    baseline = module_key(parse_module(_WAT))
+    assert module_key(parse_module(_WAT)) == baseline  # stable
+    monkeypatch.setattr(codecache, "ISA_VERSION", "repro-isa-0-test")
+    assert module_key(parse_module(_WAT)) != baseline
+
+
 def test_get_or_compile_shares_and_counts():
     cache = ModuleCodeCache()
     m1 = parse_module(_WAT)
