@@ -8,7 +8,10 @@ Polybench kernel under three configurations:
 
 * ``off`` — the default disabled tracer (what production runs pay);
 * ``sampled-1.0`` — tracing on, every trace recorded;
-* ``sampled-0.1`` — tracing on, head-sampled at 10 %.
+* ``sampled-0.1`` — tracing on, head-sampled at 10 %;
+* ``mined+profiled`` — full tracing plus the online trace miner, the
+  continuous guest profiler, and SLO monitors (the whole observability
+  plane from the profiles/SLO PR).
 
 It writes ``benchmarks/results/telemetry_overhead.json`` including the
 ``smoke_floor`` (calls/s with tracing off, halved — a generous margin so
@@ -50,9 +53,11 @@ def _measure(telemetry: Telemetry | None) -> tuple[float, int]:
             assert cluster.invoke("poly")[0] == 0
         elapsed = time.perf_counter() - start
         spans = len(cluster.trace_spans())
+        miner = cluster.profiles
+        mined = len(miner.functions()) if miner is not None else 0
     finally:
         cluster.shutdown()
-    return CALLS / elapsed, spans
+    return CALLS / elapsed, spans, mined
 
 
 def test_telemetry_overhead():
@@ -60,11 +65,18 @@ def test_telemetry_overhead():
         ("off", None),
         ("sampled-1.0", Telemetry(enabled=True, sample_rate=1.0)),
         ("sampled-0.1", Telemetry(enabled=True, sample_rate=0.1)),
+        (
+            "mined+profiled",
+            Telemetry(
+                enabled=True, sample_rate=1.0, mine_profiles=True,
+                guest_profiler=True, slos=True,
+            ),
+        ),
     ]
     rows = []
     baseline = None
     for name, telemetry in configs:
-        calls_per_s, spans = _measure(telemetry)
+        calls_per_s, spans, mined = _measure(telemetry)
         if baseline is None:
             baseline = calls_per_s
         rows.append(
@@ -73,6 +85,7 @@ def test_telemetry_overhead():
                 "calls_per_s": round(calls_per_s, 1),
                 "ms_per_call": round(1e3 / calls_per_s, 3),
                 "spans_recorded": spans,
+                "functions_mined": mined,
                 "overhead_pct": round((baseline / calls_per_s - 1) * 100, 2),
             }
         )
@@ -82,6 +95,11 @@ def test_telemetry_overhead():
     # cheap relative to an invocation (well under 2x the off path).
     assert rows[1]["spans_recorded"] > 0
     assert rows[1]["calls_per_s"] > rows[0]["calls_per_s"] / 2
+    # The full observability plane (miner + profiler + SLOs) rides on the
+    # same finished-span stream: it must actually mine and stay within the
+    # same envelope as plain tracing.
+    assert rows[3]["functions_mined"] > 0
+    assert rows[3]["calls_per_s"] > rows[0]["calls_per_s"] / 2
 
 
 if __name__ == "__main__":  # pragma: no cover

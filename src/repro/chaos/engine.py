@@ -135,6 +135,16 @@ class ChaosEngine:
                 )
 
     # ------------------------------------------------------------------
+    def faults_for(self, call_id: int) -> list[str]:
+        """The fault kinds injected against ``call_id`` so far, in
+        injection order — the retry plane stamps these on ``call.retry``
+        spans so a trace explains *why* the retry happened."""
+        return [
+            event.kind
+            for event in self.log.events()
+            if event.call_id == call_id and event.kind != "outage-armed"
+        ]
+
     def crashes_fired(self) -> int:
         with self._mutex:
             return len(self._fired)

@@ -51,6 +51,28 @@ Commands::
         call's fate. Exit code 0 iff no call was left without a terminal
         state. ``--log`` writes the canonical fault log (replays
         byte-identically for the same seed).
+
+    profiles [function] [--hosts N] [--calls N] [--json] [--flame-dir DIR]
+        Drive the built-in mixed workload (a chained pipeline over
+        byte-ranges of a shared state key plus a snapshotted wasm kernel)
+        through a cluster with trace mining on, persist the mined
+        per-function access profiles content-addressed in the object
+        store, and print them back *from the store*: state keys with hot
+        read/write byte-ranges, snapshot pages restored, fuel and latency
+        distributions, phase breakdown, chain fan-out. ``--flame-dir``
+        also writes collapsed-stack and speedscope flamegraph artifacts
+        from the continuous guest profiler.
+
+    top [--hosts N] [--interval S] [--frames N] [--plain]
+        Live cluster dashboard: churns the demo workload in the
+        background and refreshes a per-function table (calls, streaming
+        p50/p95/p99, SLO burn rate, placement spread) every interval.
+        ``--plain`` appends frames instead of redrawing (for logs/CI).
+
+    report [--hosts N] [--calls N] [--html] [--out FILE]
+        Drive the demo workload and emit a cluster report (markdown, or
+        HTML with ``--html``): aggregate counters, SLO compliance table,
+        and every persisted access profile.
 """
 
 from __future__ import annotations
@@ -241,8 +263,19 @@ def cmd_metrics(args) -> int:
     definition = _make_definition(args)
     telemetry = Telemetry(enabled=True)
     with telemetry.tracer.trace("cli.run", host="local", file=args.file):
-        faaslet = Faaslet(definition, StandaloneEnvironment(), tier=args.tier)
+        faaslet = Faaslet(
+            definition, StandaloneEnvironment(),
+            tier=None if args.profile else args.tier,
+            profile=bool(args.profile),
+        )
         code = _invoke(faaslet, args)
+    if args.profile:
+        # Fold the opcode-family rollups into the registry so the dump
+        # shows the ISA-level series (simd.ops / atomic.ops) alongside
+        # the guest-thread counters.
+        families = dict(faaslet.instance.dispatch_family_report())
+        telemetry.metrics.counter("simd.ops").inc(families.get("simd", 0))
+        telemetry.metrics.counter("atomic.ops").inc(families.get("atomic", 0))
     snapshot = telemetry.metrics.snapshot()
     # The code cache keeps its counters in its own (process-global)
     # registry; fold them in so one dump covers the run.
@@ -437,6 +470,453 @@ def cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+# ---------------------------------------------------------------------------
+# Observability plane: profiles / top / report
+# ---------------------------------------------------------------------------
+
+#: The demo workload the observability commands drive when the user does
+#: not bring their own cluster: a chained pipeline whose stages touch
+#: distinct byte-ranges of one shared state key (so mined profiles show
+#: real hot ranges and fan-out), plus a snapshotted wasm kernel with
+#: nested calls (so snapshot-page counters, fuel distributions, and the
+#: continuous profiler's stacks all have data).
+_GRID_KEY = "grid"
+_GRID_SIZE = 64 * 1024
+_GRID_CHUNK = 4 * 1024
+
+_PROFILES_KERNEL_SRC = """
+global int ready = 0;
+export void init() {
+    int[] warm = new int[65536];
+    for (int i = 0; i < 65536; i = i + 2048) { warm[i] = i + 1; }
+    ready = 1;
+}
+int mix(int x) { return (x * 31 + 7) % 1001; }
+int work(int i) { return mix(i) + mix(i + 1); }
+export int main() {
+    int acc = 0;
+    for (int i = 0; i < 200; i = i + 1) { acc = acc + work(i); }
+    return acc - acc;
+}
+"""
+
+
+def _pipeline_fn(ctx):
+    import pickle
+
+    stages = pickle.loads(ctx.input()) if ctx.input() else 4
+    ctx.state.get_state(_GRID_KEY, _GRID_SIZE)
+    ctx.state.push_state(_GRID_KEY)
+    cids = [ctx.chain_object("stage", {"slot": i}) for i in range(stages)]
+    ctx.await_all(cids)
+    total = sum(ctx.call_output_object(cid) for cid in cids)
+    ctx.write_output_object(total)
+
+
+def _stage_fn(ctx):
+    slot = ctx.input_object()["slot"]
+    offset = (slot * _GRID_CHUNK) % _GRID_SIZE
+    view = ctx.state.get_state_offset(_GRID_KEY, offset, _GRID_CHUNK)
+    view[0] = (view[0] + 1) % 256
+    ctx.state.push_state_offset(_GRID_KEY, offset, _GRID_CHUNK)
+    ctx.write_output_object(int(view[0]))
+
+
+def _observability_cluster(hosts: int):
+    """A cluster with the full observability plane on and the demo
+    workload registered."""
+    from repro.runtime import FaasmCluster
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry(
+        enabled=True, mine_profiles=True, guest_profiler=True,
+        slos=True, profiler_interval=16,
+    )
+    cluster = FaasmCluster(n_hosts=hosts, telemetry=telemetry)
+    cluster.register_python("pipeline", _pipeline_fn)
+    cluster.register_python("stage", _stage_fn)
+    cluster.upload("kernel", _PROFILES_KERNEL_SRC, init="init")
+    if hosts > 1:
+        # Advertise stage as warm on the last host so chained stages are
+        # shared across the bus: the mined profiles then show genuinely
+        # remote state pulls (byte-range gaps, round-trips), not just
+        # same-host replica hits.
+        cluster.warm_sets.add("stage", f"host-{hosts - 1}")
+    return cluster
+
+
+def _drive_demo(cluster, rounds: int, stages: int = 4) -> None:
+    import pickle
+
+    for _ in range(rounds):
+        cluster.invoke("pipeline", pickle.dumps(stages))
+        cluster.invoke("kernel")
+
+
+def _render_profile(fn: str, profile, digest: str | None = None) -> str:
+    lines = [f"== {fn} ==" + (f"  [{digest}]" if digest else "")]
+    lines.append(
+        f"calls {profile.calls}  cold {profile.cold_starts}"
+        f"  errors {profile.errors}  retries {profile.retries}"
+        + (
+            "  faults " + ", ".join(
+                f"{cause} x{n}"
+                for cause, n in sorted(profile.fault_causes.items())
+            )
+            if profile.fault_causes else ""
+        )
+    )
+    if profile.latency.count:
+        lat = profile.latency
+        lines.append(
+            f"latency ms  p50 {lat.percentile(50) * 1e3:.2f}"
+            f"  p95 {lat.percentile(95) * 1e3:.2f}"
+            f"  p99 {lat.percentile(99) * 1e3:.2f}"
+        )
+    if profile.fuel.count:
+        lines.append(
+            f"fuel        p50 {profile.fuel.percentile(50):,.0f}"
+            f"  p99 {profile.fuel.percentile(99):,.0f} instructions"
+        )
+    if profile.phases:
+        lines.append("phases:")
+        for name, (count, total) in sorted(
+            profile.phases.items(), key=lambda kv: -kv[1][1]
+        ):
+            lines.append(f"  {name:<16}{count:>6}x{total * 1e3:>10.2f} ms")
+    if profile.state:
+        lines.append("state keys:")
+        for key, kp in sorted(profile.state.items()):
+            lines.append(
+                f"  {key}: {kp.pulls} pulls / {kp.pushes} pushes, "
+                f"{kp.bytes_pulled:,} B in / {kp.bytes_pushed:,} B out, "
+                f"{kp.round_trips} round-trips"
+            )
+            for mode, counter in (("read", kp.reads), ("write", kp.writes)):
+                hot = counter.hot(4)
+                if hot:
+                    ranges = "  ".join(f"[{s},{e})x{n}" for s, e, n in hot)
+                    lines.append(f"    hot {mode} ranges: {ranges}")
+    snap = profile.snapshot
+    if any(snap.values()):
+        lines.append(
+            f"snapshot: {snap['restores']} restores"
+            f" ({snap['cached']} cache hits), {snap['payload_pages']} payload"
+            f" / {snap['missing_pages']} missing pages,"
+            f" {snap['bytes_shipped']:,} bytes shipped"
+        )
+    if profile.chains:
+        lines.append("chains: " + "  ".join(
+            f"{callee} x{n}" for callee, n in sorted(profile.chains.items())
+        ))
+    if profile.hosts:
+        lines.append("hosts:  " + "  ".join(
+            f"{host}:{n}" for host, n in sorted(profile.hosts.items())
+        ))
+    return "\n".join(lines)
+
+
+def cmd_profiles(args) -> int:
+    """``repro profiles``: mine, persist, and print access profiles."""
+    import json
+    import os
+    from urllib.parse import quote
+
+    cluster = _observability_cluster(args.hosts)
+    try:
+        _drive_demo(cluster, args.calls)
+        digests = cluster.persist_profiles()
+        functions = [args.function] if args.function else sorted(digests)
+        # Print what the object store holds, not what the miner holds:
+        # the round-trip through the content-addressed artifact is the
+        # path the prefetcher (and any other consumer) will take.
+        loaded = {}
+        for fn in functions:
+            profile = cluster.load_profile(fn)
+            if profile is None:
+                print(
+                    f"no profile for {fn!r}; mined: {sorted(digests)}",
+                    file=sys.stderr,
+                )
+                return 1
+            loaded[fn] = profile
+        if args.json:
+            print(json.dumps(
+                {fn: p.to_dict() for fn, p in loaded.items()}, indent=2
+            ))
+        else:
+            miner = cluster.profiles
+            print(
+                f"{len(digests)} profile(s) persisted content-addressed"
+                f" ({miner.spans_mined} spans folded,"
+                f" {miner.buffered_spans()} still buffered)"
+            )
+            for fn, profile in loaded.items():
+                print()
+                print(_render_profile(fn, profile, digests.get(fn)))
+        if args.flame_dir:
+            profiler = cluster.telemetry.profiler
+            os.makedirs(args.flame_dir, exist_ok=True)
+            for fn in profiler.functions():
+                base = os.path.join(args.flame_dir, quote(fn, safe=""))
+                with open(base + ".collapsed", "w") as f:
+                    f.write(profiler.collapsed(fn))
+                with open(base + ".speedscope.json", "w") as f:
+                    json.dump(profiler.speedscope(fn), f)
+            print(
+                f"wrote flamegraph artifacts for "
+                f"{len(profiler.functions())} function(s) to {args.flame_dir}",
+                file=sys.stderr,
+            )
+        return 0
+    finally:
+        cluster.shutdown()
+
+
+def _render_top_frame(cluster, frame: int, frames: int, started: float) -> str:
+    telemetry = cluster.telemetry
+    agg = cluster.metrics_snapshot()["aggregates"]
+    uptime = time.perf_counter() - started
+    lines = [
+        f"repro top — {len(cluster.instances)} hosts, up {uptime:5.1f}s"
+        f"   frame {frame}/{frames}",
+        f"calls {agg['instance.calls_executed']:.0f}"
+        f"  cold {agg['instance.cold_starts']:.0f}"
+        f"  warm {agg['instance.warm_hits']:.0f}"
+        f"  retries {agg['call.retries']:.0f}"
+        f"  failed {agg['call.failed']:.0f}"
+        f"  state {(agg['state.bytes_sent'] + agg['state.bytes_received']) / 2**20:.2f} MiB"
+        f"  simd {agg['simd.ops']:.0f}"
+        f"  threads {agg['thread.spawned']:.0f}",
+        "",
+        f"{'function':<12}{'calls':>7}{'p50ms':>9}{'p95ms':>9}{'p99ms':>9}"
+        f"{'burn':>7}{'slo':>6}  hosts",
+    ]
+    report = telemetry.slos.report() if telemetry.slos is not None else {}
+    miner = telemetry.profiles
+    for fn in sorted(report):
+        slo = report[fn]
+        hist = telemetry.metrics.streaming_histogram(
+            "function.latency", function=fn
+        )
+        profile = miner.profile(fn) if miner is not None else None
+        hosts = (
+            " ".join(f"{h}:{n}" for h, n in sorted(profile.hosts.items()))
+            if profile is not None else ""
+        )
+        lines.append(
+            f"{fn:<12}{slo['good'] + slo['bad']:>7}"
+            f"{hist.percentile(50) * 1e3:>9.2f}"
+            f"{hist.percentile(95) * 1e3:>9.2f}"
+            f"{hist.percentile(99) * 1e3:>9.2f}"
+            f"{slo['burn_rate']:>7.2f}"
+            f"{'FIRE' if slo['alerting'] else 'ok':>6}  {hosts}"
+        )
+    return "\n".join(lines)
+
+
+def cmd_top(args) -> int:
+    """``repro top``: live per-function dashboard over a churning cluster."""
+    import threading
+
+    cluster = _observability_cluster(args.hosts)
+    stop = threading.Event()
+
+    def churn():
+        while not stop.is_set():
+            _drive_demo(cluster, 1)
+
+    worker = threading.Thread(target=churn, daemon=True, name="top-churn")
+    try:
+        worker.start()
+        started = time.perf_counter()
+        for frame in range(1, args.frames + 1):
+            time.sleep(args.interval)
+            body = _render_top_frame(cluster, frame, args.frames, started)
+            if not args.plain:
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print(body, flush=True)
+        return 0
+    finally:
+        stop.set()
+        worker.join(timeout=10.0)
+        cluster.shutdown()
+
+
+def _report_markdown(cluster, digests: dict, rounds: int) -> str:
+    telemetry = cluster.telemetry
+    agg = cluster.metrics_snapshot()["aggregates"]
+    lines = [
+        "# repro cluster report",
+        "",
+        f"{len(cluster.instances)} host(s), {rounds} demo round(s) driven; "
+        f"{len(digests)} access profile(s) persisted content-addressed.",
+        "",
+        "## Cluster aggregates",
+        "",
+        "| series | total |",
+        "| --- | ---: |",
+    ]
+    for name, value in agg.items():
+        lines.append(f"| `{name}` | {value:g} |")
+    lines += [
+        "",
+        "## Service levels",
+        "",
+        "| function | objective | compliance | burn rate | alerting |",
+        "| --- | ---: | ---: | ---: | :---: |",
+    ]
+    report = telemetry.slos.report() if telemetry.slos is not None else {}
+    for fn, slo in sorted(report.items()):
+        lines.append(
+            f"| `{fn}` | {slo['objective']:.2%} | {slo['compliance']:.2%} "
+            f"| {slo['burn_rate']:.2f} | {'yes' if slo['alerting'] else 'no'} |"
+        )
+    lines += ["", "## Function profiles"]
+    for fn in sorted(digests):
+        profile = cluster.load_profile(fn)
+        if profile is None:
+            continue
+        lines += [
+            "",
+            f"### `{fn}`",
+            "",
+            f"digest `{digests[fn]}` — {profile.calls} calls, "
+            f"{profile.cold_starts} cold starts, {profile.errors} errors, "
+            f"{profile.retries} retries.",
+        ]
+        if profile.latency.count:
+            lat = profile.latency
+            lines += [
+                "",
+                f"Latency p50/p95/p99: {lat.percentile(50) * 1e3:.2f} / "
+                f"{lat.percentile(95) * 1e3:.2f} / "
+                f"{lat.percentile(99) * 1e3:.2f} ms.",
+            ]
+        if profile.phases:
+            lines += ["", "| phase | count | total ms |", "| --- | ---: | ---: |"]
+            for name, (count, total) in sorted(
+                profile.phases.items(), key=lambda kv: -kv[1][1]
+            ):
+                lines.append(f"| `{name}` | {count} | {total * 1e3:.2f} |")
+        if profile.state:
+            lines += [
+                "",
+                "| state key | pulls | pushes | B in | B out | hot ranges |",
+                "| --- | ---: | ---: | ---: | ---: | --- |",
+            ]
+            for key, kp in sorted(profile.state.items()):
+                hot = [
+                    f"r[{s},{e})x{n}" for s, e, n in kp.reads.hot(2)
+                ] + [
+                    f"w[{s},{e})x{n}" for s, e, n in kp.writes.hot(2)
+                ]
+                lines.append(
+                    f"| `{key}` | {kp.pulls} | {kp.pushes} | "
+                    f"{kp.bytes_pulled} | {kp.bytes_pushed} | "
+                    f"{' '.join(hot)} |"
+                )
+        snap = profile.snapshot
+        if any(snap.values()):
+            lines += [
+                "",
+                f"Snapshots: {snap['restores']} restores "
+                f"({snap['cached']} cache hits), {snap['payload_pages']} "
+                f"payload pages, {snap['bytes_shipped']} bytes shipped.",
+            ]
+        if profile.chains:
+            chains = ", ".join(
+                f"`{callee}` x{n}"
+                for callee, n in sorted(profile.chains.items())
+            )
+            lines += ["", f"Chains into: {chains}."]
+    exposition = cluster.scrape_metrics()
+    samples = sum(
+        1 for line in exposition.splitlines() if not line.startswith("#")
+    )
+    lines += [
+        "",
+        "## Metrics exposition",
+        "",
+        f"The OpenMetrics endpoint served {samples} samples across "
+        f"{exposition.count('# TYPE')} series in this scrape.",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def _markdown_to_html(markdown: str) -> str:
+    """A dependency-free subset renderer for the report: headings, tables,
+    paragraphs, inline code."""
+    import html as html_mod
+    import re
+
+    def inline(text: str) -> str:
+        escaped = html_mod.escape(text)
+        return re.sub(r"`([^`]+)`", r"<code>\1</code>", escaped)
+
+    out = ["<!DOCTYPE html>", "<html><head><meta charset='utf-8'>",
+           "<title>repro cluster report</title>",
+           "<style>body{font-family:sans-serif;margin:2em}"
+           "table{border-collapse:collapse}"
+           "td,th{border:1px solid #999;padding:0.25em 0.6em}"
+           "code{background:#eee;padding:0 0.2em}</style>",
+           "</head><body>"]
+    lines = markdown.splitlines()
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        if line.startswith("#"):
+            level = len(line) - len(line.lstrip("#"))
+            out.append(
+                f"<h{level}>{inline(line.lstrip('#').strip())}</h{level}>"
+            )
+            i += 1
+        elif line.startswith("|"):
+            rows = []
+            while i < len(lines) and lines[i].startswith("|"):
+                cells = [c.strip() for c in lines[i].strip("|").split("|")]
+                if not all(re.fullmatch(r":?-+:?", c) for c in cells):
+                    rows.append(cells)
+                i += 1
+            out.append("<table>")
+            for r, cells in enumerate(rows):
+                tag = "th" if r == 0 else "td"
+                out.append(
+                    "<tr>" + "".join(
+                        f"<{tag}>{inline(c)}</{tag}>" for c in cells
+                    ) + "</tr>"
+                )
+            out.append("</table>")
+        elif line.strip():
+            out.append(f"<p>{inline(line.strip())}</p>")
+            i += 1
+        else:
+            i += 1
+    out.append("</body></html>")
+    return "\n".join(out) + "\n"
+
+
+def cmd_report(args) -> int:
+    """``repro report``: one-shot cluster report (markdown or HTML)."""
+    cluster = _observability_cluster(args.hosts)
+    try:
+        _drive_demo(cluster, args.calls)
+        digests = cluster.persist_profiles()
+        payload = _report_markdown(cluster, digests, args.calls)
+        if args.html:
+            payload = _markdown_to_html(payload)
+        if args.out:
+            with open(args.out, "w") as f:
+                f.write(payload)
+            print(f"wrote report to {args.out}", file=sys.stderr)
+        else:
+            sys.stdout.write(payload)
+        return 0
+    finally:
+        cluster.shutdown()
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -503,6 +983,10 @@ def main(argv: list[str] | None = None) -> int:
                        help="execution tier (default: threaded)")
     p_met.add_argument("--json", action="store_true",
                        help="dump as JSON instead of a table")
+    p_met.add_argument("--profile", action="store_true",
+                       help="run on the counting interpreter and fold the "
+                            "opcode-family rollups (simd.ops / atomic.ops) "
+                            "into the dump")
     p_met.set_defaults(fn=cmd_metrics)
 
     p_dis = sub.add_parser("disasm", help="print text-format disassembly")
@@ -552,6 +1036,48 @@ def main(argv: list[str] | None = None) -> int:
                       help="print the report as JSON")
     p_ch.add_argument("--log", help="write the canonical fault log to FILE")
     p_ch.set_defaults(fn=cmd_chaos)
+
+    p_pr = sub.add_parser(
+        "profiles",
+        help="mine, persist, and print per-function access profiles",
+    )
+    p_pr.add_argument("function", nargs="?",
+                      help="show only this function (default: all mined)")
+    p_pr.add_argument("--hosts", type=int, default=2,
+                      help="cluster size (default 2)")
+    p_pr.add_argument("--calls", type=int, default=6,
+                      help="demo workload rounds to drive (default 6)")
+    p_pr.add_argument("--json", action="store_true",
+                      help="dump the persisted profiles as JSON")
+    p_pr.add_argument("--flame-dir",
+                      help="write collapsed-stack + speedscope flamegraph "
+                           "artifacts per function into DIR")
+    p_pr.set_defaults(fn=cmd_profiles)
+
+    p_top = sub.add_parser(
+        "top", help="live per-function cluster dashboard"
+    )
+    p_top.add_argument("--hosts", type=int, default=2,
+                       help="cluster size (default 2)")
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       help="seconds between frames (default 1.0)")
+    p_top.add_argument("--frames", type=int, default=10,
+                       help="frames to render before exiting (default 10)")
+    p_top.add_argument("--plain", action="store_true",
+                       help="append frames instead of redrawing the screen")
+    p_top.set_defaults(fn=cmd_top)
+
+    p_rep = sub.add_parser(
+        "report", help="emit a cluster report (markdown or HTML)"
+    )
+    p_rep.add_argument("--hosts", type=int, default=2,
+                       help="cluster size (default 2)")
+    p_rep.add_argument("--calls", type=int, default=6,
+                       help="demo workload rounds to drive (default 6)")
+    p_rep.add_argument("--html", action="store_true",
+                       help="render the report as standalone HTML")
+    p_rep.add_argument("--out", help="write the report to FILE")
+    p_rep.set_defaults(fn=cmd_report)
 
     args = parser.parse_args(argv)
     return args.fn(args)

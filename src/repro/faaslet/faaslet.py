@@ -216,8 +216,13 @@ class Faaslet:
         if self._thread_runtime is None:
             from .threads import GuestThreadRuntime
 
+            # Environments wired into a cluster expose its metrics
+            # registry; the runtime's thread counters then aggregate
+            # cluster-wide instead of landing in the standalone registry.
             self._thread_runtime = GuestThreadRuntime(
-                self.instance, name=self.name
+                self.instance,
+                name=self.name,
+                metrics=getattr(self.env, "metrics", None),
             )
         return self._thread_runtime
 

@@ -21,6 +21,7 @@ import struct
 
 from repro.faaslet.netns import NetworkPolicyError
 from repro.state.kv import StateKeyError
+from repro.telemetry import span
 from repro.wasm import FuncType, HostFunc
 from repro.wasm.types import I32, I64
 from repro.wasm.values import to_signed32
@@ -124,14 +125,27 @@ def build_host_imports(faaslet) -> dict[tuple[str, str], HostFunc]:
     def _key(ptr, length) -> str:
         return _read_str(faaslet, ptr, length)
 
+    def _access(key: str, mode: str, start: int, end: int) -> None:
+        """Record a byte-range touch for the trace miner's access
+        profiles. Tracing off: one ContextVar read (span() is a no-op);
+        mapped-region accesses after the first map never come through
+        here, so this rides the per-call host-interface rate."""
+        sp = span("state.access", key=key, mode=mode)
+        if sp.recording:
+            with sp:
+                sp.set_attr("ranges", [(start, end)])
+
     @export("get_state", (I32, I32, I32), (I32,))
     def get_state(kptr, klen, size):
         """Map the state value's shared region into this Faaslet's memory
         and return the guest address of the value (§3.3 + §4.2)."""
+        key = _key(kptr, klen)
         try:
-            return faaslet.map_state_region(_key(kptr, klen), size or None)
+            base = faaslet.map_state_region(key, size or None)
         except StateKeyError:
             return -1
+        _access(key, "read", 0, size or env.state.tier.replica(key).value_size)
+        return base
 
     @export("get_state_offset", (I32, I32, I32, I32), (I32,))
     def get_state_offset(kptr, klen, offset, length):
@@ -141,21 +155,26 @@ def build_host_imports(faaslet) -> dict[tuple[str, str], HostFunc]:
             base = faaslet.map_state_region(key, None, pull=False)
         except StateKeyError:
             return -1
+        _access(key, "read", offset, offset + length)
         return base + offset
 
     @export("set_state", (I32, I32, I32, I32), ())
     def set_state(kptr, klen, vptr, vlen):
+        key = _key(kptr, klen)
         # Zero-copy: guest pages stream straight into the replica's shared
         # region (no intermediate bytes object for the whole value).
         env.state.set_state_from_memory(
-            _key(kptr, klen), faaslet.instance.memory, vptr, vlen, size=vlen
+            key, faaslet.instance.memory, vptr, vlen, size=vlen
         )
+        _access(key, "write", 0, vlen)
 
     @export("set_state_offset", (I32, I32, I32, I32, I32), ())
     def set_state_offset(kptr, klen, vptr, vlen, offset):
+        key = _key(kptr, klen)
         env.state.set_state_from_memory(
-            _key(kptr, klen), faaslet.instance.memory, vptr, vlen, offset=offset
+            key, faaslet.instance.memory, vptr, vlen, offset=offset
         )
+        _access(key, "write", offset, offset + vlen)
 
     @export("push_state", (I32, I32), ())
     def push_state(kptr, klen):

@@ -29,7 +29,7 @@ import time
 
 from repro.host.filesystem import GlobalObjectStore
 from repro.state.kv import GlobalStateStore
-from repro.telemetry import Telemetry, export as telemetry_export
+from repro.telemetry import ProfileStore, Telemetry, export as telemetry_export
 
 from .bus import ExecuteCall, MessageBus, Shutdown
 from .calls import CallRecord, InvocationRegistry
@@ -90,6 +90,11 @@ class FaasmCluster:
             self.global_state = GlobalStateStore()
             self.bus = MessageBus(metrics=self.telemetry.metrics)
         self.object_store = GlobalObjectStore()
+        #: Content-addressed persistence for mined access profiles
+        #: (``profiles/<fn>/<digest>.json`` in the object store).
+        self.profile_store = ProfileStore(self.object_store)
+        self._metrics_endpoint = None
+        self._metrics_endpoint_lock = threading.Lock()
         self.registry = FunctionRegistry(
             self.object_store, metrics=self.telemetry.metrics
         )
@@ -245,6 +250,12 @@ class FaasmCluster:
             sp.set_attr("attempt", len(record.attempts))
             if reason:
                 sp.set_attr("reason", reason)
+            if self.chaos is not None:
+                # Attribute the retry to the injected fault(s) that cost
+                # the previous attempt, so traces explain *why*.
+                faults = self.chaos.faults_for(record.call_id)
+                if faults:
+                    sp.set_attr("fault", ",".join(faults))
             self._place_and_send(record, instance, sp)
         self.telemetry.metrics.counter("call.retries").inc()
 
@@ -321,6 +332,24 @@ class FaasmCluster:
             "hosts": {i.host: i.snapshots.stats() for i in self.instances},
         }
 
+    #: Headline series summed across label sets in :meth:`metrics_snapshot`
+    #: — includes the ISA-level counters (SIMD / atomics / guest threads)
+    #: so the vector-and-threads workload is visible in one place.
+    AGGREGATE_SERIES = (
+        "instance.calls_executed",
+        "instance.cold_starts",
+        "instance.warm_hits",
+        "state.bytes_sent",
+        "state.bytes_received",
+        "state.round_trips",
+        "simd.ops",
+        "atomic.ops",
+        "thread.spawned",
+        "atomic.waits",
+        "call.retries",
+        "call.failed",
+    )
+
     def metrics_snapshot(self) -> dict:
         """Cluster-aggregated metrics dump: every per-host series (bus,
         state transfers, instance lifecycle, span latencies) plus
@@ -328,16 +357,50 @@ class FaasmCluster:
         snapshot = self.telemetry.metrics.snapshot()
         snapshot["aggregates"] = {
             name: self.telemetry.metrics.aggregate(name)
-            for name in (
-                "instance.calls_executed",
-                "instance.cold_starts",
-                "instance.warm_hits",
-                "state.bytes_sent",
-                "state.bytes_received",
-                "state.round_trips",
-            )
+            for name in self.AGGREGATE_SERIES
         }
         return snapshot
+
+    # ------------------------------------------------------------------
+    # Access profiles (trace miner) and the OpenMetrics endpoint
+    # ------------------------------------------------------------------
+    @property
+    def profiles(self):
+        """The trace miner (``Telemetry(mine_profiles=True)``), or None."""
+        return self.telemetry.profiles
+
+    def persist_profiles(self) -> dict[str, str]:
+        """Write every mined access profile to the object store; returns
+        ``{function: content digest}``."""
+        miner = self.telemetry.profiles
+        if miner is None:
+            return {}
+        return {
+            function: self.profile_store.save(profile)
+            for function, profile in sorted(miner.profiles().items())
+        }
+
+    def load_profile(self, function: str, digest: str | None = None):
+        """A persisted access profile from the object store (the
+        round-trip path ``repro profiles`` and the prefetcher read)."""
+        return self.profile_store.load(function, digest)
+
+    def metrics_endpoint(self):
+        """The OpenMetrics scrape endpoint on the bus (created on first
+        use; shut down with the cluster)."""
+        from repro.telemetry.openmetrics import MetricsEndpoint
+
+        with self._metrics_endpoint_lock:
+            if self._metrics_endpoint is None:
+                self._metrics_endpoint = MetricsEndpoint(
+                    self.bus, self.telemetry.metrics
+                )
+            return self._metrics_endpoint
+
+    def scrape_metrics(self, timeout: float = 5.0) -> str:
+        """One OpenMetrics exposition, fetched over the message bus the
+        way a Prometheus scrape would arrive."""
+        return self.metrics_endpoint().scrape(timeout=timeout)
 
     def trace_spans(self):
         """All spans recorded by this cluster's tracer."""
@@ -386,6 +449,10 @@ class FaasmCluster:
         """Stop every host's dispatcher and the monitor (idempotent)."""
         if self.monitor is not None:
             self.monitor.stop()
+        with self._metrics_endpoint_lock:
+            if self._metrics_endpoint is not None:
+                self._metrics_endpoint.shutdown()
+                self._metrics_endpoint = None
         for instance in self.instances:
             try:
                 self.bus.send(instance.host, Shutdown())

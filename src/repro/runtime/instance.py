@@ -57,6 +57,9 @@ class RuntimeEnvironment(FaasletEnvironment):
         self.state = instance.state_api
         self.filesystem = instance.filesystem
         self.netns = instance.netns_template
+        #: Cluster metrics registry, so per-Faaslet layers (guest-thread
+        #: runtime) count into the cluster-wide series.
+        self.metrics = instance.cluster.telemetry.metrics
 
     def chain_call(self, name: str, input_data: bytes) -> int:
         return self.instance.cluster.dispatch(name, input_data, origin=self.instance.host)
@@ -391,6 +394,13 @@ class FaasmRuntimeInstance:
         finally:
             self._release_faaslet(definition.name, faaslet)
 
+    def _tap_profiler(self, faaslet: Faaslet, function: str) -> None:
+        """Attach the continuous profiler's tap (when one is enabled) so
+        the Faaslet's guest calls feed the per-function flamegraph."""
+        profiler = self.cluster.telemetry.profiler
+        if profiler is not None:
+            profiler.attach(faaslet.instance, function)
+
     def _acquire_faaslet(self, definition: FunctionDefinition) -> tuple[Faaslet, bool]:
         with self._mutex:
             pool = self._warm.get(definition.name)
@@ -398,7 +408,9 @@ class FaasmRuntimeInstance:
                 self.metrics.record_warm_hit()
                 with span("faaslet.acquire", function=definition.name) as sp:
                     sp.set_attr("mode", "warm")
-                return pool.pop(), False
+                faaslet = pool.pop()
+                self._tap_profiler(faaslet, definition.name)
+                return faaslet, False
         # Cold start: restore from the Proto-Faaslet when one exists. The
         # snapshot client pulls (only) the pages this host is missing and
         # materialises a proto aliasing the host PageStore.
@@ -413,6 +425,7 @@ class FaasmRuntimeInstance:
                 faaslet = Faaslet(definition, self.env)
             self.metrics.record_cold_start(time.perf_counter() - start)
         self.cgroup.add_member(faaslet.name)
+        self._tap_profiler(faaslet, definition.name)
         return faaslet, True
 
     def _release_faaslet(self, function: str, faaslet: Faaslet) -> None:
@@ -442,6 +455,7 @@ class FaasmRuntimeInstance:
             else:
                 faaslet = Faaslet(definition, self.env)
             self.cgroup.add_member(faaslet.name)
+            self._tap_profiler(faaslet, function)
             with self._mutex:
                 self._warm.setdefault(function, []).append(faaslet)
             added += 1

@@ -264,6 +264,7 @@ class LocalTier:
                     rep.synced_size = size
                     sp.set_attr("bytes", size)
                     sp.set_attr("round_trips", 2 if size else 1)
+                    sp.set_attr("ranges", [(0, size)])
         return rep
 
     def pull_chunk(self, key: str, offset: int, length: int, force: bool = False) -> Replica:
@@ -286,6 +287,7 @@ class LocalTier:
                         rep.discard_dirty(s, e)
                     sp.set_attr("bytes", sum(e - s for s, e in gaps))
                     sp.set_attr("round_trips", 1)
+                    sp.set_attr("ranges", list(gaps))
         return rep
 
     def push(self, key: str) -> None:
@@ -314,6 +316,7 @@ class LocalTier:
                 rep.synced_size = rep.value_size
                 sp.set_attr("bytes", sum(e - s for s, e in spans))
                 sp.set_attr("round_trips", 1)
+                sp.set_attr("ranges", list(spans))
 
     def push_chunk(self, key: str, offset: int, length: int) -> None:
         """Push one explicit byte range (Tab. 2 ``push_state_offset``)."""
@@ -327,6 +330,7 @@ class LocalTier:
                 rep.discard_dirty(offset, offset + length)
                 sp.set_attr("bytes", length)
                 sp.set_attr("round_trips", 1)
+                sp.set_attr("ranges", [(offset, offset + length)])
 
     # ------------------------------------------------------------------
     # Local reads/writes (no global traffic)

@@ -20,6 +20,7 @@ from __future__ import annotations
 import threading
 
 from .stats import percentile, summarize
+from .streaming import StreamingHistogram
 
 
 def _label_key(labels: dict) -> tuple:
@@ -150,8 +151,6 @@ class Histogram:
     def percentile(self, pct: float) -> float:
         with self._lock:
             samples = list(self._samples)
-        if not samples:
-            return 0.0
         return percentile(samples, pct)
 
     def samples(self) -> list[float]:
@@ -204,6 +203,15 @@ class MetricsRegistry:
     def histogram(self, name: str, max_samples: int = 8192, **labels) -> Histogram:
         return self._get(Histogram, name, labels, max_samples=max_samples)
 
+    def streaming_histogram(
+        self, name: str, growth: float | None = None, **labels
+    ) -> StreamingHistogram:
+        """A log-bucketed streaming histogram: O(1) memory, no recency
+        bias, mergeable across label sets (see
+        :mod:`repro.telemetry.streaming`)."""
+        kwargs = {} if growth is None else {"growth": growth}
+        return self._get(StreamingHistogram, name, labels, **kwargs)
+
     # ------------------------------------------------------------------
     # Read side
     # ------------------------------------------------------------------
@@ -223,8 +231,19 @@ class MetricsRegistry:
         with self._lock:
             metrics = [m for (n, _), m in self._metrics.items() if n == name]
         for m in metrics:
-            total += m.count if isinstance(m, Histogram) else m.value
+            total += m.count if m.kind == "histogram" else m.value
         return total
+
+    def items(self) -> list[tuple[str, dict, object]]:
+        """(name, labels, metric) for every registered series — the raw
+        iteration the OpenMetrics exposition renders from."""
+        with self._lock:
+            return [
+                (name, dict(label_key), metric)
+                for (name, label_key), metric in sorted(
+                    self._metrics.items(), key=lambda kv: kv[0]
+                )
+            ]
 
     def snapshot(self) -> dict:
         """Full registry dump: {kind: {series-name: value-or-summary}}."""

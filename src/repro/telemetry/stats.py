@@ -14,9 +14,14 @@ import math
 
 
 def percentile(values: list[float], pct: float) -> float:
-    """Linear-interpolated percentile (pct in [0, 100])."""
+    """Linear-interpolated percentile (pct in [0, 100]).
+
+    Empty input returns 0.0 — the same convention as :func:`summarize`
+    (which reports zeros for an empty series), so every consumer of a
+    p50/p99 in the repo sees "no data" as 0 rather than an exception.
+    """
     if not values:
-        raise ValueError("no values")
+        return 0.0
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]

@@ -154,6 +154,10 @@ class Instance:
         #: thread at quantum boundaries instead of trapping ``OutOfFuel``.
         self._thread_runtime = None
         self._refuel_hook: Callable | None = None
+        #: Continuous-profiler tap (``repro.telemetry.profiler``): when
+        #: installed, every guest call pushes/pops a shadow-stack frame;
+        #: None keeps the call path at a single attribute check.
+        self._profiler = None
 
         imports = imports or {}
         self.funcs: list[HostFunc | CompiledFunction] = []
@@ -250,6 +254,7 @@ class Instance:
         inst.instructions_executed = 0
         inst._thread_runtime = None
         inst._refuel_hook = None
+        inst._profiler = None
         inst.funcs = funcs
         inst.memory = memory
         inst.globals = globals_
@@ -345,27 +350,46 @@ class Instance:
     # Interpreter core
     # ------------------------------------------------------------------
     def _call(self, index: int, args: list, depth: int) -> list:
+        if self._profiler is not None:
+            return self._call_profiled(self._profiler, index, args, depth)
         fn = self.funcs[index]
         if isinstance(fn, HostFunc):
-            if fn.pass_instance:
-                result = fn.fn(self, *args)
-            else:
-                result = fn.fn(*args)
-            if result is None:
-                results = []
-            elif isinstance(result, tuple):
-                results = list(result)
-            else:
-                results = [result]
-            if len(results) != len(fn.type.results):
-                raise Trap(
-                    f"host function {fn.module}.{fn.name} returned "
-                    f"{len(results)} values, expected {len(fn.type.results)}"
-                )
-            return [_canon(r, t) for r, t in zip(results, fn.type.results)]
+            return self._call_host(fn, args)
         if self.tier == "threaded" and self.op_counts is None:
             return self._exec_threaded(fn, args, depth)
         return self._exec(fn, args, depth)
+
+    def _call_profiled(self, prof, index: int, args: list, depth: int) -> list:
+        """:meth:`_call` with the continuous-profiler tap around it; the
+        finally keeps the shadow stack balanced across traps."""
+        prof.enter(self, index)
+        try:
+            fn = self.funcs[index]
+            if isinstance(fn, HostFunc):
+                return self._call_host(fn, args)
+            if self.tier == "threaded" and self.op_counts is None:
+                return self._exec_threaded(fn, args, depth)
+            return self._exec(fn, args, depth)
+        finally:
+            prof.exit()
+
+    def _call_host(self, fn: HostFunc, args: list) -> list:
+        if fn.pass_instance:
+            result = fn.fn(self, *args)
+        else:
+            result = fn.fn(*args)
+        if result is None:
+            results = []
+        elif isinstance(result, tuple):
+            results = list(result)
+        else:
+            results = [result]
+        if len(results) != len(fn.type.results):
+            raise Trap(
+                f"host function {fn.module}.{fn.name} returned "
+                f"{len(results)} values, expected {len(fn.type.results)}"
+            )
+        return [_canon(r, t) for r, t in zip(results, fn.type.results)]
 
     def _exec_threaded(self, fn: CompiledFunction, args: list, depth: int) -> list:
         """Tier-2 dispatch: run the function's closure-threaded form.
