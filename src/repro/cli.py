@@ -522,9 +522,10 @@ def _stage_fn(ctx):
     ctx.write_output_object(int(view[0]))
 
 
-def _observability_cluster(hosts: int):
+def _observability_cluster(hosts: int, delivery=None):
     """A cluster with the full observability plane on and the demo
-    workload registered."""
+    workload registered (``delivery`` forwards a DeliveryPolicy so the
+    prefetch demo can replay the workload with speculation on)."""
     from repro.runtime import FaasmCluster
     from repro.telemetry import Telemetry
 
@@ -532,7 +533,7 @@ def _observability_cluster(hosts: int):
         enabled=True, mine_profiles=True, guest_profiler=True,
         slos=True, profiler_interval=16,
     )
-    cluster = FaasmCluster(n_hosts=hosts, telemetry=telemetry)
+    cluster = FaasmCluster(n_hosts=hosts, telemetry=telemetry, delivery=delivery)
     cluster.register_python("pipeline", _pipeline_fn)
     cluster.register_python("stage", _stage_fn)
     cluster.upload("kernel", _PROFILES_KERNEL_SRC, init="init")
@@ -671,6 +672,73 @@ def cmd_profiles(args) -> int:
         return 0
     finally:
         cluster.shutdown()
+
+
+def cmd_prefetch(args) -> int:
+    """``repro prefetch``: the profiles→prefetch feedback loop end to end.
+
+    Round one drives the demo workload with mining on and persists the
+    access profiles. Round two replays the same workload in a *fresh*
+    cluster with proactive delivery enabled, fed by those profiles, and
+    prints what speculation bought: per-function prefetched vs hit vs
+    wasted bytes, push-invalidate savings, and pre-placed pages.
+    """
+    import json
+
+    from repro.state.prefetch import DeliveryPolicy
+
+    observe = _observability_cluster(args.hosts)
+    try:
+        _drive_demo(observe, args.calls)
+        observe.persist_profiles()
+        profiles = [
+            observe.load_profile(fn)
+            for fn in ("pipeline", "stage", "kernel")
+        ]
+    finally:
+        observe.shutdown()
+
+    # The demo's stage calls spread reads across four grid chunks, so each
+    # chunk is touched by ~a quarter of calls: set the confidence floor
+    # below that, or the planner would (correctly) call nothing hot.
+    # Synchronous so the reported byte counts are run-to-run stable (an
+    # overlapped prefetch can lose the race to the guest's own pull).
+    policy = DeliveryPolicy.aggressive(confidence=0.2, synchronous=True)
+    serve = _observability_cluster(args.hosts, delivery=policy)
+    try:
+        for profile in profiles:
+            if profile is not None:
+                serve.profile_store.save(profile)
+        _drive_demo(serve, args.calls)
+        serve.quiesce_delivery()
+        stats = serve.delivery_stats()
+        if args.json:
+            print(json.dumps(stats, indent=2))
+            return 0
+        print(f"delivery policy: {stats['policy']}")
+        header = (
+            f"{'function':<12}{'prefetched':>12}{'hit':>12}"
+            f"{'waste':>12}{'hit%':>8}{'aborted':>9}"
+        )
+        print(header)
+        print("-" * len(header))
+        for fn, row in sorted(stats["functions"].items()):
+            fetched = row["prefetched_bytes"]
+            ratio = (100.0 * row["hit_bytes"] / fetched) if fetched else 0.0
+            print(
+                f"{fn:<12}{fetched:>12,}{row['hit_bytes']:>12,}"
+                f"{row['waste_bytes']:>12,}{ratio:>7.1f}%{row['aborted']:>9}"
+            )
+        inv = stats["invalidate"]
+        print(
+            f"push-invalidate: {inv['skips']} pulls skipped,"
+            f" {inv['delta_pulls']} delta pulls,"
+            f" {inv['bytes_saved']:,} bytes saved"
+        )
+        print(f"pre-placed pages: {stats['preplaced_pages']}")
+        return 0
+    finally:
+        serve.shutdown()
 
 
 def _render_top_frame(cluster, frame: int, frames: int, started: float) -> str:
@@ -1053,6 +1121,19 @@ def main(argv: list[str] | None = None) -> int:
                       help="write collapsed-stack + speedscope flamegraph "
                            "artifacts per function into DIR")
     p_pr.set_defaults(fn=cmd_profiles)
+
+    p_pf = sub.add_parser(
+        "prefetch",
+        help="mine profiles, replay with proactive delivery on, and "
+             "report per-function prefetch hit/waste ratios",
+    )
+    p_pf.add_argument("--hosts", type=int, default=2,
+                      help="cluster size (default 2)")
+    p_pf.add_argument("--calls", type=int, default=6,
+                      help="demo workload rounds per phase (default 6)")
+    p_pf.add_argument("--json", action="store_true",
+                      help="dump the delivery ledger as JSON")
+    p_pf.set_defaults(fn=cmd_prefetch)
 
     p_top = sub.add_parser(
         "top", help="live per-function cluster dashboard"

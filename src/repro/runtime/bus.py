@@ -39,6 +39,11 @@ class ExecuteCall:
     #: Which dispatch of the call this delivery is (the invocation plane's
     #: attempt number); -1 means unmanaged (retry plane disabled).
     attempt: int = -1
+    #: Push-invalidate hints piggybacked from the sender's local tier
+    #: (DESIGN.md §10): per key, the latest global write version the
+    #: sender knows plus its recent push chain, so the receiving host can
+    #: skip or delta-pull its forced pulls. None when delivery is off.
+    invalidate: tuple | None = None
 
 
 @dataclass(frozen=True)

@@ -29,6 +29,7 @@ import time
 
 from repro.host.filesystem import GlobalObjectStore
 from repro.state.kv import GlobalStateStore
+from repro.state.prefetch import DeliveryPolicy
 from repro.telemetry import ProfileStore, Telemetry, export as telemetry_export
 
 from .bus import ExecuteCall, MessageBus, Shutdown
@@ -65,6 +66,7 @@ class FaasmCluster:
         telemetry: Telemetry | None = None,
         retry_policy: RetryPolicy | None = None,
         chaos=None,
+        delivery: DeliveryPolicy | None = None,
     ):
         #: Unified telemetry: span tracer + metrics registry. Disabled by
         #: default (the tracing-off path is a no-op fast path); pass
@@ -105,6 +107,14 @@ class FaasmCluster:
         #: Retry plane: on by default; ``RetryPolicy.off()`` restores the
         #: legacy fire-and-forget dispatch (the overhead baseline).
         self.retry = retry_policy if retry_policy is not None else RetryPolicy()
+        #: Proactive data delivery (prefetch / push-invalidate /
+        #: pre-placement, DESIGN.md §10). Off by default: every
+        #: speculative mechanism is opt-in.
+        self.delivery = delivery if delivery is not None else DeliveryPolicy.off()
+        self._delivery_threads: list[threading.Thread] = []
+        self._delivery_lock = threading.Lock()
+        #: function -> (profile digest, chained callees) for pre-placement.
+        self._callee_cache: dict[str, tuple] = {}
         self.instances = [
             FaasmRuntimeInstance(
                 f"host-{i}", self, capacity=capacity,
@@ -213,6 +223,14 @@ class FaasmCluster:
             ).number
             with self._inflight_lock:
                 self._inflight[record.call_id] = record
+        invalidate = None
+        if self.delivery.push_invalidate and decision.host != instance.host:
+            # Piggyback the sender's freshness knowledge so the target
+            # host's forced pulls can skip clean keys / delta-pull stale
+            # ranges (same-host chains share the tier — nothing to ship).
+            invalidate = instance.local_tier.invalidation_payload(
+                self.delivery.max_keys
+            )
         self.bus.send(
             decision.host,
             ExecuteCall(
@@ -225,9 +243,117 @@ class FaasmCluster:
                 and decision.host != instance.host,
                 trace=sp.wire(),
                 attempt=attempt_no,
+                invalidate=invalidate,
             ),
         )
+        if self.delivery.pre_place:
+            self._pre_place(record.function, instance, decision.host)
         return decision
+
+    # ------------------------------------------------------------------
+    # Speculative page pre-placement (DESIGN.md §10c)
+    # ------------------------------------------------------------------
+    def _profile_callees(self, function: str) -> tuple:
+        """The function's most-chained callees per its HEAD profile
+        (cached by profile digest) — the snapshots worth pre-placing."""
+        head = self.profile_store.head(function)
+        if head is None:
+            return ()
+        with self._delivery_lock:
+            cached = self._callee_cache.get(function)
+            if cached is not None and cached[0] == head:
+                return cached[1]
+        profile = self.profile_store.load(function, head)
+        callees: tuple = ()
+        if profile is not None and profile.chains:
+            callees = tuple(
+                sorted(
+                    profile.chains, key=lambda fn: (-profile.chains[fn], fn)
+                )[:2]
+            )
+        with self._delivery_lock:
+            self._callee_cache[function] = (head, callees)
+        return callees
+
+    def _pre_place(self, function: str, entry, target_host: str) -> None:
+        """Warm likely-next hosts' PageStores with the snapshot pages of
+        ``function``'s chained callees, in the background. Best-effort:
+        failures are swallowed — correctness never depends on placement."""
+        callees = self._profile_callees(function)
+        if not callees:
+            return
+
+        def work():
+            for callee in callees:
+                hosts = entry.scheduler.likely_hosts(
+                    callee, default=target_host
+                )
+                for host in hosts[:2]:
+                    target = self._by_host.get(host)
+                    if target is None or not target.alive:
+                        continue
+                    try:
+                        target.snapshots.warm_pages(callee)
+                    except Exception:
+                        logger.debug(
+                            "pre-place of %s on %s failed", callee, host,
+                            exc_info=True,
+                        )
+
+        if self.delivery.synchronous:
+            work()
+            return
+        thread = threading.Thread(
+            target=work, name=f"preplace-{function}", daemon=True
+        )
+        with self._delivery_lock:
+            self._delivery_threads = [
+                t for t in self._delivery_threads if t.is_alive()
+            ]
+            self._delivery_threads.append(thread)
+        thread.start()
+
+    def quiesce_delivery(self, timeout: float = 5.0) -> None:
+        """Wait for in-flight speculative work (prefetches and page
+        pre-placements) to settle — tests and the CLI call this before
+        reading the delivery ledgers."""
+        with self._delivery_lock:
+            threads = list(self._delivery_threads)
+        for thread in threads:
+            thread.join(timeout)
+        for instance in self.instances:
+            instance.prefetcher.quiesce(timeout)
+
+    def delivery_stats(self) -> dict:
+        """Cluster-wide delivery-plane ledger: per-function prefetch
+        hit/waste, push-invalidate savings, pre-placed pages."""
+        functions: dict[str, dict] = {}
+        invalidate = {"skips": 0, "delta_pulls": 0, "bytes_saved": 0}
+        for instance in self.instances:
+            for fn, row in instance.prefetcher.stats().items():
+                agg = functions.setdefault(
+                    fn,
+                    {
+                        "prefetched_bytes": 0,
+                        "hit_bytes": 0,
+                        "waste_bytes": 0,
+                        "aborted": 0,
+                    },
+                )
+                for field in agg:
+                    agg[field] += row.get(field, 0)
+            tier = instance.local_tier.delivery_stats()
+            invalidate["skips"] += tier["invalidate_skips"]
+            invalidate["delta_pulls"] += tier["invalidate_delta_pulls"]
+            invalidate["bytes_saved"] += tier["invalidate_bytes_saved"]
+        return {
+            "policy": self.delivery.mode,
+            "functions": functions,
+            "invalidate": invalidate,
+            "preplaced_pages": int(
+                self.telemetry.metrics.aggregate("prefetch.preplaced_pages")
+            ),
+        }
 
     def redispatch(self, record: CallRecord, reason: str = "") -> None:
         """Re-queue a call whose previous attempt was lost (the invocation
@@ -348,6 +474,10 @@ class FaasmCluster:
         "atomic.waits",
         "call.retries",
         "call.failed",
+        "prefetch.bytes",
+        "prefetch.hit_bytes",
+        "prefetch.aborted",
+        "prefetch.preplaced_pages",
     )
 
     def metrics_snapshot(self) -> dict:

@@ -36,10 +36,12 @@ from .kv import (
     TransferMeter,
 )
 from .local import LocalTier, Replica
+from .prefetch import DeliveryPolicy, Prefetcher
 from .rwlock import RWLock
 from .sharded import ShardedStateStore
 
 __all__ = [
+    "DeliveryPolicy",
     "DistributedCounter",
     "DistributedDict",
     "DistributedList",
@@ -48,6 +50,7 @@ __all__ = [
     "ImmutableValue",
     "LocalTier",
     "MatrixReadOnly",
+    "Prefetcher",
     "RWLock",
     "ShardedStateStore",
     "Replica",

@@ -133,6 +133,13 @@ class GlobalStateStore:
         if n_stripes < 1:
             raise ValueError("need at least one lock stripe")
         self._values: dict[str, bytearray] = {}
+        #: Per-key monotonic write version, bumped by exactly one on every
+        #: mutating operation (under the key's stripe lock). Versions
+        #: survive delete/recreate so a stale replica can never alias a
+        #: recreated key's counter. This is what makes push-invalidate
+        #: safe: a pusher learns the version its write produced, and any
+        #: replica matching that version is provably byte-identical.
+        self._versions: dict[str, int] = {}
         self._locks: dict[str, RWLock] = {}
         self._stripes = [threading.Lock() for _ in range(n_stripes)]
         #: Guards the distributed-lock registry (not the values).
@@ -141,6 +148,12 @@ class GlobalStateStore:
     def _stripe(self, key: str) -> threading.Lock:
         return self._stripes[zlib.crc32(key.encode()) % len(self._stripes)]
 
+    def _bump(self, key: str) -> int:
+        """Advance ``key``'s write version (stripe lock must be held)."""
+        version = self._versions.get(key, 0) + 1
+        self._versions[key] = version
+        return version
+
     # ------------------------------------------------------------------
     # Value operations
     # ------------------------------------------------------------------
@@ -148,6 +161,7 @@ class GlobalStateStore:
         """Replace (or create) ``key``'s full value."""
         with self._stripe(key):
             self._values[key] = bytearray(value)
+            self._bump(key)
 
     def get_value(self, key: str) -> bytes:
         """The full value of ``key`` (a copy)."""
@@ -189,6 +203,25 @@ class GlobalStateStore:
                 total += length
             return total
 
+    def get_ranges_into_versioned(
+        self, key: str, dests: list[tuple[int, memoryview]]
+    ) -> tuple[int, int, int]:
+        """:meth:`get_ranges_into`, additionally returning ``(version,
+        value size)`` as of the read. Copy, version, and size are captured
+        under one stripe-lock hold, so the triple is exact — the
+        foundation of the speculative pull path's staleness check."""
+        with self._stripe(key):
+            value = self._values.get(key)
+            if value is None:
+                raise StateKeyError(key)
+            total = 0
+            for offset, view in dests:
+                length = len(view)
+                self._check_range(key, value, offset, length)
+                view[:] = memoryview(value)[offset : offset + length]
+                total += length
+            return total, self._versions.get(key, 0), len(value)
+
     def set_range(self, key: str, offset: int, data: bytes) -> None:
         """Overwrite ``[offset, offset+len(data))``, growing if needed."""
         with self._stripe(key):
@@ -196,6 +229,7 @@ class GlobalStateStore:
             if value is None:
                 raise StateKeyError(key)
             self._apply_range(value, offset, data)
+            self._bump(key)
 
     def set_ranges(
         self,
@@ -211,6 +245,19 @@ class GlobalStateStore:
         that many bytes (a delta push of a shrunk/grown value carries its
         new logical size). Returns the payload bytes applied.
         """
+        return self.set_ranges_versioned(key, parts, truncate_to)[0]
+
+    def set_ranges_versioned(
+        self,
+        key: str,
+        parts: list[tuple[int, bytes | bytearray | memoryview]],
+        truncate_to: int | None = None,
+    ) -> tuple[int, int]:
+        """:meth:`set_ranges`, additionally returning the write version
+        this batch produced. Data and version are captured under one
+        stripe-lock hold, so the pusher's knowledge is exact: the global
+        value at the returned version is *precisely* its pre-image at
+        ``version - 1`` with these ranges applied."""
         with self._stripe(key):
             value = self._values.get(key)
             if value is None:
@@ -224,17 +271,21 @@ class GlobalStateStore:
                     del value[truncate_to:]
                 elif truncate_to > len(value):
                     value.extend(b"\x00" * (truncate_to - len(value)))
-            return total
+            return total, self._bump(key)
 
     def append(self, key: str, data: bytes) -> None:
         """Append ``data`` to ``key`` (created empty if missing)."""
         with self._stripe(key):
             self._values.setdefault(key, bytearray()).extend(data)
+            self._bump(key)
 
     def delete(self, key: str) -> None:
-        """Drop the value and its distributed lock."""
+        """Drop the value and its distributed lock. The write-version
+        counter is kept (and bumped) so a later recreate cannot alias a
+        version number some replica still remembers."""
         with self._stripe(key):
             self._values.pop(key, None)
+            self._bump(key)
         with self._meta:
             self._locks.pop(key, None)
 
@@ -249,6 +300,11 @@ class GlobalStateStore:
             if value is None:
                 raise StateKeyError(key)
             return len(value)
+
+    def version(self, key: str) -> int:
+        """``key``'s current write version (0 if never written)."""
+        with self._stripe(key):
+            return self._versions.get(key, 0)
 
     def keys(self) -> list[str]:
         """All keys, sorted (an atomic snapshot)."""
@@ -294,6 +350,7 @@ class GlobalStateStore:
             old = self._values.get(key)
             new = fn(bytes(old) if old is not None else None)
             self._values[key] = bytearray(new)
+            self._bump(key)
             return new
 
 
@@ -357,6 +414,19 @@ class StateClient:
         self.meter.record_received(total)
         return total
 
+    def pull_ranges_into_versioned(
+        self, key: str, dests: list[tuple[int, memoryview]]
+    ) -> tuple[int, int, int]:
+        """:meth:`pull_ranges_into` plus the ``(version, value size)`` the
+        bytes were read at; still ONE round trip. The delivery plane uses
+        the version to prove a speculative pull is (or is not) still
+        current, and the size to detect a concurrent resize."""
+        total, version, size = self._retry(
+            self.store.get_ranges_into_versioned, key, dests
+        )
+        self.meter.record_received(total)
+        return total, version, size
+
     def push(self, key: str, value: bytes) -> None:
         """Replace the whole value; one round trip."""
         self.meter.record_sent(len(value))
@@ -379,6 +449,20 @@ class StateClient:
         self.meter.record_sent(sum(len(d) for _, d in parts))
         self._retry(self.store.set_ranges, key, parts, truncate_to)
 
+    def push_ranges_versioned(
+        self,
+        key: str,
+        parts: list[tuple[int, bytes | bytearray | memoryview]],
+        truncate_to: int | None = None,
+    ) -> int:
+        """:meth:`push_ranges`, returning the write version this push
+        produced — what a pusher advertises in push-invalidate hints."""
+        self.meter.record_sent(sum(len(d) for _, d in parts))
+        _, version = self._retry(
+            self.store.set_ranges_versioned, key, parts, truncate_to
+        )
+        return version
+
     def append(self, key: str, data: bytes) -> None:
         """Append to the value; one round trip."""
         self.meter.record_sent(len(data))
@@ -391,6 +475,10 @@ class StateClient:
     def exists(self, key: str) -> bool:
         """Whether the key exists in the global tier."""
         return self.store.exists(key)
+
+    def version(self, key: str) -> int:
+        """Current write version (metadata query, not charged)."""
+        return self.store.version(key)
 
     def delete(self, key: str) -> None:
         """Remove the key from the global tier."""

@@ -136,8 +136,22 @@ class Replica:
     dirty: _IntervalSet = field(default_factory=_IntervalSet)
     value_size: int = 0
     synced_size: int | None = None
-    #: Guards ``dirty``: marks arrive from guest write faults on executor
-    #: threads that do not hold the replica lock.
+    #: Global write version this replica is known byte-identical to. Only
+    #: meaningful when checked together with "fully present and nothing
+    #: dirty" at the use site; ``None`` means unknown/diverged. Maintained
+    #: by versioned pulls and pushes, consumed by push-invalidate.
+    gver: int | None = None
+    #: Delivery-plane bookkeeping: ranges materialised ahead of demand
+    #: (drained into hit counters as demand reads arrive), the global
+    #: version they were read at (``-1`` = mixed versions, unusable for
+    #: the gap-fill fast path), and whether the replica has only ever
+    #: been touched speculatively — a speculative replica must stay
+    #: invisible to ``get_state``/``state_size`` until demand completes it.
+    prefetched: _IntervalSet = field(default_factory=_IntervalSet)
+    prefetch_version: int | None = None
+    speculative: bool = False
+    #: Guards ``dirty`` and ``prefetched``: marks arrive from guest write
+    #: faults on executor threads that do not hold the replica lock.
     _dirty_mutex: threading.Lock = field(default_factory=threading.Lock)
 
     def __post_init__(self) -> None:
@@ -155,8 +169,16 @@ class Replica:
     # ------------------------------------------------------------------
     def mark_dirty(self, start: int, end: int) -> None:
         """Record that [start, end) was modified locally (thread-safe)."""
+        # A local write promotes the replica out of speculative status:
+        # the guest has observably interacted with it.
+        self.speculative = False
         with self._dirty_mutex:
             self.dirty.add(start, end)
+
+    def has_dirty(self) -> bool:
+        """Whether any locally written bytes are still unflushed."""
+        with self._dirty_mutex:
+            return self.dirty.total() > 0
 
     def take_dirty(self, limit: int) -> list[tuple[int, int]]:
         """Atomically drain the dirty set, clipped to [0, limit).
@@ -186,13 +208,39 @@ class LocalTier:
         self.client = client
         self._replicas: dict[str, Replica] = {}
         self._mutex = threading.Lock()
+        # ---- proactive-delivery bookkeeping (repro.state.prefetch) ----
+        #: Recent pushes from this host: key -> [(base_version,
+        #: new_version, logical_size | None, dirty spans)], the chain a
+        #: callee's host can walk to turn a full forced pull into a
+        #: delta pull of only the truly-stale ranges.
+        self._push_log: dict[str, list[tuple]] = {}
+        #: Push-invalidate hints received from callers:
+        #: key -> (latest known version, push chain).
+        self._hints: dict[str, tuple[int, tuple]] = {}
+        #: Guards the two dicts above plus the delivery counters.
+        self._spec_mutex = threading.Lock()
+        #: Per-key bytes that were prefetched and then actually read by
+        #: demand (each prefetched byte is counted at most once).
+        self.prefetch_hit_bytes: dict[str, int] = {}
+        #: Optional callback ``(key, nbytes)`` fired on every prefetch
+        #: hit — the Prefetcher hooks this to attribute hits to functions.
+        self.on_prefetch_hit = None
+        #: Push-invalidate effectiveness counters.
+        self.invalidate_skips = 0
+        self.invalidate_delta_pulls = 0
+        self.invalidate_bytes_saved = 0
 
     # ------------------------------------------------------------------
     # Replica management
     # ------------------------------------------------------------------
-    def replica(self, key: str, size: int | None = None) -> Replica:
+    def replica(
+        self, key: str, size: int | None = None, _speculative: bool = False
+    ) -> Replica:
         """Get or create the replica for ``key`` (sized from the global tier
-        when ``size`` is not given)."""
+        when ``size`` is not given). ``_speculative`` marks a replica the
+        prefetcher creates ahead of demand — only a *newly created*
+        replica is marked, atomically, so a demand-created replica can
+        never be demoted by a racing prefetch."""
         with self._mutex:
             rep = self._replicas.get(key)
             if rep is not None:
@@ -207,6 +255,9 @@ class LocalTier:
                     gap = size - rep.value_size
                     rep.region.view(rep.value_size, gap)[:] = bytes(gap)
                     rep.value_size = size
+                    # Logical size changed without a global round trip:
+                    # the replica can no longer claim version equality.
+                    rep.gver = None
                 return rep
             synced: int | None = None
             if size is None:
@@ -214,7 +265,8 @@ class LocalTier:
                 synced = size  # sized from the global tier at this instant
             region = SharedRegion(f"{self.host}/{key}", size)
             rep = self._replicas[key] = Replica(
-                key, region, value_size=size, synced_size=synced
+                key, region, value_size=size, synced_size=synced,
+                speculative=_speculative,
             )
             return rep
 
@@ -245,23 +297,54 @@ class LocalTier:
         The fetch lands directly in the shared region through a view (one
         copy, global backing → region) and resets the dirty set: after a
         forced pull the replica is byte-identical to the global tier.
+
+        Two delivery-plane fast paths may satisfy the request without the
+        full fetch, both proven exact via write versions: a *forced* pull
+        consults push-invalidate hints (:meth:`apply_invalidations`) to
+        skip clean keys or delta-pull only the pushed ranges, and a
+        non-forced pull of a speculative replica gap-fills around the
+        prefetched bytes. Either path falls back to the demand fetch the
+        moment the version check fails.
         """
         rep = self.replica(key)
+        if force:
+            with self._spec_mutex:
+                hint = self._hints.get(key)
+        else:
+            hint = None
         with rep.lock.write_locked():
-            if force or not rep.present.covers(0, rep.size):
+            if hint is not None and self._fast_forward(rep, hint):
+                return rep
+            if force or rep.speculative or not rep.present.covers(0, rep.size):
+                if (
+                    not force
+                    and rep.speculative
+                    and self._complete_speculative(rep)
+                ):
+                    return rep
                 with span("state.pull", key=key, host=self.host) as sp:
                     size = self.client.size(key)  # raises StateKeyError if absent
                     if size > rep.region.size:
                         rep.region.resize(size)
+                    version: int | None = None
                     if size:
-                        self.client.pull_ranges_into(
-                            key, [(0, rep.region.view(0, size))]
+                        _, version, vsize = (
+                            self.client.pull_ranges_into_versioned(
+                                key, [(0, rep.region.view(0, size))]
+                            )
                         )
+                        if vsize != size:
+                            # The value was resized between the metadata
+                            # trip and the data trip: the bytes are real
+                            # but no version-equality claim can be made.
+                            version = None
                     rep.value_size = size
                     rep.present.clear()
                     rep.present.add(0, size)
                     rep.discard_dirty(0, max(size, rep.region.size))
                     rep.synced_size = size
+                    rep.gver = version
+                    self._clear_speculative(rep, credit=False)
                     sp.set_attr("bytes", size)
                     sp.set_attr("round_trips", 2 if size else 1)
                     sp.set_attr("ranges", [(0, size)])
@@ -272,6 +355,12 @@ class LocalTier:
         chunks, Fig. 4). All missing gaps move in ONE batched round trip,
         copied straight into the region."""
         rep = self.replica(key)
+        if offset + length > rep.value_size:
+            # The replica may have been created by a local write narrower
+            # than the global value: grow the local view to cover the
+            # requested chunk, then pull. A request past the *global* end
+            # still fails the store's range check, as it always did.
+            rep = self.replica(key, size=offset + length)
         with rep.lock.write_locked():
             if force:
                 gaps = [(offset, offset + length)]
@@ -279,15 +368,19 @@ class LocalTier:
                 gaps = rep.present.missing(offset, offset + length)
             if gaps:
                 with span("state.pull", key=key, host=self.host, chunk=True) as sp:
-                    self.client.pull_ranges_into(
+                    _, version, _ = self.client.pull_ranges_into_versioned(
                         key, [(s, rep.region.view(s, e - s)) for s, e in gaps]
                     )
                     for s, e in gaps:
                         rep.present.add(s, e)
                         rep.discard_dirty(s, e)
+                    if rep.gver is not None and version != rep.gver:
+                        # Newer bytes mixed into an older-version replica.
+                        rep.gver = None
                     sp.set_attr("bytes", sum(e - s for s, e in gaps))
                     sp.set_attr("round_trips", 1)
                     sp.set_attr("ranges", list(gaps))
+            self._credit_read(rep, offset, offset + length)
         return rep
 
     def push(self, key: str) -> None:
@@ -310,10 +403,13 @@ class LocalTier:
                 # the global value's length match the replica's, exactly as a
                 # full-value push did, so shrinks and grows propagate with the
                 # same round trip (no extra RPC, no extra payload bytes).
-                self.client.push_ranges(key, parts, truncate_to=rep.value_size)
+                new_version = self.client.push_ranges_versioned(
+                    key, parts, truncate_to=rep.value_size
+                )
                 for s, e in spans:
                     rep.present.add(s, e)
                 rep.synced_size = rep.value_size
+                self._note_push(rep, new_version, spans, rep.value_size)
                 sp.set_attr("bytes", sum(e - s for s, e in spans))
                 sp.set_attr("round_trips", 1)
                 sp.set_attr("ranges", list(spans))
@@ -323,11 +419,20 @@ class LocalTier:
         rep = self.replica(key)
         with rep.lock.write_locked():
             with span("state.push", key=key, host=self.host, chunk=True) as sp:
-                self.client.push_ranges(
+                new_version = self.client.push_ranges_versioned(
                     key, [(offset, rep.region.view(offset, length))]
                 )
                 rep.present.add(offset, offset + length)
                 rep.discard_dirty(offset, offset + length)
+                self._note_push(
+                    rep,
+                    new_version,
+                    [(offset, offset + length)],
+                    # A chunk push never truncates: the global size only
+                    # grows (if at all), which the chain walk models as
+                    # "grow to cover the pushed span".
+                    None,
+                )
                 sp.set_attr("bytes", length)
                 sp.set_attr("round_trips", 1)
                 sp.set_attr("ranges", [(offset, offset + length)])
@@ -338,7 +443,9 @@ class LocalTier:
     def read_local(self, key: str, offset: int = 0, length: int | None = None) -> bytes:
         rep = self.replica(key)
         with rep.lock.read_locked():
-            return rep.region.read(offset, length)
+            data = rep.region.read(offset, length)
+        self._credit_read(rep, offset, offset + len(data))
+        return data
 
     def write_local(self, key: str, data: bytes, offset: int = 0, size: int | None = None) -> Replica:
         """Write to the local replica only; creates it if needed.
@@ -370,6 +477,315 @@ class LocalTier:
             rep.mark_dirty(offset, offset + length)
             rep.present.add(offset, offset + length)
         return rep
+
+    # ------------------------------------------------------------------
+    # Proactive data delivery (repro.state.prefetch, DESIGN.md §10)
+    # ------------------------------------------------------------------
+    def prefetch_spans(
+        self,
+        key: str,
+        spans: list[tuple[int, int]],
+        max_bytes: int | None = None,
+    ) -> int:
+        """Speculatively materialise byte ranges of ``key`` ahead of
+        demand; returns the bytes actually pulled.
+
+        Safety: only *missing, non-dirty* ranges are filled — a prefetch
+        can never overwrite a byte the guest has written — and the
+        gap-compute + fill happens atomically under the replica write
+        lock, so a demand access either waits for the fill or sees it
+        complete. Semantically a prefetch is just a legal
+        ``pull_chunk(force=False)`` issued early; the §4.1 consistency
+        model already permits it at any point.
+
+        Raises :class:`~repro.state.kv.StateKeyError` when the key does
+        not exist (the caller skips it — nothing to prefetch).
+        """
+        rep = self.replica(key, _speculative=True)  # StateKeyError if absent
+        with rep.lock.write_locked():
+            gapset = _IntervalSet()
+            for s, e in spans:
+                s, e = max(0, int(s)), min(int(e), rep.value_size)
+                for gs, ge in rep.present.missing(s, e):
+                    gapset.add(gs, ge)
+            # Defence in depth: never touch a dirty byte, even though a
+            # dirty byte is also present and thus already excluded.
+            with rep._dirty_mutex:
+                for s, e in rep.dirty.spans:
+                    gapset.remove(s, e)
+            gaps: list[tuple[int, int]] = []
+            budget = max_bytes if max_bytes is not None else None
+            for s, e in gapset.spans:
+                if budget is not None:
+                    if budget <= 0:
+                        break
+                    e = min(e, s + budget)
+                    budget -= e - s
+                gaps.append((s, e))
+            if not gaps:
+                return 0
+            with span("prefetch.pull", key=key, host=self.host) as sp:
+                total, version, _ = self.client.pull_ranges_into_versioned(
+                    key, [(s, rep.region.view(s, e - s)) for s, e in gaps]
+                )
+                for s, e in gaps:
+                    rep.present.add(s, e)
+                with rep._dirty_mutex:
+                    for s, e in gaps:
+                        rep.prefetched.add(s, e)
+                if rep.prefetch_version is None:
+                    rep.prefetch_version = version
+                elif rep.prefetch_version != version:
+                    # Mixed-version speculative data: still legal bytes,
+                    # but the gap-fill fast path must not claim them
+                    # uniform (-1 is the "mixed" sentinel).
+                    rep.prefetch_version = -1
+                if rep.gver is not None and version != rep.gver:
+                    rep.gver = None
+                sp.set_attr("bytes", total)
+                sp.set_attr("round_trips", 1)
+                sp.set_attr("ranges", list(gaps))
+            return total
+
+    def apply_invalidations(self, payload) -> None:
+        """Record push-invalidate hints piggybacked on a chained call.
+
+        ``payload`` is what the caller's host's
+        :meth:`invalidation_payload` produced: per key, the latest global
+        write version that host knows plus its recent push chain. Hints
+        only ever *accelerate forced pulls* (see :meth:`_fast_forward`);
+        no other path consults them, so delivery off/on cannot diverge
+        on non-forced reads.
+        """
+        if not payload:
+            return
+        with self._spec_mutex:
+            for key, version, chain in payload:
+                current = self._hints.get(key)
+                if current is None or current[0] <= version:
+                    self._hints[key] = (version, chain)
+
+    def invalidation_payload(self, max_keys: int = 32):
+        """This host's freshness knowledge, for piggybacking on a chained
+        call: ``(key, latest known version, recent push chain)`` per
+        replica whose version is known. Versions are facts about the
+        global tier, so shipping them to any host is always sound."""
+        with self._mutex:
+            reps = sorted(self._replicas.items())
+        out = []
+        with self._spec_mutex:
+            for key, rep in reps:
+                chain = tuple(self._push_log.get(key, ()))
+                version = rep.gver
+                if version is None:
+                    version = chain[-1][1] if chain else None
+                if version is None:
+                    continue
+                out.append((key, version, chain))
+                if len(out) >= max_keys:
+                    break
+        return tuple(out) or None
+
+    def _fast_forward(self, rep: Replica, hint) -> bool:
+        """Serve a *forced* pull from a push-invalidate hint (replica
+        write lock held). Returns True only when the result is provably
+        what the demand pull would produce as of the hint's version:
+        either the replica already matches it (skip: zero round trips),
+        or a contiguous push chain from the replica's version reaches it
+        (delta pull of only the pushed ranges, one round trip). Any
+        doubt — unknown version, local dirt, partial presence, version
+        drift during the pull — falls back to the full demand pull."""
+        version, chain = hint
+        if (
+            rep.gver is None
+            or rep.has_dirty()
+            or not rep.present.covers(0, rep.value_size)
+        ):
+            return False
+        if rep.gver == version:
+            with self._spec_mutex:
+                self.invalidate_skips += 1
+                self.invalidate_bytes_saved += rep.value_size
+            return True
+        # Walk the push chain from our version towards the hint's.
+        stale = _IntervalSet()
+        cursor = rep.gver
+        size = rep.value_size
+        while cursor != version:
+            entry = next((e for e in chain if e[0] == cursor), None)
+            if entry is None or entry[1] > version:
+                return False
+            _, cursor, entry_size, entry_spans = entry
+            for s, e in entry_spans:
+                stale.add(s, e)
+            if entry_size is not None:
+                size = entry_size
+            else:
+                size = max(size, max((e for _, e in entry_spans), default=0))
+        old_size = rep.value_size
+        if size > rep.region.size:
+            rep.region.resize(size)
+        if size > old_size:
+            # Grown tail: global bytes there are either zeros (truncate
+            # growth) or covered by the chain's pushed spans.
+            rep.region.view(old_size, size - old_size)[:] = bytes(
+                size - old_size
+            )
+        elif size < old_size:
+            # Shrink: stale tail must never resurface on a later regrow.
+            rep.region.view(size, old_size - size)[:] = bytes(
+                old_size - size
+            )
+        rep.value_size = size
+        rep.present.add(min(old_size, size), size)
+        gaps = stale.intersect(0, size)
+        if gaps:
+            with span("state.pull", key=rep.key, host=self.host) as sp:
+                total, pulled_version, vsize = (
+                    self.client.pull_ranges_into_versioned(
+                        rep.key,
+                        [(s, rep.region.view(s, e - s)) for s, e in gaps],
+                    )
+                )
+                sp.set_attr("bytes", total)
+                sp.set_attr("round_trips", 1)
+                sp.set_attr("ranges", list(gaps))
+                sp.set_attr("invalidate", "delta")
+            if pulled_version != version or vsize != size:
+                # A third writer moved the value past the hint while we
+                # pulled: the delta no longer proves equality. The bytes
+                # written so far are all overwritten by the full pull.
+                rep.gver = None
+                return False
+        rep.synced_size = size
+        rep.gver = version
+        with self._spec_mutex:
+            self.invalidate_delta_pulls += 1
+            self.invalidate_bytes_saved += max(
+                0, size - sum(e - s for s, e in gaps)
+            )
+        return True
+
+    def _complete_speculative(self, rep: Replica) -> bool:
+        """Finish a speculative replica's first demand pull by fetching
+        only the gaps around the prefetched bytes (replica write lock
+        held). Returns True only when the result is provably
+        byte-identical to the full demand pull: the gap bytes came back
+        at exactly the version the prefetch read, and the size is
+        unchanged. Any mismatch returns False and the caller does the
+        full pull (exactness over savings)."""
+        version = rep.prefetch_version
+        if version is None or version < 0:
+            return False
+        size = self.client.size(rep.key)
+        if size != rep.value_size or self.client.version(rep.key) != version:
+            return False
+        gaps = rep.present.missing(0, size)
+        if gaps:
+            with span(
+                "state.pull", key=rep.key, host=self.host, chunk=True
+            ) as sp:
+                total, pulled_version, vsize = (
+                    self.client.pull_ranges_into_versioned(
+                        rep.key,
+                        [(s, rep.region.view(s, e - s)) for s, e in gaps],
+                    )
+                )
+                sp.set_attr("bytes", total)
+                sp.set_attr("round_trips", 1)
+                sp.set_attr("ranges", list(gaps))
+                sp.set_attr("speculative_fill", True)
+            if pulled_version != version or vsize != size:
+                return False
+            for s, e in gaps:
+                rep.present.add(s, e)
+                rep.discard_dirty(s, e)
+        rep.synced_size = size
+        rep.gver = version
+        # Every prefetched byte of a completed pull was demanded.
+        self._clear_speculative(rep, credit=True)
+        return True
+
+    def _note_push(self, rep: Replica, new_version: int, spans, size) -> None:
+        """Record a push in the host's push log and maintain the
+        replica's version-equality claim (replica write lock held)."""
+        base = new_version - 1
+        span_end = max((e for _, e in spans), default=0)
+        if (
+            rep.gver == base
+            and not rep.has_dirty()
+            and rep.present.covers(0, rep.value_size)
+            and (size is not None or span_end <= rep.value_size)
+        ):
+            # We pushed onto exactly the version we mirror: the global
+            # value is now our bytes, verbatim.
+            rep.gver = new_version
+        else:
+            rep.gver = None
+        with self._spec_mutex:
+            log = self._push_log.setdefault(rep.key, [])
+            log.append((base, new_version, size, tuple(spans)))
+            del log[:-8]
+
+    def _credit_read(self, rep: Replica, start: int, end: int) -> None:
+        """Count demand-read bytes that a prefetch had already delivered
+        (each prefetched byte is credited at most once)."""
+        if not rep.prefetched._spans:
+            return
+        with rep._dirty_mutex:
+            parts = rep.prefetched.intersect(start, end)
+            for s, e in parts:
+                rep.prefetched.remove(s, e)
+        nbytes = sum(e - s for s, e in parts)
+        if not nbytes:
+            return
+        with self._spec_mutex:
+            self.prefetch_hit_bytes[rep.key] = (
+                self.prefetch_hit_bytes.get(rep.key, 0) + nbytes
+            )
+        hook = self.on_prefetch_hit
+        if hook is not None:
+            hook(rep.key, nbytes)
+
+    def credit_read(self, key: str, start: int, end: int) -> None:
+        """Public :meth:`_credit_read` for callers that hand out raw
+        views (the state API's whole-value ``get_state``)."""
+        with self._mutex:
+            rep = self._replicas.get(key)
+        if rep is not None:
+            self._credit_read(rep, start, end)
+
+    def _clear_speculative(self, rep: Replica, credit: bool) -> None:
+        """Retire a replica's speculative status; optionally credit all
+        still-unread prefetched bytes as hits (a completed demand pull
+        consumed them all)."""
+        rep.speculative = False
+        rep.prefetch_version = None
+        with rep._dirty_mutex:
+            parts = rep.prefetched.spans
+            rep.prefetched.clear()
+        if not credit:
+            return
+        nbytes = sum(e - s for s, e in parts)
+        if not nbytes:
+            return
+        with self._spec_mutex:
+            self.prefetch_hit_bytes[rep.key] = (
+                self.prefetch_hit_bytes.get(rep.key, 0) + nbytes
+            )
+        hook = self.on_prefetch_hit
+        if hook is not None:
+            hook(rep.key, nbytes)
+
+    def delivery_stats(self) -> dict:
+        """This host's delivery-plane counters (for ``repro prefetch``)."""
+        with self._spec_mutex:
+            return {
+                "hit_bytes": dict(self.prefetch_hit_bytes),
+                "invalidate_skips": self.invalidate_skips,
+                "invalidate_delta_pulls": self.invalidate_delta_pulls,
+                "invalidate_bytes_saved": self.invalidate_bytes_saved,
+            }
 
     @staticmethod
     def _prepare_write(rep: Replica, offset: int, length: int, size: int | None) -> None:

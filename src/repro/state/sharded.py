@@ -67,12 +67,18 @@ class ShardedStateStore:
         """Batched zero-copy multi-range read (one routed call)."""
         return self._route(key).get_ranges_into(key, dests)
 
+    def get_ranges_into_versioned(self, key, dests):
+        return self._route(key).get_ranges_into_versioned(key, dests)
+
     def set_range(self, key, offset, data):
         self._route(key).set_range(key, offset, data)
 
     def set_ranges(self, key, parts, truncate_to=None):
         """Batched multi-range write (one routed call)."""
         return self._route(key).set_ranges(key, parts, truncate_to)
+
+    def set_ranges_versioned(self, key, parts, truncate_to=None):
+        return self._route(key).set_ranges_versioned(key, parts, truncate_to)
 
     def append(self, key, data):
         self._route(key).append(key, data)
@@ -85,6 +91,9 @@ class ShardedStateStore:
 
     def size(self, key):
         return self._route(key).size(key)
+
+    def version(self, key):
+        return self._route(key).version(key)
 
     def lock_for(self, key) -> RWLock:
         return self._route(key).lock_for(key)

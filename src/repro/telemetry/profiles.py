@@ -62,7 +62,14 @@ class RangeCounter:
             self._ranges[key] = current + hits
             return
         if len(self._ranges) >= self.max_ranges:
-            coldest = min(self._ranges, key=self._ranges.get)
+            coldest = min(
+                self._ranges.items(), key=lambda kv: (kv[1], kv[0])
+            )[0]
+            if self._ranges[coldest] > hits:
+                # The newcomer is colder than everything resident:
+                # admitting it would evict a hotter range (and a stream
+                # of one-hit ranges could flush the whole table).
+                return
             del self._ranges[coldest]
         self._ranges[key] = hits
 
@@ -76,6 +83,19 @@ class RangeCounter:
 
     def total_hits(self) -> int:
         return sum(self._ranges.values())
+
+    def coverage(self) -> int:
+        """Bytes covered by at least one tracked range (overlaps merged)."""
+        total = 0
+        cursor = None
+        for s, e in sorted(self._ranges):
+            if cursor is None or s > cursor:
+                total += e - s
+                cursor = e
+            elif e > cursor:
+                total += e - cursor
+                cursor = e
+        return total
 
     def merge(self, other: "RangeCounter") -> None:
         for (s, e), n in other._ranges.items():
@@ -168,6 +188,41 @@ class AccessProfile:
         if kp is None:
             kp = self.state[key] = KeyProfile()
         return kp
+
+    def hot_ranges(
+        self, confidence: float = 0.5, top: int = 8
+    ) -> dict[str, list[tuple[int, int]]]:
+        """The prefetcher's query: per state key, the byte-ranges accessed
+        in at least ``confidence`` fraction of this function's calls —
+        hottest first, at most ``top`` per key. Write ranges count too:
+        the dominant guest pattern is read-modify-write through
+        ``get_state`` (recorded as a write because the returned view is
+        writable), and those bytes are pulled before they are modified, so
+        prefetching them saves the same demand traffic. A profile with no
+        calls, or whose ranges all fall below the threshold, yields ``{}``
+        (nothing worth speculating on)."""
+        if self.calls <= 0:
+            return {}
+        out: dict[str, list[tuple[int, int]]] = {}
+        for key, kp in sorted(self.state.items()):
+            spans = [
+                (s, e, hits)
+                for counter in (kp.reads, kp.writes)
+                for s, e, hits in counter.hot(top)
+                if e > s and hits / self.calls >= confidence
+            ]
+            # Hottest first across both counters; dedupe exact repeats
+            # (a range both read- and write-hot is speculated on once).
+            spans.sort(key=lambda t: (-t[2], t[0], t[1]))
+            picked: list[tuple[int, int]] = []
+            for s, e, _hits in spans:
+                if (s, e) not in picked:
+                    picked.append((s, e))
+                if len(picked) >= top:
+                    break
+            if picked:
+                out[key] = picked
+        return out
 
     def add_phase(self, name: str, duration: float) -> None:
         entry = self.phases.get(name)

@@ -1,0 +1,191 @@
+"""Chaos plane vs the delivery plane: speculation must degrade, never harm.
+
+Three promises under fault injection:
+
+* a stripe outage mid-prefetch aborts the speculative pull after the
+  client's bounded probes — no outer retry loop re-drives it — and the
+  demand path takes over untouched once the stripe heals;
+* a host crash mid-prefetch never strands the call: the retry plane
+  re-dispatches it and the surviving host serves it (speculatively or
+  not);
+* the 500-call seeded soak stays byte-for-byte deterministic with
+  proactive delivery enabled — prefetch traffic must not perturb the
+  canonical fault log.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro.chaos import ChaosPlan, run_soak
+from repro.chaos.engine import ChaosEngine
+from repro.chaos.plan import CrashSpec, StripeOutage
+from repro.chaos.soak import SOAK_RETRY_POLICY
+from repro.chaos.state import ChaosStateStore
+from repro.host.filesystem import GlobalObjectStore
+from repro.runtime import FaasmCluster
+from repro.state.api import StateAPI
+from repro.state.kv import StateClient, StateUnavailableError
+from repro.state.local import LocalTier
+from repro.state.prefetch import DeliveryPolicy, Prefetcher
+from repro.telemetry import AccessProfile, ProfileStore
+
+pytestmark = pytest.mark.chaos
+
+KEY = "hot/key"
+SIZE = 8 * 1024
+
+
+def _stripe(key: str) -> int:
+    return zlib.crc32(key.encode()) % 16
+
+
+def _profile_store_with(function: str, key: str, size: int) -> ProfileStore:
+    store = ProfileStore(GlobalObjectStore())
+    profile = AccessProfile(function)
+    profile.calls = 10
+    profile.key_profile(key).reads.add(0, size, 10)
+    store.save(profile)
+    return store
+
+
+class TestOutageMidPrefetch:
+    def test_aborts_bounded_then_demand_path_recovers(self):
+        plan = ChaosPlan(
+            seed=7,
+            stripe_outages=(
+                # Window opens right after the seeding write (op 0) and is
+                # far wider than the state client's bounded retries, so
+                # nothing inside it can sneak through.
+                StripeOutage(stripe=_stripe(KEY), start_op=1, n_ops=100),
+            ),
+        )
+        engine = ChaosEngine(plan)
+        store = ChaosStateStore(engine)
+        store.set_value(KEY, b"\x5a" * SIZE)  # op 0, before the window
+        tier = LocalTier("chaos-host", StateClient(store))
+        prefetcher = Prefetcher(
+            "chaos-host",
+            tier,
+            _profile_store_with("fn", KEY, SIZE),
+            DeliveryPolicy.aggressive(synchronous=True),
+        )
+
+        handle = prefetcher.begin("fn")
+        assert handle is not None and handle.wait(5)
+        assert handle.aborted
+        assert handle.bytes_pulled == 0
+        assert prefetcher.stats()["fn"]["aborted"] == 1
+        # No retry storm: the speculative pull probed the dark stripe
+        # exactly once (the unretried metadata trip) and gave up.
+        assert engine.metrics.counter("state.unavailable").value == 1
+
+        # The abort left nothing behind: the outage hit the sizing trip,
+        # before a replica could even be created — the tier looks exactly
+        # as if no prefetch had ever been scheduled.
+        assert not tier.has_replica(KEY)
+
+        # Burn through the outage window with throwaway metadata ops,
+        # then prove the demand path (and a fresh prefetch) work exactly
+        # as if the aborted speculation had never been scheduled.
+        for _ in range(110):
+            try:
+                store.size(KEY)
+            except StateUnavailableError:
+                pass
+        retry = prefetcher.begin("fn")
+        assert retry is not None and retry.wait(5)
+        assert not retry.aborted
+        assert retry.bytes_pulled == SIZE
+        api = StateAPI(tier)
+        view = api.get_state(KEY, mark_dirty=False)
+        assert bytes(view) == b"\x5a" * SIZE
+        assert tier.prefetch_hit_bytes.get(KEY) == SIZE
+
+    def test_narrow_blip_rides_client_retries(self):
+        """An outage window *narrower* than the client's retry budget,
+        opening after the sizing trip: the speculative data pull rides it
+        out through the client's bounded backoff — degraded, not dead."""
+        plan = ChaosPlan(
+            seed=8,
+            stripe_outages=(
+                # op 0 = seed write, op 1 = prefetch sizing trip; the
+                # window darkens the data pull's first 10 attempts only.
+                StripeOutage(stripe=_stripe(KEY), start_op=2, n_ops=10),
+            ),
+        )
+        store = ChaosStateStore(ChaosEngine(plan))
+        store.set_value(KEY, b"\x11" * SIZE)
+        tier = LocalTier("chaos-host", StateClient(store))
+        prefetcher = Prefetcher(
+            "chaos-host",
+            tier,
+            _profile_store_with("fn", KEY, SIZE),
+            DeliveryPolicy.aggressive(synchronous=True),
+        )
+        handle = prefetcher.begin("fn")
+        assert handle is not None and handle.wait(5)
+        assert not handle.aborted
+        assert handle.bytes_pulled == SIZE
+        view = StateAPI(tier).get_state(KEY, mark_dirty=False)
+        assert bytes(view) == b"\x11" * SIZE
+
+
+class TestCrashMidPrefetch:
+    def test_crash_never_strands_the_call(self):
+        plan = ChaosPlan(seed=11, crashes=(CrashSpec(1, "mid-prefetch"),))
+        cluster = FaasmCluster(
+            n_hosts=2,
+            chaos=plan,
+            retry_policy=SOAK_RETRY_POLICY,
+            delivery=DeliveryPolicy.aggressive(),
+        )
+        try:
+            cluster.global_state.set_value(KEY, b"\x42" * SIZE)
+
+            def reader(ctx):
+                view = ctx.state.get_state(KEY, mark_dirty=False)
+                ctx.write_output(bytes(view[:8]))
+                return 0
+
+            cluster.register_python("reader", reader)
+            profile = AccessProfile("reader")
+            profile.calls = 10
+            profile.key_profile(KEY).reads.add(0, SIZE, 10)
+            cluster.profile_store.save(profile)
+
+            code, output = cluster.invoke("reader")
+            assert code == 0
+            assert output == b"\x42" * 8
+            assert cluster.chaos.crashes_fired() == 1
+            cluster.quiesce_delivery()
+        finally:
+            cluster.shutdown()
+
+
+class TestSoakWithDelivery:
+    def test_soak_is_deterministic_with_prefetch_on(self):
+        kwargs = dict(
+            seed=90125,
+            calls=500,
+            hosts=4,
+            timeout=30.0,
+            # Low confidence: the warm-up's chaos/config pulls land on a
+            # few hosts only, so the per-call hit ratio is small — the
+            # point is that plans exist and speculative pulls race the
+            # fault schedule, not that every dispatch prefetches.
+            delivery=DeliveryPolicy.aggressive(confidence=0.05),
+            warmup=24,
+        )
+        first = run_soak(**kwargs)
+        second = run_soak(**kwargs)
+        assert first.ok, f"stranded: {first.stranded}"
+        assert second.ok, f"stranded: {second.stranded}"
+        assert first.crashes_fired == 2
+        # The delivery plane must be invisible to the fault schedule:
+        # same seed, byte-identical canonical logs.
+        assert first.digest == second.digest
+        assert first.log_lines == second.log_lines
+        assert first.crashes_fired == second.crashes_fired

@@ -70,6 +70,41 @@ def test_report_markdown(capsys):
     assert "OpenMetrics endpoint served" in out
 
 
+def test_prefetch_reports_hit_waste_ratios(capsys):
+    """The profiles→prefetch feedback loop end to end: mined profiles
+    from round one must drive real speculative pulls in round two, and
+    the ledger table must attribute them per function."""
+    assert main(["prefetch", "--hosts", "2", "--calls", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "delivery policy: aggressive" in out
+    assert "function" in out and "prefetched" in out and "waste" in out
+    # The demo's chained stages read remotely: their profile must have
+    # produced actual speculative traffic with a non-trivial hit rate.
+    stage_row = next(
+        line for line in out.splitlines() if line.startswith("stage")
+    ).split()
+    prefetched = int(stage_row[1].replace(",", ""))
+    hit_pct = float(stage_row[4].rstrip("%"))
+    assert prefetched > 0
+    assert hit_pct > 0.0
+    assert "push-invalidate:" in out
+    assert "pre-placed pages:" in out
+
+
+def test_prefetch_json_ledger(capsys):
+    assert main(["prefetch", "--calls", "3", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["policy"] == "aggressive"
+    assert "stage" in doc["functions"]
+    stage = doc["functions"]["stage"]
+    assert stage["prefetched_bytes"] > 0
+    assert stage["hit_bytes"] > 0
+    assert stage["waste_bytes"] == (
+        stage["prefetched_bytes"] - stage["hit_bytes"]
+    )
+    assert set(doc["invalidate"]) == {"skips", "delta_pulls", "bytes_saved"}
+
+
 def test_report_html_to_file(tmp_path, capsys):
     out_file = tmp_path / "report.html"
     assert main([

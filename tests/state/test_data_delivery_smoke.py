@@ -1,0 +1,98 @@
+"""Tier-1 regression guard for the proactive data delivery plane.
+
+The full benchmark (``benchmarks/bench_data_delivery.py``) measures the
+chained push-invalidate win on a 256 KiB key; this smoke test is its
+fast tier-1 proxy: a callee's forced pull with piggybacked invalidation
+hints must ship ≥floor× fewer bytes than the demand pull (floor stored
+in ``benchmarks/results/data_delivery.json``), and a *clean* key's
+forced pull must ship nothing in zero round trips. Both metrics are
+deterministic byte/trip counts, not timings — the guard catches
+regressions that silently fall back to full-value transfers (lost
+hints, a broken version chain walk, a fast path that stopped firing).
+
+Run just this guard with ``pytest -m smoke``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.state.kv import GlobalStateStore, StateClient, TransferMeter
+from repro.state.local import LocalTier
+
+_RESULTS = (
+    pathlib.Path(__file__).parents[2]
+    / "benchmarks"
+    / "results"
+    / "data_delivery.json"
+)
+
+#: Used when the results file is missing (fresh checkout, no bench run).
+_DEFAULT_FLOOR = 8.0
+
+KEY = "delivery/grid"
+SIZE = 64 * 1024
+DIRTY = 4 * 1024
+
+
+def _stored_floor() -> float:
+    if not _RESULTS.exists():
+        return _DEFAULT_FLOOR
+    rows = json.loads(_RESULTS.read_text())
+    for row in rows:
+        if "smoke_floor" in row:
+            return float(row["smoke_floor"])
+    return _DEFAULT_FLOOR
+
+
+@pytest.mark.smoke
+def test_invalidate_delta_and_clean_skip_floors():
+    """4 KiB dirty of 64 KiB: the hinted forced pull ships the delta
+    (≥floor× fewer bytes than demand), a clean key ships nothing."""
+    store = GlobalStateStore()
+    store.set_value(KEY, b"\x33" * SIZE)
+    tier_a = LocalTier("host-a", StateClient(store))
+    meter_b = TransferMeter()
+    tier_b = LocalTier("host-b", StateClient(store, meter_b))
+    tier_b.pull(KEY)
+
+    tier_a.pull(KEY)
+    tier_a.write_local(KEY, b"\x44" * DIRTY, 0)
+    tier_a.push(KEY)
+
+    # Demand baseline: forced pull with no hints ships the whole value.
+    demand_before = meter_b.received_bytes
+    tier_b.pull(KEY, force=True)
+    demand_bytes = meter_b.received_bytes - demand_before
+    assert demand_bytes == SIZE
+
+    # Hinted pull: only the pushed delta travels.
+    tier_a.write_local(KEY, b"\x55" * DIRTY, 0)
+    tier_a.push(KEY)
+    tier_b.apply_invalidations(tier_a.invalidation_payload())
+    delta_before = meter_b.received_bytes
+    tier_b.pull(KEY, force=True)
+    delta_bytes = meter_b.received_bytes - delta_before
+    assert bytes(tier_b.read_local(KEY, 0, DIRTY)) == b"\x55" * DIRTY
+    assert delta_bytes == DIRTY
+
+    floor = _stored_floor()
+    ratio = demand_bytes / delta_bytes
+    assert ratio >= floor, (
+        f"hinted pull saved only {ratio:.1f}x, floor {floor}x"
+    )
+
+    # Clean key: the hint proves version equality, the pull is free.
+    tier_b.apply_invalidations(tier_a.invalidation_payload())
+    clean_bytes_before = meter_b.received_bytes
+    clean_trips_before = meter_b.round_trips
+    tier_b.pull(KEY, force=True)
+    assert meter_b.received_bytes == clean_bytes_before
+    assert meter_b.round_trips == clean_trips_before
+    stats = tier_b.delivery_stats()
+    assert stats["invalidate_skips"] >= 1
+    assert stats["invalidate_delta_pulls"] >= 1
+    assert stats["invalidate_bytes_saved"] >= SIZE - DIRTY

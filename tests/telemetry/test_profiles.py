@@ -187,3 +187,130 @@ class TestMinerMechanics:
         counter.add(20, 30)  # evicts the coldest, (10, 20)
         assert counter.hot() == [(0, 10, 5), (20, 30, 1)]
         assert len(counter) == 2
+
+    def test_range_counter_never_evicts_hotter_for_colder(self):
+        """A stream of one-hit ranges must not flush hot residents."""
+        counter = RangeCounter(max_ranges=2)
+        counter.add(0, 10, hits=5)
+        counter.add(10, 20, hits=3)
+        for i in range(50):
+            counter.add(100 + i, 101 + i)  # all colder than both residents
+        assert counter.hot() == [(0, 10, 5), (10, 20, 3)]
+
+
+# ---------------------------------------------------------------------------
+# Property tests: RangeCounter merge/coverage and AccessProfile.hot_ranges
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+#: Small (start, end, hits) triples: overlapping and identical spans are
+#: likely, so merge exercises both the sum path and distinct-key inserts.
+_span = st.tuples(
+    st.integers(min_value=0, max_value=8),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=5),
+).map(lambda t: (t[0], t[0] + t[1], t[2]))
+_spans = st.lists(_span, max_size=12)
+
+
+def _counter(spans, max_ranges=1024):
+    counter = RangeCounter(max_ranges=max_ranges)
+    for s, e, n in spans:
+        counter.add(s, e, n)
+    return counter
+
+
+class TestRangeCounterProperties:
+    @given(_spans, _spans)
+    @settings(max_examples=200, deadline=None)
+    def test_merge_commutes_under_capacity(self, a_spans, b_spans):
+        """With no eviction pressure, a.merge(b) and b.merge(a) hold the
+        same (range -> hits) table: identical spans sum, overlapping but
+        distinct spans stay distinct entries."""
+        ab = _counter(a_spans)
+        ab.merge(_counter(b_spans))
+        ba = _counter(b_spans)
+        ba.merge(_counter(a_spans))
+        assert ab.hot() == ba.hot()
+        assert ab.total_hits() == ba.total_hits()
+
+    @given(_spans, _spans)
+    @settings(max_examples=200, deadline=None)
+    def test_merge_is_monotone_under_capacity(self, a_spans, b_spans):
+        """Merging can only add information: coverage and total hits never
+        drop below either input's (again absent eviction, which is lossy
+        by design)."""
+        a = _counter(a_spans)
+        b = _counter(b_spans)
+        merged = _counter(a_spans)
+        merged.merge(b)
+        assert merged.coverage() >= max(a.coverage(), b.coverage())
+        assert merged.total_hits() == a.total_hits() + b.total_hits()
+
+    @given(_spans)
+    @settings(max_examples=200, deadline=None)
+    def test_coverage_merges_overlaps(self, spans):
+        """Coverage counts each byte once regardless of how many tracked
+        ranges overlap it, and never exceeds the bounding extent."""
+        counter = _counter(spans)
+        covered = set()
+        for s, e, _ in spans:
+            covered.update(range(s, e))
+        assert counter.coverage() == len(covered)
+
+    @given(_spans)
+    @settings(max_examples=100, deadline=None)
+    def test_serialisation_round_trip(self, spans):
+        counter = _counter(spans)
+        clone = RangeCounter.from_dict(counter.to_dict())
+        assert clone.hot() == counter.hot()
+
+
+class TestHotRanges:
+    def _profile(self, calls: int, read_spans, write_spans=()):
+        profile = AccessProfile("fn")
+        profile.calls = calls
+        kp = profile.key_profile("grid")
+        for s, e, n in read_spans:
+            kp.reads.add(s, e, n)
+        for s, e, n in write_spans:
+            kp.writes.add(s, e, n)
+        return profile
+
+    def test_empty_profile_yields_nothing(self):
+        assert AccessProfile("fn").hot_ranges() == {}
+        # Ranges recorded but zero observed calls: no denominator, no plan.
+        assert self._profile(0, [(0, 10, 3)]).hot_ranges() == {}
+
+    def test_all_cold_profile_yields_nothing(self):
+        profile = self._profile(100, [(0, 10, 4), (10, 20, 9)])
+        assert profile.hot_ranges(confidence=0.5) == {}
+
+    def test_confidence_threshold_filters_per_range(self):
+        profile = self._profile(10, [(0, 10, 9), (10, 20, 2)])
+        assert profile.hot_ranges(confidence=0.5) == {"grid": [(0, 10)]}
+        assert profile.hot_ranges(confidence=0.1) == {
+            "grid": [(0, 10), (10, 20)]
+        }
+
+    def test_write_ranges_count_and_dedupe_against_reads(self):
+        """Read-modify-write guests record writes; those ranges prefetch
+        too, and a range hot in both counters appears once."""
+        profile = self._profile(
+            4, [(0, 10, 4)], write_spans=[(0, 10, 4), (10, 20, 4)]
+        )
+        assert profile.hot_ranges(confidence=0.5) == {
+            "grid": [(0, 10), (10, 20)]
+        }
+
+    def test_top_caps_span_count(self):
+        spans = [(i * 10, i * 10 + 10, 5) for i in range(6)]
+        profile = self._profile(5, spans)
+        hot = profile.hot_ranges(confidence=0.5, top=3)
+        assert len(hot["grid"]) == 3
+
+    def test_degenerate_spans_are_ignored(self):
+        profile = self._profile(2, [(5, 5, 10)])
+        assert profile.hot_ranges(confidence=0.5) == {}
