@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import threading
 
-from repro.runtime.bus import MessageBus, Shutdown
+from repro.runtime.bus import ExecuteBatch, ExecuteCall, MessageBus, Shutdown
 from repro.telemetry import MetricsRegistry
 
 from .engine import ChaosEngine
@@ -48,6 +48,9 @@ class ChaosMessageBus(MessageBus):
         if self.engine is None or isinstance(message, Shutdown):
             self._send_with_flush(host, message)
             return
+        if isinstance(message, ExecuteBatch):
+            self._send_batch(host, message)
+            return
         action = self.engine.bus_action(message)
         if action is None:
             self._send_with_flush(host, message)
@@ -70,6 +73,78 @@ class ChaosMessageBus(MessageBus):
         timer = threading.Timer(_REORDER_FLUSH_S, self._flush_held, args=(host,))
         timer.daemon = True
         timer.start()
+
+    def send_many(self, host: str, messages) -> None:
+        """Route every message of a batched send through the per-message
+        fault logic; chaos mode trades the single-lock fast path for
+        faithful per-delivery fault decisions."""
+        for message in messages:
+            self.send(host, message)
+
+    def _send_batch(self, host: str, batch: ExecuteBatch) -> None:
+        """Inject faults into a batched dispatch, per carried call.
+
+        Fault decisions are identity-hashed on each item's call id — the
+        very same decisions its per-call dispatch would have drawn — so
+        the canonical fault log does not depend on how the ingestion
+        plane happened to group calls into batches. Faulted items are
+        carved out of the batch: drops vanish (the monitor's attempt
+        timeout recovers them), duplicates ride the clean batch *and* a
+        single-item echo, delays/reorders travel as held-back single-item
+        batches.
+        """
+        clean: list[tuple] = []
+        for item in batch.items:
+            call_id, attempt = item
+            probe = ExecuteCall(call_id, batch.function, attempt=attempt)
+            action = self.engine.bus_action(probe)
+            if action is None:
+                clean.append(item)
+                continue
+            kind, delay_s = action
+            single = ExecuteBatch(
+                batch.function, (item,), origin=batch.origin,
+                shared=batch.shared,
+            )
+            if kind == "drop":
+                continue
+            if kind == "duplicate":
+                clean.append(item)
+                super().send(host, single)
+                continue
+            if kind == "delay":
+                timer = threading.Timer(
+                    delay_s, self._super_send_safely, args=(host, single)
+                )
+                timer.daemon = True
+                timer.start()
+                continue
+            # reorder: hold until the next send to this host overtakes it.
+            with self._held_mutex:
+                self._held.setdefault(host, []).append(single)
+            timer = threading.Timer(
+                _REORDER_FLUSH_S, self._flush_held, args=(host,)
+            )
+            timer.daemon = True
+            timer.start()
+        if clean:
+            self._send_with_flush(
+                host,
+                ExecuteBatch(
+                    batch.function, tuple(clean), origin=batch.origin,
+                    shared=batch.shared,
+                ),
+            )
+        else:
+            self._flush_held(host)
+
+    def _super_send_safely(self, host: str, message) -> None:
+        """Timer-thread delivery that tolerates a host deregistering
+        while the message was in flight."""
+        try:
+            super().send(host, message)
+        except KeyError:
+            pass
 
     def _send_with_flush(self, host: str, message) -> None:
         """Deliver ``message``, then any held messages it overtakes."""

@@ -148,6 +148,7 @@ def run_soak(
     plan: ChaosPlan | None = None,
     delivery: DeliveryPolicy | None = None,
     warmup: int = 0,
+    ingest: bool = False,
 ) -> SoakReport:
     """Run a full seeded soak and report every call's fate.
 
@@ -157,6 +158,13 @@ def run_soak(
     real: every dispatch races a speculative pull of ``chaos/config``
     against the chaos plan. Warm-up calls are excluded from the report —
     the invariant and the canonical fault log cover the main batch only.
+
+    With ``ingest=True`` the calls enter through the ingestion plane
+    (admission + batched dispatch + ``ExecuteBatch`` pool execution,
+    DESIGN.md §11) instead of per-call ``dispatch`` — the batched plane
+    must preserve both the exactly-once invariant and the seed's
+    byte-identical canonical fault log, since every fault decision is
+    identity-hashed on the call id, never on batch composition.
     """
     plan = plan if plan is not None else build_plan(
         seed, calls=calls, drop_rate=drop_rate,
@@ -189,10 +197,24 @@ def run_soak(
                     max(0.0, warm_deadline - time.monotonic())
                 )
             cluster.persist_profiles()
-        ids = [
-            cluster.dispatch("chaos-target", str(i).encode())
-            for i in range(calls)
-        ]
+        if ingest:
+            from repro.runtime.ingest import IngestionConfig
+
+            cluster.ingestion(
+                IngestionConfig(default_queue_limit=calls + warmup + 16)
+            )
+            ids = []
+            for i in range(calls):
+                call_id, outcome = cluster.submit(
+                    "chaos-target", str(i).encode()
+                )
+                assert outcome == "admitted", outcome
+                ids.append(call_id)
+        else:
+            ids = [
+                cluster.dispatch("chaos-target", str(i).encode())
+                for i in range(calls)
+            ]
         deadline = start + timeout
         records = [cluster.calls.get(call_id) for call_id in ids]
         for record in records:

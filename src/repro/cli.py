@@ -741,6 +741,26 @@ def cmd_prefetch(args) -> int:
         serve.shutdown()
 
 
+def _render_ingest_row(cluster) -> str:
+    """The dashboard's ingestion row: arrival rate, total queue depth
+    (admission + bus + executor pools), and p99 sojourn. Clusters without
+    an ingestion plane still show their bus queue depth."""
+    stats = cluster.ingestion_stats()
+    if stats:
+        depth = (
+            stats["admission_backlog"]
+            + stats["bus_pending"]
+            + stats["pool_backlog"]
+        )
+        return (
+            f"ingest {stats['arrival_rate']:7.0f}/s"
+            f"  queued {depth}"
+            f"  p99 sojourn {stats['sojourn_p99_s'] * 1e3:.1f} ms"
+        )
+    depths = cluster.bus.update_queue_gauges()
+    return f"ingest       -/s  queued {sum(depths.values())}  p99 sojourn -"
+
+
 def _render_top_frame(cluster, frame: int, frames: int, started: float) -> str:
     telemetry = cluster.telemetry
     agg = cluster.metrics_snapshot()["aggregates"]
@@ -756,6 +776,7 @@ def _render_top_frame(cluster, frame: int, frames: int, started: float) -> str:
         f"  state {(agg['state.bytes_sent'] + agg['state.bytes_received']) / 2**20:.2f} MiB"
         f"  simd {agg['simd.ops']:.0f}"
         f"  threads {agg['thread.spawned']:.0f}",
+        _render_ingest_row(cluster),
         "",
         f"{'function':<12}{'calls':>7}{'p50ms':>9}{'p95ms':>9}{'p99ms':>9}"
         f"{'burn':>7}{'slo':>6}  hosts",
@@ -808,6 +829,145 @@ def cmd_top(args) -> int:
     finally:
         stop.set()
         worker.join(timeout=10.0)
+        cluster.shutdown()
+
+
+def _parse_tenant_weights(spec: str, count: int) -> dict[str, float]:
+    """``--tenants`` accepts either a count ("3") handled by the caller or
+    explicit "name:weight,name:weight" pairs; this parses the pairs."""
+    weights: dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if ":" in part:
+            name, _, raw = part.partition(":")
+            weights[name.strip()] = float(raw)
+        else:
+            weights[part] = 1.0
+    return weights
+
+
+def _ingest_echo(ctx):
+    ctx.write_output(b"ok:" + ctx.input())
+    return 0
+
+
+def cmd_ingest(args) -> int:
+    """``repro ingest``: replay an open-loop arrival trace through the
+    ingestion plane and report throughput, latency and fairness."""
+    import json
+
+    from repro.runtime import FaasmCluster
+    from repro.runtime.ingest import IngestionConfig, TenantSpec
+    from repro.sim import workload
+    from repro.telemetry import Telemetry
+
+    if ":" in args.tenants or "," in args.tenants:
+        weights = _parse_tenant_weights(args.tenants, 0)
+    else:
+        n = max(1, int(args.tenants))
+        # Default tenant mix: distinct weights so the fairness column has
+        # something to show (tenant-0 weight 1, tenant-1 weight 2, ...).
+        weights = {f"tenant-{i}": float(i + 1) for i in range(n)}
+    per_tenant_rate = args.rate / max(1, len(weights))
+
+    if args.trace == "multi":
+        events = workload.multi_tenant_trace(
+            {name: per_tenant_rate for name in weights},
+            args.duration, seed=args.seed, functions=("ingest-echo",),
+        )
+    elif args.trace == "bursty":
+        events = workload.bursty_trace(
+            args.rate, args.duration, seed=args.seed,
+            functions=("ingest-echo",), tenant=next(iter(sorted(weights))),
+        )
+    else:
+        events = workload.poisson_trace(
+            args.rate, args.duration, seed=args.seed,
+            functions=("ingest-echo",), tenant=next(iter(sorted(weights))),
+        )
+
+    config = IngestionConfig(
+        batch_size=args.batch,
+        tenants=tuple(
+            TenantSpec(name, weight=w, queue_limit=args.queue_limit)
+            for name, w in sorted(weights.items())
+        ),
+        default_queue_limit=args.queue_limit,
+    )
+    cluster = FaasmCluster(
+        n_hosts=args.hosts, telemetry=Telemetry(enabled=True)
+    )
+    try:
+        cluster.register_python("ingest-echo", _ingest_echo)
+        plane = cluster.ingestion(config)
+        started = time.perf_counter()
+        outcomes = workload.replay(
+            events, cluster.submit, speed=args.speed
+        )
+        plane.drain(timeout=args.timeout)
+        elapsed = time.perf_counter() - started
+
+        admitted = sum(1 for _, o in outcomes if o == "admitted")
+        deferred = sum(1 for _, o in outcomes if o == "deferred")
+        shed = sum(1 for _, o in outcomes if o == "shed")
+        stats = plane.stats()
+        bus_stats = cluster.bus.stats
+        total_weight = sum(weights.values()) or 1.0
+        total_served = sum(
+            t["served"] for t in stats["tenants"].values()
+        ) or 1
+        result = {
+            "trace": args.trace,
+            "events": len(events),
+            "admitted": admitted,
+            "deferred": deferred,
+            "shed": shed,
+            "duration_s": round(elapsed, 4),
+            "throughput_cps": round(admitted / max(elapsed, 1e-9), 1),
+            "batches": bus_stats.batches,
+            "batched_calls": bus_stats.batched_calls,
+            "sojourn_p50_ms": round(stats["sojourn_p50_s"] * 1e3, 3),
+            "sojourn_p99_ms": round(stats["sojourn_p99_s"] * 1e3, 3),
+            "tenants": {
+                name: {
+                    "weight": t["weight"],
+                    "served": t["served"],
+                    "share": round(t["served"] / total_served, 4),
+                    "fair_share": round(
+                        t["weight"] / total_weight, 4
+                    ),
+                }
+                for name, t in stats["tenants"].items()
+            },
+        }
+        if args.json:
+            print(json.dumps(result, indent=2))
+        else:
+            print(
+                f"trace {args.trace}: {len(events)} arrivals, "
+                f"{admitted} admitted, {deferred} deferred, {shed} shed"
+            )
+            print(
+                f"throughput {result['throughput_cps']:.0f} calls/s "
+                f"in {elapsed:.2f}s  "
+                f"({bus_stats.batches} batches, "
+                f"{bus_stats.batched_calls} batched calls)"
+            )
+            print(
+                f"sojourn p50 {result['sojourn_p50_ms']:.2f} ms  "
+                f"p99 {result['sojourn_p99_ms']:.2f} ms"
+            )
+            print(f"{'tenant':<12}{'weight':>8}{'served':>8}"
+                  f"{'share':>8}{'fair':>8}")
+            for name, t in result["tenants"].items():
+                print(
+                    f"{name:<12}{t['weight']:>8.1f}{t['served']:>8}"
+                    f"{t['share']:>8.2%}{t['fair_share']:>8.2%}"
+                )
+        return 0
+    finally:
         cluster.shutdown()
 
 
@@ -1104,6 +1264,39 @@ def main(argv: list[str] | None = None) -> int:
                       help="print the report as JSON")
     p_ch.add_argument("--log", help="write the canonical fault log to FILE")
     p_ch.set_defaults(fn=cmd_chaos)
+
+    p_ing = sub.add_parser(
+        "ingest",
+        help="replay an open-loop arrival trace through the ingestion "
+             "plane and report throughput/latency/fairness",
+    )
+    p_ing.add_argument("--trace", choices=("poisson", "bursty", "multi"),
+                       default="multi",
+                       help="arrival trace kind (default multi)")
+    p_ing.add_argument("--tenants", default="2",
+                       help="tenant count, or explicit name:weight pairs "
+                            "(e.g. 'gold:3,free:1'; default 2)")
+    p_ing.add_argument("--rate", type=float, default=2000.0,
+                       help="aggregate offered calls/sec (default 2000)")
+    p_ing.add_argument("--duration", type=float, default=1.0,
+                       help="trace duration in seconds (default 1.0)")
+    p_ing.add_argument("--hosts", type=int, default=2,
+                       help="cluster size (default 2)")
+    p_ing.add_argument("--batch", type=int, default=64,
+                       help="dispatch batch size (default 64)")
+    p_ing.add_argument("--queue-limit", type=int, default=100_000,
+                       help="per-tenant admission queue bound "
+                            "(default 100000)")
+    p_ing.add_argument("--seed", type=int, default=0,
+                       help="trace seed (default 0)")
+    p_ing.add_argument("--speed", type=float, default=0.0,
+                       help="replay speed multiplier; 0 = as fast as "
+                            "possible (default 0)")
+    p_ing.add_argument("--timeout", type=float, default=60.0,
+                       help="drain deadline in seconds (default 60)")
+    p_ing.add_argument("--json", action="store_true",
+                       help="print the report as JSON")
+    p_ing.set_defaults(fn=cmd_ingest)
 
     p_pr = sub.add_parser(
         "profiles",

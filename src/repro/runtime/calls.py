@@ -63,6 +63,50 @@ ATTEMPT_LOST = "lost"
 ATTEMPT_FAILED = "failed"
 
 
+#: Shared allocator guard for :class:`CompletionFlag`'s lazy event. Only
+#: the *first* waiter on an unfinished call ever takes it, so it cannot
+#: become a hot lock the way a per-record ``threading.Event`` is a hot
+#: allocation (an Event is a Condition plus a Lock — ~3 µs per record,
+#: which at 10⁵ queued calls is a third of a second of pure setup).
+_FLAG_ALLOC_LOCK = threading.Lock()
+
+
+class CompletionFlag:
+    """Drop-in for the ``wait``/``set``/``is_set`` subset of
+    :class:`threading.Event`, allocating the real event only when a
+    thread actually blocks. Most calls in a bulk ingestion run are
+    awaited via ``drain`` polling, never via ``done.wait``, so the
+    common case is a plain boolean."""
+
+    __slots__ = ("_flag", "_event")
+
+    def __init__(self) -> None:
+        self._flag = False
+        self._event: threading.Event | None = None
+
+    def is_set(self) -> bool:
+        return self._flag
+
+    def set(self) -> None:
+        self._flag = True
+        event = self._event
+        if event is not None:
+            event.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        if self._flag:
+            return True
+        with _FLAG_ALLOC_LOCK:
+            if self._event is None:
+                self._event = threading.Event()
+            event = self._event
+        # Re-check after publishing the event: a setter that missed it
+        # has already flipped the flag, and one that sees it will set it.
+        if self._flag:
+            return True
+        return event.wait(timeout)
+
+
 @dataclass
 class AttemptRecord:
     """One dispatch of a call to a host."""
@@ -99,7 +143,11 @@ class CallRecord:
     attempts: list[AttemptRecord] = field(default_factory=list)
     #: Per-attempt failure reasons, newest last (set on CALL_FAILED).
     failure_chain: list[str] = field(default_factory=list)
-    done: threading.Event = field(default_factory=threading.Event, repr=False)
+    done: CompletionFlag = field(default_factory=CompletionFlag, repr=False)
+    #: Guards this record's attempt list and state transitions. Per-record
+    #: so N hosts completing N different calls never serialise on one
+    #: registry-wide lock (the ingestion plane's de-locked hot path).
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     @property
     def latency(self) -> float:
@@ -144,6 +192,31 @@ class InvocationRegistry:
                 self._by_key[idempotency_key] = record.call_id
         return record
 
+    def create_many(
+        self, function: str, inputs: list[bytes]
+    ) -> list["CallRecord"]:
+        """Create one record per input with a single registry lock hold —
+        the bulk front door's amortised version of :meth:`create`.
+
+        Records (and their ``done`` events) are built outside the mutex:
+        holding it through a thousand Event allocations would serialise
+        against every concurrent completion."""
+        now = time.monotonic()
+        records = [
+            CallRecord(
+                next(self._ids),
+                function,
+                data if type(data) is bytes else bytes(data),
+                submitted_at=now,
+            )
+            for data in inputs
+        ]
+        with self._mutex:
+            self._calls.update(
+                (record.call_id, record) for record in records
+            )
+        return records
+
     def create_or_get(
         self, function: str, input_data: bytes, idempotency_key: str | None
     ) -> tuple[CallRecord, bool]:
@@ -157,11 +230,20 @@ class InvocationRegistry:
         return self.create(function, input_data, idempotency_key), True
 
     def get(self, call_id: int) -> CallRecord:
-        with self._mutex:
-            record = self._calls.get(call_id)
+        # Lock-free: dict reads are atomic under the GIL and records are
+        # never removed, so a reader can never observe a broken table.
+        record = self._calls.get(call_id)
         if record is None:
             raise KeyError(f"unknown call id {call_id}")
         return record
+
+    def get_many(self, call_ids) -> list[CallRecord]:
+        """Fetch several records at once (batch expansion); lock-free
+        like :meth:`get`."""
+        try:
+            return [self._calls[call_id] for call_id in call_ids]
+        except KeyError as exc:
+            raise KeyError(f"unknown call id {exc.args[0]}") from None
 
     # ------------------------------------------------------------------
     # Attempt protocol
@@ -169,7 +251,7 @@ class InvocationRegistry:
     def new_attempt(self, call_id: int, host: str, epoch: int) -> AttemptRecord:
         """Record a dispatch of ``call_id`` to ``host``."""
         record = self.get(call_id)
-        with self._mutex:
+        with record.lock:
             attempt = AttemptRecord(
                 number=len(record.attempts),
                 host=host,
@@ -178,6 +260,30 @@ class InvocationRegistry:
             )
             record.attempts.append(attempt)
         return attempt
+
+    def new_attempts(
+        self, specs: list[tuple["CallRecord", str, int]]
+    ) -> list[AttemptRecord]:
+        """Record a batch of dispatches under ONE mutex acquisition.
+
+        ``specs`` is ``[(record, host, epoch), ...]`` — the ingestion
+        plane's batched form of :meth:`new_attempt`, so a scheduling round
+        of N calls pays one registry lock instead of N. Returns the
+        attempt records in spec order.
+        """
+        now = time.monotonic()
+        out: list[AttemptRecord] = []
+        for record, host, epoch in specs:
+            with record.lock:
+                attempt = AttemptRecord(
+                    number=len(record.attempts),
+                    host=host,
+                    epoch=epoch,
+                    dispatched_at=now,
+                )
+                record.attempts.append(attempt)
+            out.append(attempt)
+        return out
 
     def begin_attempt(self, call_id: int, number: int, host: str) -> bool:
         """Atomically claim the call for execution of attempt ``number``.
@@ -188,7 +294,7 @@ class InvocationRegistry:
         attempt currently owns the call.
         """
         record = self.get(call_id)
-        with self._mutex:
+        with record.lock:
             if record.done.is_set():
                 return False
             if number < 0 or number >= len(record.attempts):
@@ -212,7 +318,7 @@ class InvocationRegistry:
         rejected here, which is what makes retried execution safe.
         """
         record = self.get(call_id)
-        with self._mutex:
+        with record.lock:
             if record.done.is_set():
                 return False
             if number < 0 or number >= len(record.attempts):
@@ -229,7 +335,7 @@ class InvocationRegistry:
         """Write an in-flight attempt off (timeout or host death); the call
         returns to PENDING for the monitor to re-queue."""
         record = self.get(call_id)
-        with self._mutex:
+        with record.lock:
             if record.done.is_set():
                 return False
             if number < 0 or number >= len(record.attempts):
@@ -247,7 +353,7 @@ class InvocationRegistry:
         """An executor hit a transient infrastructure error (e.g. the state
         tier was unavailable); park the attempt for a backed-off retry."""
         record = self.get(call_id)
-        with self._mutex:
+        with record.lock:
             if record.done.is_set():
                 return False
             if number < 0 or number >= len(record.attempts):
@@ -266,7 +372,7 @@ class InvocationRegistry:
         chain (one reason per attempt) is preserved on the record and in
         the call output."""
         record = self.get(call_id)
-        with self._mutex:
+        with record.lock:
             if record.done.is_set():
                 return False
             chain = list(chain) if chain is not None else [
@@ -294,7 +400,7 @@ class InvocationRegistry:
     def complete(self, call_id: int, return_code: int, output: bytes) -> bool:
         """Finish a call (first completion wins; duplicates are no-ops)."""
         record = self.get(call_id)
-        with self._mutex:
+        with record.lock:
             if record.done.is_set():
                 return False
             self._finish(record, return_code, output)

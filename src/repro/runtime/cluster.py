@@ -32,8 +32,9 @@ from repro.state.kv import GlobalStateStore
 from repro.state.prefetch import DeliveryPolicy
 from repro.telemetry import ProfileStore, Telemetry, export as telemetry_export
 
-from .bus import ExecuteCall, MessageBus, Shutdown
+from .bus import ExecuteBatch, ExecuteCall, MessageBus, Shutdown
 from .calls import CallRecord, InvocationRegistry
+from .ingest import IngestionConfig, IngestionPlane
 from .instance import DEFAULT_CAPACITY, FaasmRuntimeInstance
 from .monitor import InvocationMonitor, RetryPolicy
 from .registry import FunctionRegistry
@@ -101,7 +102,9 @@ class FaasmCluster:
             self.object_store, metrics=self.telemetry.metrics
         )
         self.calls = InvocationRegistry()
-        self.warm_sets = WarmSetRegistry(self.global_state)
+        self.warm_sets = WarmSetRegistry(
+            self.global_state, metrics=self.telemetry.metrics
+        )
         #: Shared endpoint registry for Faaslet virtual NICs.
         self.endpoints: dict = {}
         #: Retry plane: on by default; ``RetryPolicy.off()`` restores the
@@ -115,6 +118,9 @@ class FaasmCluster:
         self._delivery_lock = threading.Lock()
         #: function -> (profile digest, chained callees) for pre-placement.
         self._callee_cache: dict[str, tuple] = {}
+        self._capacity = capacity
+        self._reset_between_calls = reset_between_calls
+        self._host_seq = itertools.count(n_hosts)
         self.instances = [
             FaasmRuntimeInstance(
                 f"host-{i}", self, capacity=capacity,
@@ -124,6 +130,13 @@ class FaasmCluster:
         ]
         self._by_host = {instance.host: instance for instance in self.instances}
         self._rr = itertools.count()
+        #: The ingestion plane (admission control + batched dispatch),
+        #: created lazily by :meth:`ingestion` / :meth:`submit`.
+        self._ingest: IngestionPlane | None = None
+        self._ingest_lock = threading.Lock()
+        #: A reactive :class:`~repro.runtime.autoscale.Autoscaler`, when
+        #: the caller attached one (``Autoscaler(cluster, ...)``).
+        self.autoscaler = None
         self._dispatched: list[CallRecord] = []
         self._dispatched_lock = threading.Lock()
         self._inflight: dict[int, CallRecord] = {}
@@ -196,12 +209,14 @@ class FaasmCluster:
         return record.call_id
 
     def _entry_instance(self, origin: str | None) -> FaasmRuntimeInstance:
-        """The (live) scheduler a call enters the cluster through."""
+        """The (live, non-draining) scheduler a call enters through."""
         if origin is not None:
             instance = self._by_host.get(origin)
             if instance is not None and instance.alive:
                 return instance
-        live = [i for i in self.instances if i.alive]
+        live = [i for i in self.instances if i.alive and not i.draining]
+        if not live:
+            live = [i for i in self.instances if i.alive]
         if not live:
             raise RuntimeError("no live hosts in the cluster")
         return live[next(self._rr) % len(live)]
@@ -249,6 +264,119 @@ class FaasmCluster:
         if self.delivery.pre_place:
             self._pre_place(record.function, instance, decision.host)
         return decision
+
+    # ------------------------------------------------------------------
+    # Batched dispatch & the ingestion front door (DESIGN.md §11)
+    # ------------------------------------------------------------------
+    def dispatch_batch(
+        self,
+        function: str,
+        records: list[CallRecord],
+        origin: str | None = None,
+        collect: dict | None = None,
+    ) -> list[str]:
+        """Place and send a batch of already-created call records.
+
+        The ingestion plane's hot path: one batched scheduling decision
+        (warm-set snapshot read once, usually from the epoch cache), one
+        registry lock for all the attempt records, and one
+        :class:`ExecuteBatch` message per target host. With ``collect``
+        (a ``host -> [messages]`` dict) the messages are accumulated there
+        instead of sent, so a caller processing several function groups
+        can flush each host's messages with one :meth:`MessageBus.
+        send_many`. Returns the target host per record, in order.
+        """
+        if not records:
+            return []
+        instance = self._entry_instance(origin)
+        decisions = instance.scheduler.schedule_batch(function, len(records))
+        by_host: dict[str, list[CallRecord]] = {}
+        shared_hosts: set[str] = set()
+        for record, decision in zip(records, decisions):
+            by_host.setdefault(decision.host, []).append(record)
+            if decision.host != instance.host and decision.reason in (
+                "shared", "resident", "cold-spread"
+            ):
+                shared_hosts.add(decision.host)
+        if self.retry.enabled:
+            # One registry lock for the whole round's attempt records.
+            specs, flat = [], []
+            for host, group in by_host.items():
+                epoch = self._by_host[host].epoch
+                for record in group:
+                    specs.append((record, host, epoch))
+                    flat.append(record)
+            attempts = self.calls.new_attempts(specs)
+            numbers = {
+                record.call_id: attempt.number
+                for record, attempt in zip(flat, attempts)
+            }
+            with self._inflight_lock:
+                for record in records:
+                    self._inflight[record.call_id] = record
+        else:
+            numbers = {record.call_id: -1 for record in records}
+        for host, group in by_host.items():
+            batch = ExecuteBatch(
+                function,
+                tuple(
+                    (record.call_id, numbers[record.call_id])
+                    for record in group
+                ),
+                origin=instance.host,
+                shared=host in shared_hosts,
+            )
+            if collect is not None:
+                collect.setdefault(host, []).append(batch)
+            else:
+                self.bus.send(host, batch)
+        with self._dispatched_lock:
+            self._dispatched.extend(records)
+        targets = {}
+        for host, group in by_host.items():
+            for record in group:
+                targets[record.call_id] = host
+        return [targets[record.call_id] for record in records]
+
+    def ingestion(self, config: IngestionConfig | None = None) -> IngestionPlane:
+        """The cluster's ingestion plane (created on first use). Passing a
+        config after the plane exists raises — admission limits are not
+        hot-swappable."""
+        with self._ingest_lock:
+            if self._ingest is None:
+                self._ingest = IngestionPlane(
+                    self, config if config is not None else IngestionConfig()
+                )
+                self._ingest.start()
+            elif config is not None:
+                raise RuntimeError("ingestion plane already configured")
+            return self._ingest
+
+    def submit(
+        self,
+        function: str,
+        input_data: bytes = b"",
+        tenant: str = "default",
+    ) -> tuple[int | None, str]:
+        """The async front door: admit (or defer/shed) a call without
+        blocking on placement. Returns ``(call_id, "admitted")`` on
+        admission, ``(None, "deferred"|"shed")`` on backpressure."""
+        return self.ingestion().submit(function, input_data, tenant=tenant)
+
+    def submit_many(
+        self,
+        function: str,
+        inputs: list[bytes],
+        tenant: str = "default",
+    ) -> list[tuple[int | None, str]]:
+        """Bulk :meth:`submit`: admit a whole batch under one registry
+        lock and one admission lock. One ``(call_id, outcome)`` per
+        input."""
+        return self.ingestion().submit_many(function, inputs, tenant=tenant)
+
+    def ingestion_stats(self) -> dict:
+        plane = self._ingest
+        return plane.stats() if plane is not None else {}
 
     # ------------------------------------------------------------------
     # Speculative page pre-placement (DESIGN.md §10c)
@@ -408,6 +536,91 @@ class FaasmCluster:
         instance = self._by_host.get(host)
         return instance is not None and instance.alive
 
+    def placement_ok(self, host: str) -> bool:
+        """Whether schedulers may place *new* work on ``host`` — alive and
+        not draining. (Liveness for the monitor is :meth:`host_alive`: a
+        draining host still finishes its in-flight attempts.)"""
+        instance = self._by_host.get(host)
+        return instance is not None and instance.alive and not instance.draining
+
+    def live_hosts(self) -> list[str]:
+        """Hosts new work may be placed on (the batch scheduler's spread
+        universe)."""
+        return [
+            i.host for i in self.instances if i.alive and not i.draining
+        ]
+
+    # ------------------------------------------------------------------
+    # Elasticity (the autoscaler's grow/shrink primitives)
+    # ------------------------------------------------------------------
+    def add_host(self, count: int = 1) -> list[str]:
+        """Grow the cluster by ``count`` hosts. Dead hosts are revived
+        first (their bus endpoint and identity already exist); genuinely
+        new hosts get fresh names. Returns the hosts brought up."""
+        added: list[str] = []
+        for _ in range(count):
+            dead = next(
+                (i for i in self.instances if not i.alive), None
+            )
+            if dead is not None:
+                dead.draining = False
+                dead.restart()
+                added.append(dead.host)
+                continue
+            host = f"host-{next(self._host_seq)}"
+            instance = FaasmRuntimeInstance(
+                host, self, capacity=self._capacity,
+                reset_between_calls=self._reset_between_calls,
+            )
+            self.bus.register(host)
+            instance.start_dispatcher()
+            # Copy-then-rebind so lock-free readers of the instance list
+            # never see a half-built membership.
+            self.instances = self.instances + [instance]
+            self._by_host = {**self._by_host, host: instance}
+            added.append(host)
+        if added:
+            self.telemetry.metrics.counter("host.scaled_up").inc(len(added))
+        return added
+
+    def retire_host(self, host: str, timeout: float = 10.0) -> bool:
+        """Shrink: gracefully retire ``host``. The host stops receiving
+        new placements (``draining``), is evicted from the warm sets, and
+        once its queue and executors are idle it is taken down through the
+        PR 4 death path — so any straggler the drain raced is re-queued by
+        the invocation monitor, never stranded. Returns False when the
+        host is not retirable (unknown, already down, or the last live
+        host)."""
+        instance = self._by_host.get(host)
+        if instance is None or not instance.alive:
+            return False
+        live = [
+            i for i in self.instances if i.alive and not i.draining
+        ]
+        if len(live) <= 1 or instance not in live:
+            return False
+        instance.draining = True
+        self.warm_sets.evict_host(host)
+        instance.reclaim_idle(0)
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                pending = self.bus.pending(host)
+            except KeyError:
+                pending = 0
+            if (
+                pending == 0
+                and instance.pool_backlog() == 0
+                and instance.executing() == 0
+            ):
+                break
+            time.sleep(0.005)
+        # kill() ends the liveness epoch: anything the drain wait raced
+        # is written off by the monitor and re-queued elsewhere.
+        instance.kill()
+        self.telemetry.metrics.counter("host.scaled_down").inc()
+        return True
+
     def host_liveness(self, host: str) -> tuple[bool, int]:
         """(alive, epoch) for the invocation monitor's death detection."""
         instance = self._by_host.get(host)
@@ -478,6 +691,12 @@ class FaasmCluster:
         "prefetch.hit_bytes",
         "prefetch.aborted",
         "prefetch.preplaced_pages",
+        "ingest.admitted",
+        "ingest.deferred",
+        "ingest.shed",
+        "bus.batched_calls",
+        "sched.cache_hits",
+        "sched.cache_misses",
     )
 
     def metrics_snapshot(self) -> dict:
@@ -577,6 +796,11 @@ class FaasmCluster:
 
     def shutdown(self) -> None:
         """Stop every host's dispatcher and the monitor (idempotent)."""
+        if self.autoscaler is not None:
+            self.autoscaler.stop()
+        with self._ingest_lock:
+            if self._ingest is not None:
+                self._ingest.stop()
         if self.monitor is not None:
             self.monitor.stop()
         with self._metrics_endpoint_lock:

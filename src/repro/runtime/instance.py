@@ -162,7 +162,11 @@ class FaasmRuntimeInstance:
             cluster.warm_sets,
             capacity_fn=self.free_capacity,
             peer_capacity_fn=cluster.peer_capacity,
-            live_fn=getattr(cluster, "host_alive", None),
+            # Placement-eligibility, not raw liveness: a draining host
+            # finishes its work but receives no new placements.
+            live_fn=getattr(cluster, "placement_ok", None)
+            or getattr(cluster, "host_alive", None),
+            peers_fn=getattr(cluster, "live_hosts", None),
         )
 
         #: The content-addressed snapshot client: this host's PageStore
@@ -181,6 +185,20 @@ class FaasmRuntimeInstance:
         self._executing = 0
         self.metrics = InstanceMetrics(cluster.telemetry.metrics, host=host)
         self._dispatcher: threading.Thread | None = None
+        #: Bounded executor pool for batched dispatch (created lazily on
+        #: the first ExecuteBatch): batch items run on these workers
+        #: instead of a thread per call, which is most of the per-call
+        #: overhead the ingestion plane removes. Chained calls re-enter
+        #: through the per-call path (thread per call), so a pool worker
+        #: blocked in ``await_call`` can never starve its own callee.
+        self._pool_threads: list[threading.Thread] = []
+        self._pool_queue = None
+        self._pool_lock = threading.Lock()
+        #: Graceful retirement: a draining host finishes its in-flight
+        #: work but receives no new placements (the autoscaler's shrink
+        #: path); distinct from ``alive`` so the invocation monitor does
+        #: not write its in-flight attempts off.
+        self.draining = False
         #: Calls received over the bus that were shared from another host.
         self.shared_received = 0
         #: Liveness: a dead host executes nothing and completes nothing.
@@ -205,11 +223,12 @@ class FaasmRuntimeInstance:
         self._dispatcher.start()
 
     def _dispatch_loop(self) -> None:
-        from .bus import ExecuteCall, Shutdown
+        from .bus import ExecuteBatch, ExecuteCall, Shutdown
 
         while True:
             message = self.cluster.bus.receive(self.host)
             if message is None or isinstance(message, Shutdown):
+                self._stop_pool()
                 return
             if not self.alive:
                 # Dead hosts consume nothing: the drained message is lost
@@ -234,6 +253,93 @@ class FaasmRuntimeInstance:
                     daemon=True,
                     name=f"call-{record.call_id}-{record.function}",
                 ).start()
+            elif isinstance(message, ExecuteBatch):
+                self._expand_batch(message)
+
+    # ------------------------------------------------------------------
+    # Batched execution (ingestion plane, DESIGN.md §11)
+    # ------------------------------------------------------------------
+    def _expand_batch(self, batch) -> None:
+        """Feed a batch's calls to the bounded worker pool, one chaos
+        pre-dispatch point per carried call (same fault surface as the
+        per-call path)."""
+        from .bus import ExecuteCall
+
+        queue = self._ensure_pool()
+        accepted: list = []
+        crashed = False
+        for call_id, attempt in batch.items:
+            message = ExecuteCall(
+                call_id,
+                batch.function,
+                origin=batch.origin,
+                shared=batch.shared,
+                attempt=attempt,
+            )
+            try:
+                self._chaos_point("pre-dispatch", message)
+            except HostCrashed:
+                # Died mid-expansion: this item and the rest of the batch
+                # are lost with the host; the monitor re-queues them. The
+                # already-accepted prefix still ships below, exactly as if
+                # each item had been enqueued before the crash point.
+                crashed = True
+                break
+            if batch.shared:
+                self.shared_received += 1
+            accepted.append(message)
+        if accepted:
+            # One registry lock for the records, one queue lock for the
+            # hand-off — the receive-side half of batch amortisation.
+            records = self.cluster.calls.get_many(
+                [message.call_id for message in accepted]
+            )
+            queue.put_many(list(zip(records, accepted)))
+        if crashed:
+            return
+
+    def _ensure_pool(self):
+        with self._pool_lock:
+            if self._pool_queue is None:
+                from .bus import _HostQueue
+
+                self._pool_queue = _HostQueue()
+                n = max(2, self.capacity)
+                for i in range(n):
+                    thread = threading.Thread(
+                        target=self._pool_loop,
+                        daemon=True,
+                        name=f"pool-{self.host}-{i}",
+                    )
+                    thread.start()
+                    self._pool_threads.append(thread)
+            return self._pool_queue
+
+    def _pool_loop(self) -> None:
+        while True:
+            item = self._pool_queue.get()
+            if item is None:
+                return
+            if not self.alive:
+                # Lost with the host, exactly like an undrained bus
+                # message: the attempt stays SENT under a dead epoch and
+                # the monitor re-queues it elsewhere.
+                continue
+            record, message = item
+            self._execute_safely(record, message)
+
+    def _stop_pool(self) -> None:
+        with self._pool_lock:
+            if self._pool_queue is None:
+                return
+            for _ in self._pool_threads:
+                self._pool_queue.put(None)
+
+    def pool_backlog(self) -> int:
+        """Batch items accepted from the bus but not yet executing."""
+        with self._pool_lock:
+            queue = self._pool_queue
+        return queue.qsize() if queue is not None else 0
 
     def _chaos_point(self, phase: str, message: "ExecuteCall | None") -> None:
         """Give the chaos engine (if any) a chance to kill this host."""
@@ -306,6 +412,10 @@ class FaasmRuntimeInstance:
         if self._dispatcher is not None:
             self._dispatcher.join(timeout)
             self._dispatcher = None
+        with self._pool_lock:
+            threads, self._pool_threads = self._pool_threads, []
+        for thread in threads:
+            thread.join(timeout)
 
     # ------------------------------------------------------------------
     # Liveness (host-failure injection and recovery)
@@ -346,6 +456,11 @@ class FaasmRuntimeInstance:
     def free_capacity(self) -> int:
         with self._mutex:
             return max(0, self.capacity - self._executing)
+
+    def executing(self) -> int:
+        """Calls currently running on this host."""
+        with self._mutex:
+            return self._executing
 
     # ------------------------------------------------------------------
     # Execution

@@ -52,6 +52,14 @@ class RetryPolicy:
     #: With ``enabled=False`` the cluster runs the legacy fire-and-forget
     #: plane: no attempt records, no monitor (the overhead baseline).
     enabled: bool = True
+    #: Extra time a SENT attempt is granted past ``attempt_timeout`` while
+    #: its target host is alive but *backlogged* (non-empty bus queue or
+    #: executor pool). Under the ingestion plane, deep queues are the
+    #: normal open-loop condition, not evidence of loss — without this
+    #: grace a 10⁵-call burst would trip a retry storm of calls that are
+    #: merely waiting their turn. A genuinely dropped message still times
+    #: out once the backlog clears (or after the grace, whichever first).
+    backlog_grace: float = 30.0
 
     @classmethod
     def off(cls) -> "RetryPolicy":
@@ -131,6 +139,7 @@ class InvocationMonitor:
         elif (
             attempt.state == ATTEMPT_SENT
             and now - attempt.dispatched_at > self.policy.attempt_timeout
+            and not self._backlog_grace_holds(attempt, now)
         ):
             # The timeout detects *lost deliveries* only: an attempt still
             # SENT this long means its message was dropped (or delayed
@@ -148,6 +157,22 @@ class InvocationMonitor:
                 attempt.retry_at = now + self.policy.backoff(
                     attempt.number, self.rng
                 )
+
+    def _backlog_grace_holds(self, attempt, now: float) -> bool:
+        """Whether a SENT attempt is excused from the delivery timeout:
+        its live target is visibly backlogged (the message is plausibly
+        still queued, not lost) and the grace budget is unspent."""
+        if now - attempt.dispatched_at > (
+            self.policy.attempt_timeout + self.policy.backlog_grace
+        ):
+            return False
+        try:
+            if self.cluster.bus.pending(attempt.host) > 0:
+                return True
+            instance = self.cluster.instance_for(attempt.host)
+        except KeyError:
+            return False
+        return instance.pool_backlog() > 0
 
     def _maybe_retry(self, record, attempt, now: float) -> None:
         if attempt.retry_at == 0.0:

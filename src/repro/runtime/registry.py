@@ -206,15 +206,17 @@ class FunctionRegistry:
 
     # ------------------------------------------------------------------
     def get(self, name: str) -> FunctionDefinition | PythonFunctionDefinition:
-        with self._mutex:
-            definition = self._functions.get(name)
+        # Lock-free: dict reads are atomic under the GIL and definitions
+        # are only ever added or replaced, never removed — every executing
+        # call resolves its function here, so a mutex would put a single
+        # cluster-wide lock on the execution hot path.
+        definition = self._functions.get(name)
         if definition is None:
             raise KeyError(f"unknown function {name!r}")
         return definition
 
     def exists(self, name: str) -> bool:
-        with self._mutex:
-            return name in self._functions
+        return name in self._functions
 
     def names(self) -> list[str]:
         with self._mutex:

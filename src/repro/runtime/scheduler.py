@@ -14,30 +14,65 @@ Fig. 10 churn migration cost at O(delta) instead of O(snapshot size).
 Residency advertisements live next to the warm sets in the global tier and
 are, like them, advisory: stale or missing entries only cost transfer
 bytes, never correctness.
+
+**The dispatch hot path is de-locked** (DESIGN.md §11): parsed warm-set
+and residency snapshots are memoised per function behind an epoch + TTL
+cache, so back-to-back dispatches of the same function cost zero
+global-tier reads — the registry bumps a per-key epoch on every mutation
+it performs (every mutation in this in-process deployment goes through the
+shared registry), and the TTL bounds staleness against writers the epoch
+cannot see. A stale snapshot is at worst a slightly worse *advisory*
+placement, never a correctness issue. :meth:`LocalScheduler.schedule_batch`
+amortises one snapshot read and one capacity survey over a whole batch of
+calls, which is what the ingestion plane dispatches with.
 """
 
 from __future__ import annotations
 
 import json
+import threading
+import time
 from dataclasses import dataclass
 
-from repro.state.kv import GlobalStateStore, StateUnavailableError
-from repro.telemetry import span
+from repro.state.kv import (
+    GlobalStateStore,
+    StateKeyError,
+    StateUnavailableError,
+)
+from repro.telemetry import MetricsRegistry, span
 
 _WARM_PREFIX = "faasm/sched/warm/"
 _RESIDENT_PREFIX = "faasm/sched/resident/"
+
+#: How long a cached warm-set/residency snapshot may serve reads without
+#: revalidation. The per-key epoch catches every mutation made through
+#: the shared registry instantly; the TTL only bounds staleness against
+#: out-of-band writers (tests poking the store, a future multi-process
+#: deployment), so it can be generous.
+DEFAULT_CACHE_TTL = 0.5
 
 
 @dataclass
 class SchedulingDecision:
     host: str
-    reason: str  # "warm-local", "shared", "resident", "cold-local"
+    #: "warm-local", "shared", "resident", "cold-local", or "cold-spread"
+    #: (a batch's cold overflow placed on a live peer).
+    reason: str
 
     @property
     def is_cold(self) -> bool:
         """True when the target must cold-start (restore or boot) — both
         genuinely cold and page-resident placements start a new Faaslet."""
-        return self.reason in ("cold-local", "resident")
+        return self.reason in ("cold-local", "resident", "cold-spread")
+
+
+class _CacheEntry:
+    __slots__ = ("epoch", "expires", "value")
+
+    def __init__(self, epoch: int, expires: float, value):
+        self.epoch = epoch
+        self.expires = expires
+        self.value = value
 
 
 class WarmSetRegistry:
@@ -48,23 +83,90 @@ class WarmSetRegistry:
     warm hosts" (the scheduler cold-starts locally) and writes are dropped
     — the set self-heals on the next cold start — instead of taking the
     dispatch path down with the state tier.
+
+    Reads are served from a per-key **epoch/TTL cache** of the parsed
+    snapshot: a mutation through this registry bumps the key's epoch
+    (invalidating the cached parse), and entries also expire after
+    ``cache_ttl`` seconds as a backstop against writers the epoch cannot
+    observe. The cache is what takes the global-tier round trip and the
+    JSON parse off the per-dispatch hot path; hits/misses are counted in
+    ``sched.cache_hits`` / ``sched.cache_misses``.
     """
 
-    def __init__(self, store: GlobalStateStore):
+    def __init__(
+        self,
+        store: GlobalStateStore,
+        cache_ttl: float = DEFAULT_CACHE_TTL,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.store = store
+        self.cache_ttl = cache_ttl
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        self._cache_hits = metrics.counter("sched.cache_hits")
+        self._cache_misses = metrics.counter("sched.cache_misses")
+        self._cache: dict[str, _CacheEntry] = {}
+        self._epochs: dict[str, int] = {}
+        self._cache_lock = threading.Lock()
 
     def _key(self, function: str) -> str:
         return _WARM_PREFIX + function
 
-    def warm_hosts(self, function: str) -> set[str]:
+    # ------------------------------------------------------------------
+    # Epoch/TTL snapshot cache
+    # ------------------------------------------------------------------
+    def _invalidate(self, key: str) -> None:
+        """A mutation went through this registry: bump the key's epoch so
+        every cached parse of it is dead."""
+        with self._cache_lock:
+            self._epochs[key] = self._epochs.get(key, 0) + 1
+
+    def _cached_read(self, key: str, parse, default):
+        """The memoised read-through: parsed snapshot of ``key``, from
+        cache when its epoch still matches and the TTL has not lapsed."""
+        now = time.monotonic()
+        with self._cache_lock:
+            entry = self._cache.get(key)
+            epoch = self._epochs.get(key, 0)
+        if entry is not None and entry.epoch == epoch and now < entry.expires:
+            self._cache_hits.inc()
+            return entry.value
+        self._cache_misses.inc()
         try:
-            if not self.store.exists(self._key(function)):
-                return set()
-            return set(
-                json.loads(self.store.get_value(self._key(function)).decode())
-            )
+            raw, _version = self.store.get_value_versioned(key)
+            value = parse(raw)
+        except StateKeyError:
+            value = default
         except StateUnavailableError:
-            return set()
+            # Degrade without caching: the tier is dark, answer "empty"
+            # now but re-probe as soon as it is back.
+            return default
+        with self._cache_lock:
+            # Tagged with the epoch read *before* the store round trip: a
+            # concurrent mutation at worst wastes this entry, never lets
+            # a stale parse outlive its epoch.
+            self._cache[key] = _CacheEntry(epoch, now + self.cache_ttl, value)
+        return value
+
+    def cache_info(self) -> dict:
+        """Hit/miss counters and entry count (tests, ``repro ingest``)."""
+        with self._cache_lock:
+            entries = len(self._cache)
+        return {
+            "hits": int(self._cache_hits.value),
+            "misses": int(self._cache_misses.value),
+            "entries": entries,
+        }
+
+    # ------------------------------------------------------------------
+    # Warm sets
+    # ------------------------------------------------------------------
+    def warm_hosts(self, function: str) -> set[str]:
+        cached = self._cached_read(
+            self._key(function),
+            lambda raw: frozenset(json.loads(raw.decode())),
+            frozenset(),
+        )
+        return set(cached)
 
     def add(self, function: str, host: str) -> None:
         def update(old: bytes | None) -> bytes:
@@ -76,6 +178,8 @@ class WarmSetRegistry:
             self.store.atomic_update(self._key(function), update)
         except StateUnavailableError:
             pass
+        finally:
+            self._invalidate(self._key(function))
 
     def remove(self, function: str, host: str) -> None:
         def update(old: bytes | None) -> bytes:
@@ -87,6 +191,8 @@ class WarmSetRegistry:
             self.store.atomic_update(self._key(function), update)
         except StateUnavailableError:
             pass
+        finally:
+            self._invalidate(self._key(function))
 
     def functions(self) -> list[str]:
         """Every function that currently has a warm set."""
@@ -105,13 +211,14 @@ class WarmSetRegistry:
     def resident_hosts(self, function: str) -> dict[str, float]:
         """Hosts whose PageStore (partially) covers ``function``'s current
         snapshot, mapped to their advertised coverage fraction."""
-        try:
-            if not self.store.exists(self._resident_key(function)):
-                return {}
-            raw = self.store.get_value(self._resident_key(function))
-            return {h: float(c) for h, c in json.loads(raw.decode()).items()}
-        except StateUnavailableError:
-            return {}
+        cached = self._cached_read(
+            self._resident_key(function),
+            lambda raw: tuple(
+                (h, float(c)) for h, c in json.loads(raw.decode()).items()
+            ),
+            (),
+        )
+        return dict(cached)
 
     def advertise_residency(self, function: str, host: str, coverage: float) -> None:
         """A host just materialised (or refreshed) ``function``'s snapshot:
@@ -126,6 +233,8 @@ class WarmSetRegistry:
             self.store.atomic_update(self._resident_key(function), update)
         except StateUnavailableError:
             pass
+        finally:
+            self._invalidate(self._resident_key(function))
 
     def withdraw_residency(self, function: str, host: str) -> None:
         def update(old: bytes | None) -> bytes:
@@ -137,6 +246,8 @@ class WarmSetRegistry:
             self.store.atomic_update(self._resident_key(function), update)
         except StateUnavailableError:
             pass
+        finally:
+            self._invalidate(self._resident_key(function))
 
     def resident_functions(self) -> list[str]:
         return [
@@ -170,22 +281,27 @@ class LocalScheduler:
         capacity_fn,
         peer_capacity_fn,
         live_fn=None,
+        peers_fn=None,
     ):
         """``capacity_fn() -> int`` reports this host's free slots;
         ``peer_capacity_fn(host) -> int`` reports a peer's;
         ``live_fn(host) -> bool`` (optional) reports host liveness so a
-        dead host still listed in a warm set is never chosen."""
+        dead host still listed in a warm set is never chosen;
+        ``peers_fn() -> list[str]`` (optional) lists every live host, the
+        universe :meth:`schedule_batch` spreads cold overflow over."""
         self.host = host
         self.warm_sets = warm_sets
         self._capacity = capacity_fn
         self._peer_capacity = peer_capacity_fn
         self._live = live_fn if live_fn is not None else (lambda host: True)
+        self._peers = peers_fn if peers_fn is not None else (lambda: [host])
         #: Decision counters for tests/benchmarks.
         self.decisions: dict[str, int] = {
             "warm-local": 0,
             "shared": 0,
             "resident": 0,
             "cold-local": 0,
+            "cold-spread": 0,
         }
 
     def _resident_candidate(self, function: str) -> str | None:
@@ -265,3 +381,90 @@ class LocalScheduler:
             sp.set_attr("reason", decision.reason)
             sp.set_attr("warm_hosts", len(warm))
         return decision
+
+    def schedule_batch(self, function: str, count: int) -> list[SchedulingDecision]:
+        """Place ``count`` calls of one function in a single pass.
+
+        The batched hot path: the warm-set and residency snapshots are
+        read once (usually straight from the epoch cache), every
+        candidate's capacity is surveyed once, and placements draw that
+        capacity down against a local model instead of re-querying per
+        call. Warm capacity fills first (local, then peers), then one
+        page-resident host, and any overflow spreads round-robin: over
+        the warm hosts when some exist (the calls queue for warm
+        Faaslets), otherwise cold across the live hosts so a cold burst
+        lands cluster-wide instead of serialising on the entry host.
+        """
+        if count <= 0:
+            return []
+        with span("schedule.batch", function=function) as sp:
+            warm = sorted(
+                h for h in self.warm_sets.warm_hosts(function) if self._live(h)
+            )
+            capacity = {
+                h: (self._capacity() if h == self.host
+                    else self._peer_capacity(h))
+                for h in warm
+            }
+            decisions: list[SchedulingDecision] = []
+
+            def place(host: str, reason: str, n: int) -> None:
+                for _ in range(n):
+                    decisions.append(SchedulingDecision(host, reason))
+                self.decisions[reason] += n
+
+            # Tier 1: local warm capacity, then warm peers by name.
+            if self.host in capacity:
+                take = min(count - len(decisions), max(0, capacity[self.host]))
+                if take:
+                    place(self.host, "warm-local", take)
+                    capacity[self.host] -= take
+            for peer in warm:
+                if peer == self.host or len(decisions) >= count:
+                    continue
+                take = min(count - len(decisions), max(0, capacity[peer]))
+                if take:
+                    place(peer, "shared", take)
+                    capacity[peer] -= take
+
+            # Tier 2: one page-resident host soaks up to its capacity.
+            if len(decisions) < count and not warm:
+                resident_to = self._resident_candidate(function)
+                if resident_to is not None:
+                    room = max(
+                        1,
+                        self._capacity() if resident_to == self.host
+                        else self._peer_capacity(resident_to),
+                    )
+                    take = min(count - len(decisions), room)
+                    self.warm_sets.add(function, resident_to)
+                    place(resident_to, "resident", take)
+
+            # Tier 3: overflow. Queue round-robin on warm hosts when any
+            # exist; otherwise spread the cold burst over the live hosts.
+            remaining = count - len(decisions)
+            if remaining > 0:
+                if warm:
+                    for i in range(remaining):
+                        host = warm[i % len(warm)]
+                        place(
+                            host,
+                            "warm-local" if host == self.host else "shared",
+                            1,
+                        )
+                else:
+                    targets = [h for h in self._peers() if self._live(h)]
+                    if self.host in targets:  # entry host soaks first
+                        targets.remove(self.host)
+                    targets.insert(0, self.host)
+                    for i in range(remaining):
+                        host = targets[i % len(targets)]
+                        reason = (
+                            "cold-local" if host == self.host else "cold-spread"
+                        )
+                        place(host, reason, 1)
+                    for host in dict.fromkeys(targets[: min(remaining, len(targets))]):
+                        self.warm_sets.add(function, host)
+            sp.set_attr("count", count)
+            sp.set_attr("warm_hosts", len(warm))
+        return decisions

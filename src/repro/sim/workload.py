@@ -11,6 +11,8 @@ restores vs container boots.
 
 from __future__ import annotations
 
+import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -103,3 +105,145 @@ class CallHandle:
 
     process: object
     function: str
+
+
+# ----------------------------------------------------------------------
+# Open-loop arrival traces (the ingestion plane's load, DESIGN.md §11)
+# ----------------------------------------------------------------------
+#
+# An arrival trace is a seed-deterministic list of :class:`Arrival`
+# events — *when* calls arrive, independent of how fast the platform
+# completes them (open-loop: the generator never waits for responses, so
+# queueing shows up as sojourn latency rather than as a depressed offered
+# rate, the standard methodology for saturation studies).
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One open-loop arrival: a call offered at ``at`` seconds from the
+    trace's start."""
+
+    at: float
+    function: str
+    tenant: str = "default"
+    input_data: bytes = b""
+
+
+def _poisson_arrivals(rng, rate, start, end, function_of, tenant):
+    events = []
+    t = start
+    while True:
+        t += rng.expovariate(rate)
+        if t >= end:
+            return events
+        events.append(Arrival(t, function_of(rng), tenant=tenant))
+
+
+def poisson_trace(
+    rate: float,
+    duration: float,
+    seed: int = 0,
+    functions: tuple[str, ...] = ("fn",),
+    tenant: str = "default",
+) -> list[Arrival]:
+    """A Poisson arrival process at ``rate``/sec for ``duration`` seconds
+    (exponential inter-arrivals; the memoryless baseline trace)."""
+    if rate <= 0:
+        return []
+    rng = random.Random(f"poisson:{seed}")
+    return _poisson_arrivals(
+        rng, rate, 0.0, duration, lambda r: r.choice(functions), tenant
+    )
+
+
+def bursty_trace(
+    on_rate: float,
+    duration: float,
+    seed: int = 0,
+    off_rate: float = 0.0,
+    mean_on_s: float = 0.5,
+    mean_off_s: float = 0.5,
+    functions: tuple[str, ...] = ("fn",),
+    tenant: str = "default",
+) -> list[Arrival]:
+    """An ON/OFF (interrupted-Poisson) process: exponentially-distributed
+    ON phases arriving at ``on_rate`` alternate with OFF phases at
+    ``off_rate`` (0 = silence). The bursty shape that stresses admission
+    queues and the autoscaler far harder than the same mean rate offered
+    smoothly."""
+    rng = random.Random(f"bursty:{seed}")
+    events: list[Arrival] = []
+    t, on = 0.0, True
+    while t < duration:
+        phase = rng.expovariate(1.0 / (mean_on_s if on else mean_off_s))
+        end = min(t + phase, duration)
+        rate = on_rate if on else off_rate
+        if rate > 0:
+            events.extend(
+                _poisson_arrivals(
+                    rng, rate, t, end, lambda r: r.choice(functions), tenant
+                )
+            )
+        t, on = end, not on
+    return events
+
+
+def multi_tenant_trace(
+    tenant_rates: dict[str, float],
+    duration: float,
+    seed: int = 0,
+    functions: tuple[str, ...] = ("fn",),
+) -> list[Arrival]:
+    """Independent per-tenant Poisson processes merged into one trace
+    (sorted by arrival time). Each tenant's sub-trace is derived from
+    ``(seed, tenant)``, so adding a tenant never perturbs the others."""
+    events: list[Arrival] = []
+    for tenant, rate in sorted(tenant_rates.items()):
+        if rate <= 0:
+            continue
+        rng = random.Random(f"tenant:{seed}:{tenant}")
+        events.extend(
+            _poisson_arrivals(
+                rng, rate, 0.0, duration,
+                lambda r: r.choice(functions), tenant,
+            )
+        )
+    events.sort(key=lambda e: (e.at, e.tenant))
+    return events
+
+
+def make_trace(kind: str, **kwargs) -> list[Arrival]:
+    """Trace factory by name — "poisson", "bursty", or "multi" (the CLI's
+    ``--trace`` values)."""
+    if kind == "poisson":
+        return poisson_trace(**kwargs)
+    if kind == "bursty":
+        return bursty_trace(**kwargs)
+    if kind == "multi":
+        return multi_tenant_trace(**kwargs)
+    raise ValueError(
+        f"unknown trace kind {kind!r}; expected poisson|bursty|multi"
+    )
+
+
+def replay(
+    events: list[Arrival],
+    submit,
+    speed: float = 1.0,
+    sleep_fn=time.sleep,
+    now_fn=time.monotonic,
+) -> list:
+    """Replay a trace open-loop against ``submit(function, input_data,
+    tenant)``: each arrival fires at its trace time (scaled by ``speed``;
+    ``speed=0`` submits as fast as possible), never waiting on
+    completions. Returns the submit results in trace order."""
+    results = []
+    start = now_fn()
+    for event in events:
+        if speed > 0:
+            due = start + event.at / speed
+            delay = due - now_fn()
+            if delay > 0:
+                sleep_fn(delay)
+        results.append(submit(event.function, event.input_data, event.tenant))
+    return results

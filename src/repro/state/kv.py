@@ -171,6 +171,21 @@ class GlobalStateStore:
                 raise StateKeyError(key)
             return bytes(value)
 
+    def get_value_versioned(self, key: str) -> tuple[bytes, int]:
+        """``(value, write version)`` captured under one stripe-lock hold.
+
+        The scheduler's warm-set/residency cache revalidates with this:
+        a cached snapshot tagged with the version it was parsed at can be
+        reused for free while :meth:`version` still matches — the write
+        version doubles as the warm set's *epoch*, bumped by every
+        mutation through :meth:`atomic_update`.
+        """
+        with self._stripe(key):
+            value = self._values.get(key)
+            if value is None:
+                raise StateKeyError(key)
+            return bytes(value), self._versions.get(key, 0)
+
     def get_range(self, key: str, offset: int, length: int) -> bytes:
         """Bytes ``[offset, offset+length)`` of ``key`` (a copy)."""
         with self._stripe(key):

@@ -60,6 +60,9 @@ class ShardedStateStore:
     def get_value(self, key):
         return self._route(key).get_value(key)
 
+    def get_value_versioned(self, key):
+        return self._route(key).get_value_versioned(key)
+
     def get_range(self, key, offset, length):
         return self._route(key).get_range(key, offset, length)
 

@@ -55,6 +55,9 @@ def test_top_renders_frames(capsys):
     assert out.count("repro top —") == 2
     assert "frame 2/2" in out
     assert "p99ms" in out and "burn" in out
+    # The ingestion row is always present; the demo cluster has no
+    # ingestion plane, so it shows the bus-depth fallback form.
+    assert "ingest" in out and "queued" in out and "sojourn" in out
     for fn in ("pipeline", "stage", "kernel"):
         assert fn in out
 

@@ -1,0 +1,103 @@
+"""Open-loop arrival traces: determinism, shape, and replay semantics."""
+
+import pytest
+
+from repro.sim.workload import (
+    Arrival,
+    bursty_trace,
+    make_trace,
+    multi_tenant_trace,
+    poisson_trace,
+    replay,
+)
+
+
+def test_poisson_trace_is_seed_deterministic():
+    a = poisson_trace(500.0, 2.0, seed=7)
+    b = poisson_trace(500.0, 2.0, seed=7)
+    assert a == b
+    assert a != poisson_trace(500.0, 2.0, seed=8)
+
+
+def test_poisson_trace_rate_and_bounds():
+    events = poisson_trace(1000.0, 4.0, seed=3)
+    assert all(0.0 <= e.at < 4.0 for e in events)
+    assert events == sorted(events, key=lambda e: e.at)
+    # Poisson count concentrates near rate*duration = 4000.
+    assert 3200 < len(events) < 4800
+    assert poisson_trace(0.0, 4.0) == []
+
+
+def test_bursty_trace_alternates_phases():
+    events = bursty_trace(
+        2000.0, 4.0, seed=1, off_rate=0.0, mean_on_s=0.2, mean_off_s=0.2
+    )
+    # ON/OFF at 50% duty: roughly half the all-ON mass, and silence gaps
+    # longer than any plausible inter-arrival at 2000/s must exist.
+    assert 1500 < len(events) < 6500
+    gaps = [
+        b.at - a.at for a, b in zip(events, events[1:])
+    ]
+    assert max(gaps) > 0.05
+
+
+def test_multi_tenant_trace_is_per_tenant_stable():
+    base = multi_tenant_trace({"a": 300.0, "b": 200.0}, 2.0, seed=5)
+    wider = multi_tenant_trace(
+        {"a": 300.0, "b": 200.0, "c": 100.0}, 2.0, seed=5
+    )
+    # Adding a tenant never perturbs the existing tenants' sub-traces.
+    assert [e for e in base if e.tenant == "a"] == [
+        e for e in wider if e.tenant == "a"
+    ]
+    assert [e for e in base if e.tenant == "b"] == [
+        e for e in wider if e.tenant == "b"
+    ]
+    assert {e.tenant for e in wider} == {"a", "b", "c"}
+    assert wider == sorted(wider, key=lambda e: (e.at, e.tenant))
+
+
+def test_make_trace_dispatches_by_kind():
+    assert make_trace("poisson", rate=100.0, duration=0.5, seed=1) == (
+        poisson_trace(100.0, 0.5, seed=1)
+    )
+    assert make_trace(
+        "multi", tenant_rates={"x": 50.0}, duration=0.5, seed=1
+    ) == multi_tenant_trace({"x": 50.0}, 0.5, seed=1)
+    with pytest.raises(ValueError):
+        make_trace("square-wave")
+
+
+def test_replay_is_open_loop_and_paced():
+    events = [
+        Arrival(0.0, "fn", tenant="a", input_data=b"0"),
+        Arrival(0.1, "fn", tenant="b", input_data=b"1"),
+        Arrival(0.3, "fn", tenant="a", input_data=b"2"),
+    ]
+    clock = {"now": 0.0}
+    sleeps = []
+
+    def sleep_fn(s):
+        sleeps.append(s)
+        clock["now"] += s
+
+    submitted = []
+
+    def submit(function, input_data, tenant):
+        submitted.append((function, input_data, tenant))
+        return len(submitted)
+
+    results = replay(
+        events, submit, speed=1.0,
+        sleep_fn=sleep_fn, now_fn=lambda: clock["now"],
+    )
+    assert results == [1, 2, 3]
+    assert submitted[1] == ("fn", b"1", "b")
+    # Paced to the trace timeline: total sleep equals the last arrival.
+    assert sleeps == pytest.approx([0.0, 0.1, 0.2]) or sum(
+        sleeps
+    ) == pytest.approx(0.3)
+    # speed=0 submits everything with no sleeping at all.
+    sleeps.clear()
+    replay(events, submit, speed=0.0, sleep_fn=sleep_fn)
+    assert sleeps == []
